@@ -1,0 +1,304 @@
+//! NPB CG port: estimate the smallest eigenvalue of a random sparse
+//! symmetric positive-definite matrix by inverse power iteration, solving
+//! each linear system with (unpreconditioned) conjugate gradient.
+//!
+//! Structure mirrors NPB 3.3 CG:
+//!
+//! * outer power iterations, each running a fixed number of CG iterations
+//!   and producing a `zeta` estimate plus a residual norm;
+//! * vectors are block-distributed by row; the matvec gathers the full
+//!   input vector (the 1-D analogue of NPB's 2-D exchange);
+//! * global dot products use user-level recursive-doubling combines
+//!   ([`crate::reduction`]), whose adds are the benchmark's small
+//!   parallel-unique computation (Table 1: CG ≈ 1.6 % / 0.27 %).
+//!
+//! Matrix generation is untracked setup (plain `f64`): the paper's fault
+//! injection focuses on the main computation loop, and setup must produce
+//! bit-identical data at every scale.
+
+use crate::reduction::global_dot;
+use crate::util::{block_range, hash_index, hash_range};
+
+use crate::AppOutput;
+use resilim_inject::Tf64;
+use resilim_simmpi::Comm;
+
+/// CG problem parameters (a scaled-down NPB Class S).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgProblem {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Off-diagonal symmetric pairs generated per row.
+    pub pairs_per_row: usize,
+    /// Outer (power-iteration) steps.
+    pub niter: usize,
+    /// Inner CG iterations per outer step.
+    pub cgit: usize,
+    /// Diagonal shift added to the eigenvalue estimate (NPB's `shift`).
+    pub shift: f64,
+    /// Setup RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CgProblem {
+    fn default() -> Self {
+        CgProblem {
+            n: 256,
+            pairs_per_row: 5,
+            niter: 3,
+            cgit: 8,
+            shift: 10.0,
+            seed: 0x5EEDC6,
+        }
+    }
+}
+
+/// Sparse symmetric matrix in CSR form (plain `f64`: setup data).
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    /// Row dimension.
+    pub n: usize,
+    /// CSR row offsets (`n + 1` entries).
+    pub row_ptr: Vec<usize>,
+    /// Column indices.
+    pub cols: Vec<usize>,
+    /// Entry values.
+    pub vals: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Deterministic random symmetric diagonally-dominant matrix: the same
+    /// `(n, pairs_per_row, seed)` always produces identical entries, no
+    /// matter the rank count.
+    pub fn generate(n: usize, pairs_per_row: usize, seed: u64) -> SparseMatrix {
+        // Collect entries in triplet form, then build CSR.
+        let mut entries: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for k in 0..pairs_per_row {
+                let idx = (i * pairs_per_row + k) as u64;
+                let mut j = hash_index(seed, idx, n);
+                if j == i {
+                    j = (j + 1) % n;
+                }
+                let v = hash_range(seed ^ 0xABCD, idx, -1.0, 1.0);
+                entries[i].push((j, v));
+                entries[j].push((i, v));
+            }
+        }
+        // Diagonal dominance => SPD.
+        for (i, row) in entries.iter_mut().enumerate() {
+            let off_sum: f64 = row.iter().map(|(_, v)| v.abs()).sum();
+            row.push((i, off_sum + 2.0 + hash_range(seed ^ 0x1234, i as u64, 0.0, 1.0)));
+            row.sort_by_key(|(j, _)| *j);
+            // Merge duplicate columns deterministically.
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(row.len());
+            for &(j, v) in row.iter() {
+                match merged.last_mut() {
+                    Some((lj, lv)) if *lj == j => *lv += v,
+                    _ => merged.push((j, v)),
+                }
+            }
+            *row = merged;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for row in &entries {
+            for &(j, v) in row {
+                cols.push(j);
+                vals.push(v);
+            }
+            row_ptr.push(cols.len());
+        }
+        SparseMatrix { n, row_ptr, cols, vals }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Check structural symmetry (test helper; O(nnz log nnz)).
+    pub fn is_symmetric(&self) -> bool {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..self.n {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                set.insert((i, self.cols[k], self.vals[k].to_bits()));
+            }
+        }
+        set.iter().all(|&(i, j, v)| set.contains(&(j, i, v)))
+    }
+}
+
+/// Local matvec: `w = A[rows] * x_full` over this rank's row block.
+fn local_matvec(a: &SparseMatrix, rows: std::ops::Range<usize>, x_full: &[Tf64]) -> Vec<Tf64> {
+    let mut w = Vec::with_capacity(rows.len());
+    for i in rows {
+        let mut acc = Tf64::ZERO;
+        for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+            acc += Tf64::new(a.vals[k]) * x_full[a.cols[k]];
+        }
+        w.push(acc);
+    }
+    w
+}
+
+/// Gather the full vector from block-distributed parts (the matvec
+/// exchange; data movement only, no tracked arithmetic).
+fn gather_full(comm: &Comm, local: &[Tf64]) -> Vec<Tf64> {
+    if comm.is_serial() {
+        return local.to_vec();
+    }
+    let parts = comm.allgather(local);
+    let mut full = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        full.extend(p);
+    }
+    full
+}
+
+/// Run the CG benchmark on the calling rank; collective over `comm`.
+///
+/// Digest: `[zeta_1, …, zeta_niter, final_rnorm]`.
+pub fn run(prob: &CgProblem, comm: &Comm) -> AppOutput {
+    let a = SparseMatrix::generate(prob.n, prob.pairs_per_row, prob.seed);
+    let rows = block_range(prob.n, comm.size(), comm.rank());
+    let nl = rows.len();
+
+    // x = all ones (NPB start vector), block-local.
+    let mut x: Vec<Tf64> = vec![Tf64::ONE; nl];
+    let mut digest = Vec::with_capacity(prob.niter + 1);
+    let mut rnorm = Tf64::ZERO;
+
+    for _outer in 0..prob.niter {
+        // --- inner CG solve: A z = x ---
+        let mut z: Vec<Tf64> = vec![Tf64::ZERO; nl];
+        let mut r: Vec<Tf64> = x.clone();
+        let mut p: Vec<Tf64> = r.clone();
+        let mut rho = global_dot(comm, &r, &r);
+
+        for _it in 0..prob.cgit {
+            let p_full = gather_full(comm, &p);
+            let q = local_matvec(&a, rows.clone(), &p_full);
+            let alpha = rho / global_dot(comm, &p, &q);
+            for i in 0..nl {
+                z[i] += alpha * p[i];
+                r[i] -= alpha * q[i];
+            }
+            let rho0 = rho;
+            rho = global_dot(comm, &r, &r);
+            let beta = rho / rho0;
+            for i in 0..nl {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+
+        // Residual norm ||x - A z||.
+        let z_full = gather_full(comm, &z);
+        let az = local_matvec(&a, rows.clone(), &z_full);
+        let diff: Vec<Tf64> = x.iter().zip(az.iter()).map(|(&xi, &ai)| xi - ai).collect();
+        rnorm = global_dot(comm, &diff, &diff).sqrt();
+
+        // zeta and the next normalized x.
+        let xz = global_dot(comm, &x, &z);
+        let zeta = Tf64::new(prob.shift) + Tf64::ONE / xz;
+        let znorm_inv = Tf64::ONE / global_dot(comm, &z, &z).sqrt();
+        for i in 0..nl {
+            x[i] = z[i] * znorm_inv;
+        }
+        digest.push(zeta.value());
+    }
+    digest.push(rnorm.value());
+    // Point samples of the final solution vector (whole-output SDC check).
+    let samples = crate::util::sample_state(comm, prob.n, 16, prob.n / 16 + 1, |g| {
+        rows.contains(&g).then(|| x[g - rows.start])
+    });
+    digest.extend(samples.iter().map(|v| v.value()));
+    AppOutput { digest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilim_simmpi::World;
+
+    fn run_at(p: usize, prob: CgProblem) -> AppOutput {
+        let world = World::new(p);
+        let results = world.run(move |comm| run(&prob, comm));
+        let outs: Vec<AppOutput> = results.into_iter().map(|r| r.result.unwrap()).collect();
+        // All ranks report the same digest (zeta/rnorm are global values).
+        for o in &outs {
+            for (a, b) in o.digest.iter().zip(outs[0].digest.iter()) {
+                assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+            }
+        }
+        outs.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn matrix_is_symmetric_and_deterministic() {
+        let a = SparseMatrix::generate(64, 4, 7);
+        let b = SparseMatrix::generate(64, 4, 7);
+        assert_eq!(a.vals, b.vals);
+        assert_eq!(a.cols, b.cols);
+        assert!(a.is_symmetric());
+        assert!(a.nnz() >= 64); // at least the diagonal
+    }
+
+    #[test]
+    fn matrix_is_diagonally_dominant() {
+        let a = SparseMatrix::generate(32, 4, 3);
+        for i in 0..a.n {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                if a.cols[k] == i {
+                    diag = a.vals[k];
+                } else {
+                    off += a.vals[k].abs();
+                }
+            }
+            assert!(diag > off, "row {i}: diag {diag} vs off {off}");
+        }
+    }
+
+    #[test]
+    fn cg_converges_serial() {
+        let prob = CgProblem::default();
+        let out = run_at(1, prob.clone());
+        // Digest layout: niter zetas, rnorm, then 16 point samples.
+        assert_eq!(out.digest.len(), prob.niter + 1 + 16);
+        let rnorm = out.digest[prob.niter];
+        assert!(rnorm.is_finite());
+        assert!(rnorm < 1e-2, "CG residual should be small, got {rnorm}");
+        // zeta is near the shift + smallest-eigenvalue inverse: finite, > shift.
+        assert!(out.digest[0] > 10.0 && out.digest[0] < 20.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_within_tolerance() {
+        let serial = run_at(1, CgProblem::default());
+        for p in [2usize, 4, 8] {
+            let par = run_at(p, CgProblem::default());
+            let d = par.max_rel_diff(&serial).unwrap();
+            assert!(d < 1e-9, "p={p}: rel diff {d}");
+        }
+    }
+
+    #[test]
+    fn decomposes_to_many_ranks() {
+        // 64 ranks over n=256 rows -> 4 rows per rank; digests still agree.
+        let serial = run_at(1, CgProblem::default());
+        let par = run_at(64, CgProblem::default());
+        let d = par.max_rel_diff(&serial).unwrap();
+        assert!(d < 1e-9, "rel diff {d}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_at(4, CgProblem::default());
+        let b = run_at(4, CgProblem::default());
+        assert!(a.identical(&b));
+    }
+}

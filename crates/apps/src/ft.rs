@@ -1,0 +1,608 @@
+//! NPB FT port: a 3-D FFT-based spectral PDE solver.
+//!
+//! Each iteration evolves an initial complex field in frequency space
+//! (`exp` decay factors) and transforms it back, accumulating a checksum —
+//! the NPB FT pipeline. The grid is deliberately anisotropic
+//! (`nx × ny × nz` with a deep `z`), so the *distributed* dimension can
+//! decompose to 128 ranks at a laptop-scale problem.
+//!
+//! ## Decomposition and the parallel-unique computation
+//!
+//! Planes are distributed **cyclically in z** (rank `r` owns planes
+//! `z ≡ r mod p`). The x/y FFTs are plane-local. The z transform uses the
+//! classic **four-step (Bailey) factorization** of an `n = M·P` point DFT:
+//!
+//! 1. local `M`-point FFTs of the cyclic subsequences (common computation —
+//!    the serial path runs the same kernel with `M = n`),
+//! 2. scaling by inter-stage twiddle factors `W_n^{r·j}` — computation that
+//!    **only exists in parallel execution**: the paper's "computation in
+//!    the transpose operation" that makes FT's parallel-unique share large
+//!    (Table 1: 10.4 % / 17.7 %),
+//! 3. an all-to-all that redistributes (pencil, j) lines,
+//! 4. local `P`-point FFTs across the rank dimension (common computation).
+//!
+//! Step 2 runs inside [`Region::ParallelUnique`](resilim_inject::Region).
+
+use crate::util::{block_owner, block_range, hash_range, pack_cplx, unpack_cplx, Cplx};
+use crate::AppOutput;
+use resilim_inject::{ctx, Region, Tf64};
+use resilim_simmpi::Comm;
+
+/// FT problem parameters (a scaled-down NPB Class S).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtProblem {
+    /// Grid extent in x (power of two).
+    pub nx: usize,
+    /// Grid extent in y (power of two).
+    pub ny: usize,
+    /// Grid extent in z (power of two, the distributed dimension).
+    pub nz: usize,
+    /// Number of evolve/inverse-FFT iterations.
+    pub iterations: usize,
+    /// Diffusion coefficient in the evolve factors.
+    pub alpha: f64,
+    /// Setup RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FtProblem {
+    fn default() -> Self {
+        FtProblem {
+            nx: 4,
+            ny: 4,
+            nz: 128,
+            iterations: 2,
+            alpha: 1e-4,
+            seed: 0x5EEDF7,
+        }
+    }
+}
+
+/// Plain-f64 twiddle table for an `n`-point FFT (setup data, untracked).
+struct Twiddles {
+    /// `(cos, -sin)` pairs for each butterfly span.
+    w: Vec<(f64, f64)>,
+}
+
+impl Twiddles {
+    fn new(n: usize) -> Twiddles {
+        assert!(n.is_power_of_two());
+        let mut w = Vec::with_capacity(n.max(1));
+        for k in 0..n.max(1) {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            w.push((ang.cos(), ang.sin()));
+        }
+        Twiddles { w }
+    }
+
+    /// `W_n^k` as an untainted complex constant.
+    #[inline]
+    fn factor(&self, k: usize) -> Cplx {
+        let (c, s) = self.w[k % self.w.len()];
+        Cplx::new(c, s)
+    }
+}
+
+/// In-place iterative radix-2 DIT FFT with tracked butterflies.
+fn fft_inplace(buf: &mut [Cplx], tw: &Twiddles) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation (data movement, untracked).
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let step = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let w = tw.factor(k * step);
+                let t = w.mul(buf[start + k + half]);
+                let u = buf[start + k];
+                buf[start + k] = u.add(t);
+                buf[start + k + half] = u.sub(t);
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// Inverse FFT via the conjugate trick; scaling by `1/n` is tracked
+/// (serial and parallel inverse transforms both perform it).
+fn ifft_inplace(buf: &mut [Cplx], tw: &Twiddles) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    for c in buf.iter_mut() {
+        *c = c.conj();
+    }
+    fft_inplace(buf, tw);
+    let scale = Tf64::new(1.0 / n as f64);
+    for c in buf.iter_mut() {
+        *c = c.conj().scale(scale);
+    }
+}
+
+/// Copy a strided line out of the field (data movement, untracked).
+fn load_line(field: &[Cplx], start: usize, stride: usize, len: usize, out: &mut Vec<Cplx>) {
+    out.clear();
+    out.extend((0..len).map(|i| field[start + i * stride]));
+}
+
+/// Store a line back (data movement, untracked).
+fn store_line(field: &mut [Cplx], start: usize, stride: usize, line: &[Cplx]) {
+    for (i, &c) in line.iter().enumerate() {
+        field[start + i * stride] = c;
+    }
+}
+
+/// Per-rank FT state.
+struct Ft<'a, 'c> {
+    prob: &'a FtProblem,
+    comm: &'a Comm<'c>,
+    /// Planes this rank owns: local j ↔ global z = j·p + rank.
+    m: usize,
+    /// Pencils per plane (= nx·ny).
+    pencils: usize,
+    tw_x: Twiddles,
+    tw_y: Twiddles,
+    tw_m: Twiddles,
+    tw_p: Twiddles,
+    tw_n: Twiddles,
+}
+
+impl<'a, 'c> Ft<'a, 'c> {
+    fn new(prob: &'a FtProblem, comm: &'a Comm<'c>) -> Self {
+        let p = comm.size();
+        assert!(prob.nz.is_multiple_of(p), "FT needs p | nz");
+        let m = prob.nz / p;
+        Ft {
+            prob,
+            comm,
+            m,
+            pencils: prob.nx * prob.ny,
+            tw_x: Twiddles::new(prob.nx),
+            tw_y: Twiddles::new(prob.ny),
+            tw_m: Twiddles::new(m),
+            tw_p: Twiddles::new(p),
+            tw_n: Twiddles::new(prob.nz),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, j: usize, y: usize, x: usize) -> usize {
+        (j * self.prob.ny + y) * self.prob.nx + x
+    }
+
+    /// Deterministic initial field, identical at any scale.
+    fn initial_field(&self) -> Vec<Cplx> {
+        let (nx, ny) = (self.prob.nx, self.prob.ny);
+        let mut field = vec![Cplx::ZERO; self.m * ny * nx];
+        for j in 0..self.m {
+            let z = j * self.comm.size() + self.comm.rank();
+            for y in 0..ny {
+                for x in 0..nx {
+                    let g = ((z * ny + y) * nx + x) as u64;
+                    field[self.idx(j, y, x)] = Cplx::new(
+                        hash_range(self.prob.seed, g, -0.5, 0.5),
+                        hash_range(self.prob.seed ^ 0xF00D, g, -0.5, 0.5),
+                    );
+                }
+            }
+        }
+        field
+    }
+
+    /// Plane-local x and y FFT passes (forward or inverse).
+    fn fft_xy(&self, field: &mut [Cplx], inverse: bool) {
+        let (nx, ny) = (self.prob.nx, self.prob.ny);
+        let mut line = Vec::with_capacity(nx.max(ny));
+        for j in 0..self.m {
+            for y in 0..ny {
+                load_line(field, self.idx(j, y, 0), 1, nx, &mut line);
+                if inverse {
+                    ifft_inplace(&mut line, &self.tw_x);
+                } else {
+                    fft_inplace(&mut line, &self.tw_x);
+                }
+                store_line(field, self.idx(j, y, 0), 1, &line);
+            }
+            for x in 0..nx {
+                load_line(field, self.idx(j, 0, x), nx, ny, &mut line);
+                if inverse {
+                    ifft_inplace(&mut line, &self.tw_y);
+                } else {
+                    fft_inplace(&mut line, &self.tw_y);
+                }
+                store_line(field, self.idx(j, 0, x), nx, &line);
+            }
+        }
+    }
+
+    /// Number of (pencil, j) pairs in the four-step redistribution.
+    fn total_pairs(&self) -> usize {
+        self.pencils * self.m
+    }
+
+    /// Forward z transform: four-step across ranks (plain FFT when serial).
+    /// Consumes the spatial field, returns the frequency-layout data:
+    /// for each locally owned pair `(pencil, j)`, `P` values indexed by `q`
+    /// (global frequency `kz = q·M + j`).
+    fn forward_z(&self, field: &mut [Cplx]) -> Vec<Cplx> {
+        let p = self.comm.size();
+        let (nx, ny) = (self.prob.nx, self.prob.ny);
+        let stride = nx * ny;
+        let mut line = Vec::with_capacity(self.m);
+
+        // Step 1 (common): local M-point FFT per pencil. Serial runs the
+        // identical kernel with M = nz, which *is* the whole z transform.
+        for pencil in 0..self.pencils {
+            load_line(field, pencil, stride, self.m, &mut line);
+            fft_inplace(&mut line, &self.tw_m);
+            store_line(field, pencil, stride, &line);
+        }
+        if p == 1 {
+            // Serial frequency layout: pair (pencil, j) for all j, P = 1.
+            return field.to_vec();
+        }
+
+        // Step 2 (parallel-unique): inter-stage twiddle scaling W_n^{r·j}.
+        {
+            let _region = ctx::enter_region(Region::ParallelUnique);
+            let r = self.comm.rank();
+            for j in 0..self.m {
+                let w = self.tw_n.factor((r * j) % self.prob.nz);
+                for pencil in 0..self.pencils {
+                    let i = pencil + j * stride;
+                    field[i] = field[i].mul(w);
+                }
+            }
+        }
+
+        // Step 3: all-to-all — pair (pencil, j) moves to its block owner.
+        let total = self.total_pairs();
+        let mut outgoing: Vec<Vec<Cplx>> = vec![Vec::new(); p];
+        for pencil in 0..self.pencils {
+            for j in 0..self.m {
+                let u = pencil * self.m + j;
+                outgoing[block_owner(total, p, u)].push(field[pencil + j * stride]);
+            }
+        }
+        let incoming = self
+            .comm
+            .alltoallv(outgoing.into_iter().map(|v| pack_cplx(&v)).collect())
+            .into_iter()
+            .map(|v| unpack_cplx(&v))
+            .collect::<Vec<_>>();
+
+        // Step 4 (common): P-point FFT across the rank dimension for each
+        // owned pair.
+        let my_pairs = block_range(total, p, self.comm.rank());
+        let npairs = my_pairs.len();
+        let mut freq = vec![Cplx::ZERO; npairs * p];
+        let mut rline = Vec::with_capacity(p);
+        for (t, _u) in my_pairs.enumerate() {
+            rline.clear();
+            rline.extend((0..p).map(|src| incoming[src][t]));
+            fft_inplace(&mut rline, &self.tw_p);
+            freq[t * p..(t + 1) * p].copy_from_slice(&rline);
+        }
+        freq
+    }
+
+    /// Inverse z transform: frequency layout back to the spatial cyclic
+    /// layout (reverses the four steps).
+    #[allow(clippy::needless_range_loop)] // messages are matched by src rank
+    fn inverse_z(&self, freq: &[Cplx]) -> Vec<Cplx> {
+        let p = self.comm.size();
+        let (nx, ny) = (self.prob.nx, self.prob.ny);
+        let stride = nx * ny;
+        if p == 1 {
+            let mut field = freq.to_vec();
+            let mut line = Vec::with_capacity(self.m);
+            for pencil in 0..self.pencils {
+                load_line(&field, pencil, stride, self.m, &mut line);
+                ifft_inplace(&mut line, &self.tw_m);
+                store_line(&mut field, pencil, stride, &line);
+            }
+            return field;
+        }
+
+        // Step 4⁻¹ (common): inverse P-point FFT per owned pair.
+        let total = self.total_pairs();
+        let my_pairs = block_range(total, p, self.comm.rank());
+        let mut rline = Vec::with_capacity(p);
+        let mut by_dest: Vec<Vec<Cplx>> = vec![Vec::new(); p];
+        // Un-FFT each pair line, then route element r back to rank r.
+        for (t, _u) in my_pairs.clone().enumerate() {
+            rline.clear();
+            rline.extend_from_slice(&freq[t * p..(t + 1) * p]);
+            ifft_inplace(&mut rline, &self.tw_p);
+            for (r, &c) in rline.iter().enumerate() {
+                by_dest[r].push(c);
+            }
+        }
+        let incoming = self
+            .comm
+            .alltoallv(by_dest.into_iter().map(|v| pack_cplx(&v)).collect())
+            .into_iter()
+            .map(|v| unpack_cplx(&v))
+            .collect::<Vec<_>>();
+
+        // Reassemble my B_r[pencil, j] values: from each owner rank `s`, in
+        // ascending pair index within s's block.
+        let mut field = vec![Cplx::ZERO; self.m * stride];
+        for s in 0..p {
+            for (t, u) in block_range(total, p, s).enumerate() {
+                let pencil = u / self.m;
+                let j = u % self.m;
+                field[pencil + j * stride] = incoming[s][t];
+            }
+        }
+
+        // Step 2⁻¹ (parallel-unique): conjugate twiddles.
+        {
+            let _region = ctx::enter_region(Region::ParallelUnique);
+            let r = self.comm.rank();
+            for j in 0..self.m {
+                let w = self.tw_n.factor((r * j) % self.prob.nz).conj();
+                for pencil in 0..self.pencils {
+                    let i = pencil + j * stride;
+                    field[i] = field[i].mul(w);
+                }
+            }
+        }
+
+        // Step 1⁻¹ (common): inverse M-point FFT per pencil.
+        let mut line = Vec::with_capacity(self.m);
+        for pencil in 0..self.pencils {
+            load_line(&field, pencil, stride, self.m, &mut line);
+            ifft_inplace(&mut line, &self.tw_m);
+            store_line(&mut field, pencil, stride, &line);
+        }
+        field
+    }
+
+    /// Evolve the frequency field by `exp(-alpha·t·|k̄|²)` (common
+    /// computation; factors from untainted index data).
+    fn evolve(&self, freq: &[Cplx], t: usize) -> Vec<Cplx> {
+        let p = self.comm.size();
+        let (nx, ny, nz) = (self.prob.nx, self.prob.ny, self.prob.nz);
+        let signed = |k: usize, n: usize| -> f64 {
+            if k <= n / 2 {
+                k as f64
+            } else {
+                k as f64 - n as f64
+            }
+        };
+        let coeff = Tf64::new(-self.prob.alpha * t as f64);
+        let mut out = Vec::with_capacity(freq.len());
+        if p == 1 {
+            // Serial layout: [j][y][x] with kz = j.
+            for j in 0..nz {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        let ksq = signed(x, nx).powi(2)
+                            + signed(y, ny).powi(2)
+                            + signed(j, nz).powi(2);
+                        let factor = (coeff * ksq).exp();
+                        out.push(freq[self.idx(j, y, x)].scale(factor));
+                    }
+                }
+            }
+            // Rebuild in field order.
+            let mut field = vec![Cplx::ZERO; freq.len()];
+            let mut it = out.into_iter();
+            for j in 0..nz {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        field[self.idx(j, y, x)] = it.next().expect("size match");
+                    }
+                }
+            }
+            return field;
+        }
+        let total = self.total_pairs();
+        for (t_local, u) in block_range(total, p, self.comm.rank()).enumerate() {
+            let pencil = u / self.m;
+            let j = u % self.m;
+            let y = pencil / nx;
+            let x = pencil % nx;
+            for q in 0..p {
+                let kz = q * self.m + j;
+                let ksq =
+                    signed(x, nx).powi(2) + signed(y, ny).powi(2) + signed(kz, nz).powi(2);
+                let factor = (coeff * ksq).exp();
+                out.push(freq[t_local * p + q].scale(factor));
+            }
+        }
+        out
+    }
+
+    /// Strided global checksum of the spatial field (the NPB verification
+    /// quantity). Local partials in global sample order + MPI reduction.
+    fn checksum(&self, field: &[Cplx]) -> (Tf64, Tf64) {
+        let p = self.comm.size();
+        let (nx, ny, nz) = (self.prob.nx, self.prob.ny, self.prob.nz);
+        let samples = 64usize;
+        let mut re = Tf64::ZERO;
+        let mut im = Tf64::ZERO;
+        for i in 0..samples {
+            let g = (i * 131 + 17) % (nx * ny * nz);
+            let x = g % nx;
+            let y = (g / nx) % ny;
+            let z = g / (nx * ny);
+            if z % p == self.comm.rank() {
+                let c = field[self.idx(z / p, y, x)];
+                re += c.re;
+                im += c.im;
+            }
+        }
+        let summed = self
+            .comm
+            .allreduce(resilim_simmpi::ReduceOp::Sum, &[re, im]);
+        (summed[0], summed[1])
+    }
+}
+
+/// Run the FT benchmark on the calling rank; collective over `comm`.
+///
+/// Digest: `[re_1, im_1, …, re_T, im_T]` checksums, one pair per iteration.
+pub fn run(prob: &FtProblem, comm: &Comm) -> AppOutput {
+    let ft = Ft::new(prob, comm);
+    let mut field = ft.initial_field();
+    ft.fft_xy(&mut field, false);
+    let freq0 = ft.forward_z(&mut field);
+
+    let mut digest = Vec::with_capacity(prob.iterations * 2 + 16);
+    let mut last_v = Vec::new();
+    for t in 1..=prob.iterations {
+        let w = ft.evolve(&freq0, t);
+        let mut v = ft.inverse_z(&w);
+        ft.fft_xy(&mut v, true);
+        let (re, im) = ft.checksum(&v);
+        digest.push(re.value());
+        digest.push(im.value());
+        if t == prob.iterations {
+            last_v = v;
+        }
+    }
+    // Point samples of the final field (whole-output SDC check).
+    let n_total = prob.nx * prob.ny * prob.nz;
+    let p = comm.size();
+    let samples = crate::util::sample_state(comm, n_total, 8, n_total / 8 + 1, |g| {
+        let x = g % prob.nx;
+        let y = (g / prob.nx) % prob.ny;
+        let z = g / (prob.nx * prob.ny);
+        (z % p == comm.rank()).then(|| last_v[ft.idx(z / p, y, x)].re)
+    });
+    digest.extend(samples.iter().map(|v| v.value()));
+    AppOutput { digest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilim_simmpi::World;
+
+    /// Naive DFT reference.
+    fn naive_dft(x: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = (0.0f64, 0.0f64);
+                for (z, &(re, im)) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (z * k % n) as f64 / n as f64;
+                    let (c, s) = (ang.cos(), ang.sin());
+                    acc.0 += re * c - im * s;
+                    acc.1 += re * s + im * c;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let tw = Twiddles::new(n);
+            let input: Vec<(f64, f64)> = (0..n)
+                .map(|i| ((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+                .collect();
+            let mut buf: Vec<Cplx> = input.iter().map(|&(r, i)| Cplx::new(r, i)).collect();
+            fft_inplace(&mut buf, &tw);
+            let expect = naive_dft(&input);
+            for (got, want) in buf.iter().zip(expect.iter()) {
+                assert!((got.re.value() - want.0).abs() < 1e-9, "n={n}");
+                assert!((got.im.value() - want.1).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let n = 32;
+        let tw = Twiddles::new(n);
+        let orig: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let mut buf = orig.clone();
+        fft_inplace(&mut buf, &tw);
+        ifft_inplace(&mut buf, &tw);
+        for (a, b) in buf.iter().zip(orig.iter()) {
+            assert!((a.re.value() - b.re.value()).abs() < 1e-12);
+            assert!((a.im.value() - b.im.value()).abs() < 1e-12);
+        }
+    }
+
+    fn run_at(p: usize, prob: FtProblem) -> AppOutput {
+        let world = World::new(p);
+        let results = world.run(move |comm| run(&prob, comm));
+        results.into_iter().next().unwrap().result.unwrap()
+    }
+
+    fn small_problem() -> FtProblem {
+        FtProblem {
+            nx: 4,
+            ny: 4,
+            nz: 16,
+            iterations: 2,
+            alpha: 1e-4,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn serial_checksum_is_finite_and_nonzero() {
+        let out = run_at(1, small_problem());
+        // Digest layout: (re, im) per iteration, then 8 point samples.
+        assert_eq!(out.digest.len(), 2 * small_problem().iterations + 8);
+        assert!(out.digest.iter().all(|d| d.is_finite()));
+        assert!(out.digest.iter().any(|d| d.abs() > 1e-12));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run_at(1, small_problem());
+        for p in [2usize, 4, 8, 16] {
+            let par = run_at(p, small_problem());
+            let d = par.max_rel_diff(&serial).unwrap();
+            assert!(d < 1e-9, "p={p}: rel diff {d}");
+        }
+    }
+
+    #[test]
+    fn default_problem_parallel_matches_serial() {
+        let serial = run_at(1, FtProblem::default());
+        let par = run_at(4, FtProblem::default());
+        let d = par.max_rel_diff(&serial).unwrap();
+        assert!(d < 1e-9, "rel diff {d}");
+    }
+
+    #[test]
+    fn evolve_decays_checksum() {
+        // With a strongly diffusive alpha the evolved field shrinks toward
+        // the k=0 mode; later iterations must differ from earlier ones.
+        let mut prob = small_problem();
+        prob.alpha = 0.5;
+        prob.iterations = 3;
+        let out = run_at(1, prob);
+        assert_ne!(out.digest[0], out.digest[4]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_at(4, small_problem());
+        let b = run_at(4, small_problem());
+        assert!(a.identical(&b));
+    }
+}

@@ -1,0 +1,424 @@
+//! MiniFE port: the implicit finite-element proxy application — assemble a
+//! sparse stiffness system from a 3-D hex mesh, apply Dirichlet boundary
+//! conditions, and solve with conjugate gradient.
+//!
+//! Matches MiniFE's phases and communication:
+//!
+//! * **assembly** — each rank assembles the trilinear-hex Laplacian element
+//!   stiffness (exact closed form on the unit cube) for its z-slab of
+//!   elements; contributions to interface rows owned by the neighbour rank
+//!   are shipped over and added there, just like MiniFE's
+//!   `exchange_externals` of partially summed rows. Those adds happen in
+//!   serial assembly too, so they are common computation.
+//! * **CG solve** — fixed iteration count; the matvec halo-exchanges the
+//!   neighbour node planes; dot products use user-level recursive-doubling
+//!   combines ([`crate::reduction`]), whose adds are MiniFE's small
+//!   parallel-unique computation (Table 1: 1.54 % / 0.68 %).
+//!
+//! The solution field is a hot plate: `u = 0` at `z = 0`, `u = 1` at
+//! `z = top`, so correctness is physically checkable (monotone profile).
+
+use crate::reduction::{global_dot, rd_allreduce_scalar};
+use crate::AppOutput;
+use resilim_inject::{tf64, Tf64};
+use resilim_simmpi::Comm;
+
+/// MiniFE problem parameters (`nx × ny × nz` elements, deep z).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniFeProblem {
+    /// Elements in x.
+    pub nx: usize,
+    /// Elements in y.
+    pub ny: usize,
+    /// Elements in z (the decomposed dimension).
+    pub nz: usize,
+    /// CG iterations (fixed count, MiniFE-style `max_iters`).
+    pub cg_iters: usize,
+}
+
+impl Default for MiniFeProblem {
+    fn default() -> Self {
+        MiniFeProblem {
+            nx: 3,
+            ny: 3,
+            nz: 64,
+            cg_iters: 12,
+        }
+    }
+}
+
+/// Exact trilinear-hex Laplacian element stiffness on the unit cube:
+/// `K[a][b]` depends only on how many coordinates differ between corners
+/// `a` and `b` (0 → 1/3, 1 → 0, 2 → −1/12, 3 → −1/12).
+fn element_stiffness(a: usize, b: usize) -> f64 {
+    match (a ^ b).count_ones() {
+        0 => 1.0 / 3.0,
+        1 => 0.0,
+        _ => -1.0 / 12.0,
+    }
+}
+
+/// Corner offsets of a hex element: bit 0 = x, bit 1 = y, bit 2 = z.
+fn corner(c: usize) -> (usize, usize, usize) {
+    (c & 1, (c >> 1) & 1, (c >> 2) & 1)
+}
+
+#[allow(clippy::unusual_byte_groupings)]
+const TAG_ASM: u64 = 0x4D4600;
+#[allow(clippy::unusual_byte_groupings)]
+const TAG_HALO: u64 = 0x4D4610;
+
+struct MiniFe<'a, 'c> {
+    prob: &'a MiniFeProblem,
+    comm: &'a Comm<'c>,
+    /// Node grid extents.
+    nnx: usize,
+    nny: usize,
+    nnz: usize,
+    /// Owned element z-range.
+    ez0: usize,
+    ez1: usize,
+    /// Owned node z-layer range (layer z belongs to the rank owning
+    /// element layer z, except the top layer, owned by the last rank).
+    nz0: usize,
+    nz1: usize,
+}
+
+impl<'a, 'c> MiniFe<'a, 'c> {
+    fn new(prob: &'a MiniFeProblem, comm: &'a Comm<'c>) -> Self {
+        let p = comm.size();
+        assert!(prob.nz.is_multiple_of(p), "MiniFE needs p | nz (element layers)");
+        let per = prob.nz / p;
+        let ez0 = comm.rank() * per;
+        let ez1 = ez0 + per;
+        let nz0 = ez0;
+        let nz1 = if comm.rank() + 1 == p { ez1 + 1 } else { ez1 };
+        MiniFe {
+            prob,
+            comm,
+            nnx: prob.nx + 1,
+            nny: prob.ny + 1,
+            nnz: prob.nz + 1,
+            ez0,
+            ez1,
+            nz0,
+            nz1,
+        }
+    }
+
+    fn plane(&self) -> usize {
+        self.nnx * self.nny
+    }
+    fn node_id(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.nny + y) * self.nnx + x
+    }
+    /// Which rank owns node layer `z`.
+    fn layer_owner(&self, z: usize) -> usize {
+        let per = self.prob.nz / self.comm.size();
+        (z.min(self.prob.nz - 1)) / per
+    }
+    fn owns_layer(&self, z: usize) -> bool {
+        z >= self.nz0 && z < self.nz1
+    }
+    fn is_dirichlet(&self, z: usize) -> bool {
+        z == 0 || z == self.nnz - 1
+    }
+
+    /// Assemble the local rows (dense per-row maps keyed by global column).
+    /// Returns (per-owned-row column/value lists, rhs).
+    #[allow(clippy::type_complexity)]
+    fn assemble(&self) -> (Vec<Vec<(usize, Tf64)>>, Vec<Tf64>) {
+        let plane = self.plane();
+        let nrows = (self.nz1 - self.nz0) * plane;
+        // Accumulation uses a dense map per local row: columns are at most
+        // 27 per row.
+        let mut rows: Vec<Vec<(usize, Tf64)>> = vec![Vec::new(); nrows];
+        let mut rhs = vec![Tf64::ZERO; nrows];
+        // Contributions to rows owned by neighbours, flattened as
+        // (row, col, value) triplets per destination.
+        let p = self.comm.size();
+        let mut export: Vec<Vec<(usize, usize, Tf64)>> = vec![Vec::new(); p];
+
+        let add = |rows: &mut Vec<Vec<(usize, Tf64)>>,
+                       export: &mut Vec<Vec<(usize, usize, Tf64)>>,
+                       gr: usize,
+                       gz: usize,
+                       gc: usize,
+                       v: Tf64| {
+            if self.owns_layer(gz) {
+                let lr = gr - self.nz0 * plane;
+                match rows[lr].iter_mut().find(|(c, _)| *c == gc) {
+                    Some((_, acc)) => *acc += v,
+                    None => rows[lr].push((gc, v)),
+                }
+            } else {
+                export[self.layer_owner(gz)].push((gr, gc, v));
+            }
+        };
+
+        for ez in self.ez0..self.ez1 {
+            for ey in 0..self.prob.ny {
+                for ex in 0..self.prob.nx {
+                    for a in 0..8 {
+                        let (ax, ay, az) = corner(a);
+                        let (gx, gy, gz) = (ex + ax, ey + ay, ez + az);
+                        let gr = self.node_id(gx, gy, gz);
+                        for b in 0..8 {
+                            let (bx, by, bz) = corner(b);
+                            let gc = self.node_id(ex + bx, ey + by, ez + bz);
+                            let k = element_stiffness(a, b);
+                            if k != 0.0 {
+                                add(&mut rows, &mut export, gr, gz, gc, Tf64::new(k));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Ship exported partial contributions to the owning neighbour and
+        // fold them in (the adds mirror serial assembly's accumulation).
+        // Element layer `ez` touches node layers `ez` and `ez + 1`, so the
+        // only possible export target is rank `me + 1`.
+        if p > 1 {
+            let me = self.comm.rank();
+            for (dst, triplets) in export.iter().enumerate() {
+                assert!(
+                    dst == me + 1 || triplets.is_empty(),
+                    "assembly may only export upward to the adjacent slab"
+                );
+            }
+            if me + 1 < p {
+                let triplets = &export[me + 1];
+                let mut buf: Vec<Tf64> = Vec::with_capacity(triplets.len() * 3);
+                for &(r, c, v) in triplets {
+                    buf.push(Tf64::new(r as f64));
+                    buf.push(Tf64::new(c as f64));
+                    buf.push(v);
+                }
+                self.comm.send(me + 1, TAG_ASM, &buf);
+            }
+            if me > 0 {
+                let buf = self.comm.recv(me - 1, TAG_ASM);
+                for t in buf.chunks_exact(3) {
+                    let gr = t[0].value() as usize;
+                    let gc = t[1].value() as usize;
+                    let gz = gr / plane;
+                    assert!(self.owns_layer(gz), "imported row must be mine");
+                    let lr = gr - self.nz0 * plane;
+                    match rows[lr].iter_mut().find(|(c, _)| *c == gc) {
+                        Some((_, acc)) => *acc += t[2],
+                        None => rows[lr].push((gc, t[2])),
+                    }
+                }
+            }
+        }
+
+        // Dirichlet boundary conditions: u(z=0) = 0, u(z=top) = 1.
+        // Row replacement on boundary rows; column elimination moves known
+        // values to the RHS of interior rows.
+        let one = Tf64::ONE;
+        for lr in 0..nrows {
+            let gz = (lr + self.nz0 * plane) / plane;
+            if self.is_dirichlet(gz) {
+                let gr = lr + self.nz0 * plane;
+                rows[lr] = vec![(gr, Tf64::ONE)];
+                rhs[lr] = if gz == 0 { Tf64::ZERO } else { one };
+            } else {
+                // Eliminate boundary columns into the RHS.
+                let mut kept = Vec::with_capacity(rows[lr].len());
+                for &(gc, v) in &rows[lr] {
+                    let cz = gc / plane;
+                    if self.is_dirichlet(cz) {
+                        if cz != 0 {
+                            rhs[lr] -= v * one;
+                        }
+                        // z = 0 boundary contributes 0.
+                    } else {
+                        kept.push((gc, v));
+                    }
+                }
+                rows[lr] = kept;
+            }
+        }
+
+        // Deterministic column order (assembly order varies per rank count).
+        for row in rows.iter_mut() {
+            row.sort_by_key(|(c, _)| *c);
+        }
+        (rows, rhs)
+    }
+
+    /// Matvec with halo exchange: needs node layers nz0−1 and nz1 from the
+    /// neighbouring ranks.
+    fn matvec(
+        &self,
+        rows: &[Vec<(usize, Tf64)>],
+        x: &[Tf64],
+        out: &mut Vec<Tf64>,
+    ) {
+        let plane = self.plane();
+        let p = self.comm.size();
+        let me = self.comm.rank();
+        // Exchange halo node planes (data movement).
+        let mut below: Vec<Tf64> = Vec::new();
+        let mut above: Vec<Tf64> = Vec::new();
+        if p > 1 {
+            if me > 0 {
+                self.comm.send(me - 1, TAG_HALO, &x[0..plane]);
+            }
+            if me + 1 < p {
+                let top = &x[x.len() - plane..];
+                self.comm.send(me + 1, TAG_HALO + 1, top);
+            }
+            if me > 0 {
+                below = self.comm.recv(me - 1, TAG_HALO + 1);
+            }
+            if me + 1 < p {
+                above = self.comm.recv(me + 1, TAG_HALO);
+            }
+        }
+        let fetch = |g: usize| -> Tf64 {
+            let gz = g / plane;
+            if self.owns_layer(gz) {
+                x[g - self.nz0 * plane]
+            } else if gz + 1 == self.nz0 {
+                below[g - (self.nz0 - 1) * plane]
+            } else {
+                debug_assert_eq!(gz, self.nz1);
+                above[g - self.nz1 * plane]
+            }
+        };
+        out.clear();
+        for row in rows {
+            let mut acc = Tf64::ZERO;
+            for &(gc, v) in row {
+                acc += v * fetch(gc);
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// Run the MiniFE benchmark on the calling rank; collective over `comm`.
+///
+/// Digest: `[final residual², u·rhs energy, Σu]`.
+pub fn run(prob: &MiniFeProblem, comm: &Comm) -> AppOutput {
+    let fe = MiniFe::new(prob, comm);
+    let (rows, rhs) = fe.assemble();
+    let n = rhs.len();
+
+    // CG with fixed iteration count.
+    let mut x = vec![Tf64::ZERO; n];
+    let mut r = rhs.clone();
+    let mut p_vec = r.clone();
+    let mut rho = global_dot(comm, &r, &r);
+    let mut q = Vec::with_capacity(n);
+    for _ in 0..prob.cg_iters {
+        fe.matvec(&rows, &p_vec, &mut q);
+        let alpha = rho / global_dot(comm, &p_vec, &q);
+        for i in 0..n {
+            x[i] += alpha * p_vec[i];
+            r[i] -= alpha * q[i];
+        }
+        let rho0 = rho;
+        rho = global_dot(comm, &r, &r);
+        let beta = rho / rho0;
+        for i in 0..n {
+            p_vec[i] = r[i] + beta * p_vec[i];
+        }
+    }
+
+    let energy = global_dot(comm, &x, &rhs);
+    let usum = rd_allreduce_scalar(comm, tf64::sum(&x));
+    let mut digest = vec![rho.value(), energy.value(), usum.value()];
+    // Point samples of the solution (whole-output SDC check).
+    let plane = fe.plane();
+    let n_total = plane * fe.nnz;
+    let samples = crate::util::sample_state(comm, n_total, 16, n_total / 16 + 1, |g| {
+        let gz = g / plane;
+        fe.owns_layer(gz).then(|| x[g - fe.nz0 * plane])
+    });
+    digest.extend(samples.iter().map(|v| v.value()));
+    AppOutput { digest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilim_simmpi::World;
+
+    fn run_at(p: usize, prob: MiniFeProblem) -> AppOutput {
+        let world = World::new(p);
+        let results = world.run(move |comm| run(&prob, comm));
+        results.into_iter().next().unwrap().result.unwrap()
+    }
+
+    #[test]
+    fn element_stiffness_rows_sum_to_zero() {
+        for a in 0..8 {
+            let s: f64 = (0..8).map(|b| element_stiffness(a, b)).sum();
+            assert!(s.abs() < 1e-15, "row {a} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn element_stiffness_symmetric() {
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(element_stiffness(a, b), element_stiffness(b, a));
+            }
+        }
+    }
+
+    fn small() -> MiniFeProblem {
+        MiniFeProblem {
+            nx: 3,
+            ny: 3,
+            nz: 8,
+            cg_iters: 25,
+        }
+    }
+
+    #[test]
+    fn hot_plate_profile_is_linear() {
+        // The exact solution of the 1-D hot plate is u = z / nz; with
+        // enough CG iterations Σu ≈ plane · Σ(z/nz).
+        let prob = small();
+        let out = run_at(1, prob.clone());
+        let plane = ((prob.nx + 1) * (prob.ny + 1)) as f64;
+        let expect: f64 = (0..=prob.nz).map(|z| z as f64 / prob.nz as f64).sum::<f64>() * plane;
+        let got = out.digest[2];
+        assert!(
+            (got - expect).abs() < 1e-6 * expect,
+            "Σu = {got}, expected {expect}"
+        );
+        // Residual is essentially zero after convergence.
+        assert!(out.digest[0] < 1e-12, "rho = {}", out.digest[0]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run_at(1, small());
+        for p in [2usize, 4, 8] {
+            let par = run_at(p, small());
+            let d = par.max_rel_diff(&serial).unwrap();
+            assert!(d < 1e-6, "p={p}: rel diff {d}");
+        }
+    }
+
+    #[test]
+    fn default_problem_at_64_ranks() {
+        let serial = run_at(1, MiniFeProblem::default());
+        let par = run_at(64, MiniFeProblem::default());
+        let d = par.max_rel_diff(&serial).unwrap();
+        assert!(d < 1e-6, "rel diff {d}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_at(4, small());
+        let b = run_at(4, small());
+        assert!(a.identical(&b));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on application numerics: FFT correctness against
+//! the naive DFT, sparse-matrix structure, partitioning, and
+//! scale-invariance of setup data.
+
+use proptest::prelude::*;
+use resilim_apps::cg::SparseMatrix;
+use resilim_apps::util::{block_owner, block_range, hash_unit};
+use resilim_apps::{cg, App};
+use resilim_simmpi::World;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The CG matrix generator is seed-deterministic, symmetric and
+    /// diagonally dominant for any parameters.
+    #[test]
+    fn cg_matrix_invariants(n in 4usize..64, pairs in 1usize..6, seed in 0u64..1000) {
+        let a = SparseMatrix::generate(n, pairs, seed);
+        let b = SparseMatrix::generate(n, pairs, seed);
+        prop_assert_eq!(&a.vals, &b.vals);
+        prop_assert!(a.is_symmetric());
+        for i in 0..n {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                if a.cols[k] == i {
+                    diag = a.vals[k];
+                } else {
+                    off += a.vals[k].abs();
+                }
+            }
+            prop_assert!(diag > off, "row {i}");
+        }
+    }
+
+    /// Block partitioning is a bijection for any (n, size).
+    #[test]
+    fn block_partition_bijective(n in 1usize..300, size in 1usize..70) {
+        let mut count = 0usize;
+        for rank in 0..size {
+            for i in block_range(n, size, rank) {
+                prop_assert_eq!(block_owner(n, size, i), rank);
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, n);
+    }
+
+    /// Setup randomness is pure in (seed, index) and bounded.
+    #[test]
+    fn hash_unit_pure_and_bounded(seed in any::<u64>(), idx in any::<u64>()) {
+        let a = hash_unit(seed, idx);
+        prop_assert_eq!(a, hash_unit(seed, idx));
+        prop_assert!((0.0..1.0).contains(&a));
+    }
+
+    /// CG digests agree between serial and 2-rank execution for random
+    /// problem parameters (strong-scaling correctness of the port).
+    #[test]
+    fn cg_scale_invariance(n in prop::sample::select(vec![16usize, 32, 48]), seed in 0u64..50) {
+        let prob = cg::CgProblem {
+            n,
+            pairs_per_row: 3,
+            niter: 1,
+            cgit: 4,
+            shift: 10.0,
+            seed,
+        };
+        let run_at = |p: usize| {
+            let prob = prob.clone();
+            let world = World::new(p);
+            world
+                .run(move |comm| cg::run(&prob, comm))
+                .into_iter()
+                .next()
+                .unwrap()
+                .result
+                .unwrap()
+        };
+        let serial = run_at(1);
+        let par = run_at(2);
+        let d = par.max_rel_diff(&serial).unwrap();
+        prop_assert!(d < 1e-8, "rel diff {d}");
+    }
+}
+
+/// The six apps' fault-free digests are invariant (up to rounding) across
+/// every supported power-of-two scale. (Not a proptest: the scale set is
+/// the interesting axis, and runtime matters.)
+#[test]
+fn all_apps_scale_invariant_to_max_procs() {
+    for app in App::ALL {
+        let run_at = |p: usize| {
+            let world = World::new(p);
+            world
+                .run(move |comm| app.run_rank(comm))
+                .into_iter()
+                .next()
+                .unwrap()
+                .result
+                .unwrap()
+        };
+        let serial = run_at(1);
+        let mut p = 2;
+        while p <= app.max_procs() {
+            let par = run_at(p);
+            let d = par.max_rel_diff(&serial).unwrap();
+            assert!(d < 1e-8, "{app} p={p}: rel diff {d}");
+            p *= 4; // 2, 8, 32, 128 — covers both pencil-grid aspect cases
+        }
+    }
+}

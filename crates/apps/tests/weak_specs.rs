@@ -1,0 +1,67 @@
+//! Tests for the weak-scaling problem variants: every app's weak problem
+//! must decompose at its design scale, stay numerically sane, and keep
+//! per-rank work roughly constant as the problem grows.
+
+use resilim_apps::App;
+use resilim_inject::RankCtx;
+use resilim_simmpi::World;
+
+/// Run a problem spec at `p` ranks, returning (digest, per-rank ops).
+fn run(spec: resilim_apps::ProblemSpec, p: usize) -> (Vec<f64>, Vec<u64>) {
+    let world = World::new(p);
+    let results = world.run_with_ctx(
+        |rank| Some(RankCtx::profiling(rank)),
+        move |comm| spec.run_rank(comm),
+    );
+    let digest = results[0].result.as_ref().unwrap().digest.clone();
+    let ops = results
+        .iter()
+        .map(|r| r.ctx_report.as_ref().unwrap().profile.total())
+        .collect();
+    (digest, ops)
+}
+
+#[test]
+fn weak_problems_run_at_their_design_scale() {
+    for app in App::ALL {
+        for p in [2usize, 8] {
+            let (digest, ops) = run(app.weak_spec(p), p);
+            assert!(
+                digest.iter().all(|d| d.is_finite()),
+                "{app} p={p}: {digest:?}"
+            );
+            assert!(ops.iter().all(|&o| o > 0), "{app} p={p}: idle rank");
+        }
+    }
+}
+
+#[test]
+fn weak_scaling_keeps_per_rank_work_flat() {
+    // Strong scaling shrinks per-rank work with p; weak scaling should
+    // keep it within a small factor (log-growth from reductions and
+    // redundant boundary work is fine, 4x is not).
+    for app in App::ALL {
+        let (_, ops_small) = run(app.weak_spec(2), 2);
+        let (_, ops_large) = run(app.weak_spec(8), 8);
+        let mean = |v: &Vec<u64>| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        let ratio = mean(&ops_large) / mean(&ops_small);
+        assert!(
+            (0.5..2.5).contains(&ratio),
+            "{app}: per-rank ops grew {ratio:.2}x from p=2 to p=8"
+        );
+    }
+}
+
+#[test]
+fn weak_problem_grows_with_scale() {
+    for app in App::ALL {
+        let (_, ops_small) = run(app.weak_spec(2), 2);
+        let (_, ops_large) = run(app.weak_spec(8), 8);
+        let total_small: u64 = ops_small.iter().sum();
+        let total_large: u64 = ops_large.iter().sum();
+        assert!(
+            total_large as f64 > 2.5 * total_small as f64,
+            "{app}: total work should roughly quadruple ({total_small} -> {total_large})"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Campaign-throughput benchmarks: fault-injection tests per second for
+//! the deployment shapes the experiments use. This is the §1 motivation
+//! quantified on this implementation — how much more expensive large-scale
+//! fault injection is than serial injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use resilim_apps::App;
+use resilim_harness::{CampaignRunner, CampaignSpec, ErrorSpec};
+use std::time::Duration;
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    let tests = 10usize;
+    group.throughput(Throughput::Elements(tests as u64));
+
+    let runner = CampaignRunner::new();
+    for app in [App::Cg, App::Ft, App::Lu] {
+        // Warm the golden cache outside the timed region.
+        runner.golden().get(&app.default_spec(), 1);
+        runner.golden().get(&app.default_spec(), 4);
+        runner.golden().get(&app.default_spec(), 64);
+
+        group.bench_with_input(BenchmarkId::new("serial_1err", app.name()), &app, |b, &app| {
+            b.iter(|| {
+                runner.run_uncached(&CampaignSpec::new(
+                    app.default_spec(),
+                    1,
+                    ErrorSpec::SerialErrors(1),
+                    tests,
+                    7,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("par4_1err", app.name()), &app, |b, &app| {
+            b.iter(|| {
+                runner.run_uncached(&CampaignSpec::new(
+                    app.default_spec(),
+                    4,
+                    ErrorSpec::OneParallel,
+                    tests,
+                    7,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("par64_1err", app.name()), &app, |b, &app| {
+            b.iter(|| {
+                runner.run_uncached(&CampaignSpec::new(
+                    app.default_spec(),
+                    64,
+                    ErrorSpec::OneParallel,
+                    tests,
+                    7,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaigns);
+criterion_main!(benches);

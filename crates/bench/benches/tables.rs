@@ -1,0 +1,46 @@
+//! Regeneration bench for the paper's **Table 1** and **Table 2**: runs
+//! the exact experiment pipelines and prints the same rows the paper
+//! reports, with wall-clock timing per artifact.
+//!
+//! ```text
+//! cargo bench --bench tables
+//! RESILIM_BENCH_TESTS=1000 cargo bench --bench tables   # closer to the paper
+//! ```
+
+use resilim_bench::bench_config;
+use resilim_harness::{experiments, CampaignRunner};
+use std::time::Instant;
+
+fn main() {
+    let cfg = bench_config();
+    let runner = CampaignRunner::new();
+    println!(
+        "regenerating Tables 1-2 with {} tests per deployment (paper: 4000)\n",
+        cfg.tests
+    );
+
+    let t = Instant::now();
+    let table1 = experiments::table1(&runner);
+    println!("{}", table1.render());
+    println!("[table1 regenerated in {:.2?}]\n", t.elapsed());
+
+    let t = Instant::now();
+    let table2 = experiments::table2(&runner, &cfg);
+    println!("{}", table2.render());
+    println!("[table2 regenerated in {:.2?}]", t.elapsed());
+
+    // Shape assertions: the run doubles as a regression check on the
+    // paper-reproduction claims (loose, noise-tolerant bounds).
+    let ft_share = table1
+        .rows
+        .iter()
+        .find(|r| r.label.starts_with("ft"))
+        .unwrap()
+        .share;
+    assert!(ft_share > 0.03, "FT parallel-unique share collapsed: {ft_share}");
+    let avg_sim: f64 = table2.rows.iter().map(|r| r.similarity).sum::<f64>()
+        / table2.rows.len() as f64;
+    assert!(avg_sim > 0.9, "propagation similarity collapsed: {avg_sim}");
+    println!("\nshape checks passed (FT share {:.1}%, mean similarity {:.3})",
+        ft_share * 100.0, avg_sim);
+}

@@ -1,0 +1,26 @@
+//! Shared helpers for the bench targets.
+
+use resilim_harness::experiments::ExperimentConfig;
+
+/// Tests per deployment for the regeneration benches, overridable with
+/// `RESILIM_BENCH_TESTS` (the paper uses 4000; defaults here keep
+/// `cargo bench` single-core-laptop friendly).
+pub fn bench_config() -> ExperimentConfig {
+    let tests = std::env::var("RESILIM_BENCH_TESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    ExperimentConfig {
+        tests,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_config_is_small() {
+        // (Env-dependent override is exercised by the bench targets.)
+        assert!(super::bench_config().tests >= 10);
+    }
+}

@@ -1,0 +1,410 @@
+//! `resilim` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! resilim <command> [--tests N] [--seed S] [--json] [--out FILE] [options]
+//!
+//! commands:
+//!   table1              parallel-unique computation share
+//!   table2              propagation cosine similarity (4V64, 8V64)
+//!   fig1                CG propagation histograms (8 vs 64 ranks)
+//!   fig2                FT propagation histograms (8 vs 64 ranks)
+//!   fig3                serial multi-error vs parallel contamination
+//!   fig5                prediction for 64 ranks from serial + 4 ranks
+//!   fig6                prediction for 64 ranks from serial + 8 ranks
+//!   fig7                prediction for 128 ranks (CG, FT)
+//!   fig8                sensitivity: small-scale size vs RMSE and FI time
+//!   motivation          op-count / FI-time growth with scale
+//!   apps                run each application fault-free and verify it
+//!   weak                weak-scaling extension study (not in the paper)
+//!   campaign            run one deployment; print or --store its summary
+//!   model               predict from a --store directory (offline)
+//!   all                 every table/figure above, in order
+//! ```
+
+use resilim_apps::App;
+use resilim_core::SamplePoints;
+use resilim_harness::experiments::{
+    self, ExperimentConfig, LARGE_SCALE, XLARGE_SCALE,
+};
+use resilim_harness::store::{model_inputs_from_store, CampaignSummary, ResultStore};
+use resilim_harness::{CampaignRunner, CampaignSpec, ErrorSpec};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    cfg: ExperimentConfig,
+    json: bool,
+    out: Option<String>,
+    apps: Vec<App>,
+    small: Option<usize>,
+    scale: Option<usize>,
+    errors: Option<String>,
+    store: Option<String>,
+    svg: Option<String>,
+    jobs: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|all>\n\
+     \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
+     \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
+     \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K]"
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let command = args.next().ok_or_else(|| usage().to_string())?;
+    let mut opts = Options {
+        command,
+        cfg: ExperimentConfig::default(),
+        json: false,
+        out: None,
+        apps: App::ALL.to_vec(),
+        small: None,
+        scale: None,
+        errors: None,
+        store: None,
+        svg: None,
+        jobs: 1,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--tests" => {
+                opts.cfg.tests = value("--tests")?
+                    .parse()
+                    .map_err(|e| format!("--tests: {e}"))?
+            }
+            "--seed" => {
+                opts.cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(value("--out")?),
+            "--apps" => {
+                let list = value("--apps")?;
+                opts.apps = list
+                    .split(',')
+                    .map(|s| App::parse(s.trim()).ok_or(format!("unknown app '{s}'")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--small" => {
+                opts.small = Some(
+                    value("--small")?
+                        .parse()
+                        .map_err(|e| format!("--small: {e}"))?,
+                )
+            }
+            "--scale" => {
+                opts.scale = Some(
+                    value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?,
+                )
+            }
+            "--errors" => opts.errors = Some(value("--errors")?),
+            "--store" => opts.store = Some(value("--store")?),
+            "--svg" => opts.svg = Some(value("--svg")?),
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Write an SVG rendering next to the text/JSON output when requested.
+fn write_svg(opts: &Options, svg: String) -> Result<(), String> {
+    if let Some(path) = &opts.svg {
+        std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Parse an `--errors` spelling: `par`, `ser:N`, `unique`, `multi:K`.
+fn parse_errors(spec: &str, procs: usize) -> Result<ErrorSpec, String> {
+    if spec == "par" {
+        return Ok(ErrorSpec::OneParallel);
+    }
+    if spec == "unique" {
+        return Ok(ErrorSpec::OneParallelUnique);
+    }
+    if let Some(n) = spec.strip_prefix("ser:") {
+        if procs != 1 {
+            return Err("ser:N campaigns need --scale 1".into());
+        }
+        return Ok(ErrorSpec::SerialErrors(
+            n.parse().map_err(|e| format!("ser:N: {e}"))?,
+        ));
+    }
+    if let Some(k) = spec.strip_prefix("multi:") {
+        return Ok(ErrorSpec::OneParallelMultiBit(
+            k.parse().map_err(|e| format!("multi:K: {e}"))?,
+        ));
+    }
+    Err(format!("unknown --errors '{spec}' (par|ser:N|unique|multi:K)"))
+}
+
+/// Emit one experiment's text and JSON forms.
+fn emit<T: serde::Serialize>(opts: &Options, text: String, value: &T) -> Result<(), String> {
+    let body = if opts.json {
+        serde_json::to_string_pretty(value).map_err(|e| e.to_string())?
+    } else {
+        text
+    };
+    match &opts.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            writeln!(f, "{body}").map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{body}"),
+    }
+    Ok(())
+}
+
+fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result<(), String> {
+    let cfg = &opts.cfg;
+    match command {
+        "table1" => {
+            let t = experiments::table1(runner);
+            emit(opts, t.render(), &t)
+        }
+        "table2" => {
+            let t = experiments::table2(runner, cfg);
+            emit(opts, t.render(), &t)
+        }
+        "fig1" | "fig2" => {
+            let app = if command == "fig1" { App::Cg } else { App::Ft };
+            let small = opts.small.unwrap_or(8);
+            let large = opts.scale.unwrap_or(LARGE_SCALE);
+            let fig = experiments::fig_propagation(runner, cfg, app, small, large);
+            write_svg(opts, fig.to_svg())?;
+            emit(opts, fig.render(), &fig)
+        }
+        "fig3" => {
+            let fig = experiments::fig3(runner, cfg, &opts.apps, opts.small.unwrap_or(8));
+            write_svg(opts, fig.to_svg())?;
+            emit(opts, fig.render(), &fig)
+        }
+        "fig5" | "fig6" => {
+            let s = opts.small.unwrap_or(if command == "fig5" { 4 } else { 8 });
+            let p = opts.scale.unwrap_or(LARGE_SCALE);
+            let apps: Vec<App> = opts
+                .apps
+                .iter()
+                .copied()
+                .filter(|a| a.max_procs() >= p)
+                .collect();
+            let report =
+                experiments::prediction(runner, cfg, &apps, p, s, SamplePoints::default());
+            write_svg(opts, report.to_svg())?;
+            emit(opts, report.render(), &report)
+        }
+        "fig7" => {
+            let p = opts.scale.unwrap_or(XLARGE_SCALE);
+            let apps: Vec<App> = opts
+                .apps
+                .iter()
+                .copied()
+                .filter(|a| a.max_procs() >= p)
+                .collect();
+            if apps.is_empty() {
+                return Err(format!("no selected app decomposes to {p} ranks"));
+            }
+            let mut text = String::new();
+            let mut reports = Vec::new();
+            for s in [4usize, 8] {
+                let report =
+                    experiments::prediction(runner, cfg, &apps, p, s, SamplePoints::default());
+                text.push_str(&report.render());
+                reports.push(report);
+            }
+            emit(opts, text, &reports)
+        }
+        "fig8" => {
+            let fig = experiments::fig8(runner, cfg, &[4, 8, 16, 32]);
+            write_svg(opts, fig.to_svg())?;
+            emit(opts, fig.render(), &fig)
+        }
+        "motivation" => {
+            let m = experiments::motivation(runner, cfg, opts.scale.unwrap_or(4));
+            emit(opts, m.render(), &m)
+        }
+        "apps" => {
+            let mut text = String::from("fault-free verification runs\n");
+            let mut rows = Vec::new();
+            for &app in &opts.apps {
+                let golden = runner.golden().get(&app.default_spec(), 1);
+                let par = runner.golden().get(&app.default_spec(), 4.min(app.max_procs()));
+                let diff = par.output.max_rel_diff(&golden.output).unwrap();
+                text.push_str(&format!(
+                    "{app}: digest {:?}\n  serial-vs-4-rank rel diff {diff:.2e}, ops {}, unique share {:.2}%\n",
+                    &golden.output.digest,
+                    golden.injectable_total(),
+                    par.unique_share() * 100.0,
+                ));
+                rows.push(serde_json::json!({
+                    "app": app.name(),
+                    "digest": golden.output.digest,
+                    "rel_diff_serial_vs_4": diff,
+                    "unique_share": par.unique_share(),
+                }));
+            }
+            emit(opts, text, &rows)
+        }
+        "weak" => {
+            let s = opts.small.unwrap_or(4);
+            let targets: Vec<usize> = match opts.scale {
+                Some(p) => vec![p],
+                None => vec![4, 16],
+            };
+            let study = experiments::weak_scaling(runner, cfg, &opts.apps, s, &targets);
+            emit(opts, study.render(), &study)
+        }
+        "campaign" => {
+            let app = *opts.apps.first().ok_or("campaign needs --apps <one app>")?;
+            let procs = opts.scale.unwrap_or(1);
+            let errors = parse_errors(opts.errors.as_deref().unwrap_or("par"), procs)?;
+            let spec = CampaignSpec {
+                spec: app.default_spec(),
+                procs,
+                errors,
+                tests: opts.cfg.tests,
+                seed: opts.cfg.seed,
+                taint_threshold: opts.cfg.taint_threshold,
+                op_mask: Default::default(),
+            };
+            let result = runner.run(&spec);
+            let summary = CampaignSummary::of(&spec, &result);
+            if let Some(dir) = &opts.store {
+                let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
+                let path = store.save(&summary).map_err(|e| e.to_string())?;
+                eprintln!("saved {}", path.display());
+            }
+            let text = format!(
+                "{app} p={procs} {:?}: success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests, {:.2}s)\n",
+                errors,
+                summary.fi.success_rate() * 100.0,
+                summary.fi.sdc_rate() * 100.0,
+                summary.fi.failure_rate() * 100.0,
+                summary.tests,
+                summary.wall_secs,
+            );
+            emit(opts, text, &summary)
+        }
+        "model" => {
+            let dir = opts.store.as_ref().ok_or("model needs --store DIR")?;
+            let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
+            let app = *opts.apps.first().ok_or("model needs --apps <one app>")?;
+            let p = opts.scale.unwrap_or(LARGE_SCALE);
+            let s = opts.small.unwrap_or(4);
+            let inputs = model_inputs_from_store(
+                &store,
+                app.name(),
+                p,
+                s,
+                SamplePoints::default(),
+                0.0,
+            )?;
+            let pred = resilim_core::Predictor::new(inputs).predict();
+            let text = format!(
+                "predicted {app} at {p} ranks (from stored serial + {s}-rank data):\n  \
+                 success {:.1}%  SDC {:.1}%  failure {:.1}%  (alpha: {})\n",
+                pred.success() * 100.0,
+                pred.sdc() * 100.0,
+                pred.failure() * 100.0,
+                if pred.used_alpha { "yes" } else { "no" },
+            );
+            emit(opts, text, &pred)
+        }
+        "all" => {
+            for cmd in [
+                "apps", "motivation", "table1", "table2", "fig1", "fig2", "fig3", "fig5",
+                "fig6", "fig7", "fig8",
+            ] {
+                eprintln!("--- {cmd} ---");
+                run_command(opts, runner, cmd)?;
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let runner = CampaignRunner::new().with_test_parallelism(opts.jobs);
+    match run_command(&opts, &runner, &opts.command.clone()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let opts = parse(&["fig5", "--tests", "500", "--seed", "9", "--json"]).unwrap();
+        assert_eq!(opts.command, "fig5");
+        assert_eq!(opts.cfg.tests, 500);
+        assert_eq!(opts.cfg.seed, 9);
+        assert!(opts.json);
+        assert_eq!(opts.apps.len(), App::ALL.len());
+    }
+
+    #[test]
+    fn parses_app_list() {
+        let opts = parse(&["table2", "--apps", "cg,ft"]).unwrap();
+        assert_eq!(opts.apps, vec![App::Cg, App::Ft]);
+    }
+
+    #[test]
+    fn parses_scales() {
+        let opts = parse(&["fig6", "--small", "8", "--scale", "32"]).unwrap();
+        assert_eq!(opts.small, Some(8));
+        assert_eq!(opts.scale, Some(32));
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_app() {
+        assert!(parse(&["fig5", "--bogus"]).is_err());
+        assert!(parse(&["fig5", "--apps", "nope"]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&["fig5", "--tests"]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors_at_dispatch() {
+        let opts = parse(&["wat"]).unwrap();
+        let runner = CampaignRunner::new();
+        assert!(run_command(&opts, &runner, "wat").is_err());
+    }
+}

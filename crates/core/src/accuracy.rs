@@ -1,0 +1,55 @@
+//! Prediction-accuracy metrics (paper §5).
+
+/// Absolute prediction error on a rate, in percentage points — the
+/// quantity the paper reports as "prediction error" (e.g. "average 8 %,
+/// 27 % at most" in Figure 5).
+pub fn prediction_error(measured: f64, predicted: f64) -> f64 {
+    (measured - predicted).abs()
+}
+
+/// Root-mean-square error over `(measured, predicted)` pairs — Eq. 9,
+/// used for the Figure 8 sensitivity study across benchmarks.
+pub fn rmse(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = pairs
+        .iter()
+        .map(|&(m, p)| {
+            let d = m - p;
+            d * d
+        })
+        .sum();
+    (sum_sq / pairs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_symmetric_and_absolute() {
+        assert_eq!(prediction_error(0.8, 0.7), prediction_error(0.7, 0.8));
+        assert!((prediction_error(0.8, 0.72) - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let pairs = [(1.0, 0.0), (0.0, 1.0)];
+        assert!((rmse(&pairs) - 1.0).abs() < 1e-12);
+        let pairs = [(0.5, 0.5)];
+        assert_eq!(rmse(&pairs), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_empty_is_zero() {
+        assert_eq!(rmse(&[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_dominated_by_worst_case() {
+        let small_errors = [(0.5, 0.51); 5];
+        let with_outlier = [(0.5, 0.51), (0.5, 0.51), (0.5, 0.51), (0.5, 0.51), (0.9, 0.5)];
+        assert!(rmse(&with_outlier) > 5.0 * rmse(&small_errors));
+    }
+}

@@ -1,0 +1,195 @@
+//! Fault-injection results: the statistical summary of one deployment.
+
+use resilim_inject::{OutcomeKind, TestOutcome};
+use serde::{Deserialize, Serialize};
+
+/// The statistical summary of a fault-injection deployment (paper §2):
+/// how many of its tests ended in each outcome class.
+///
+/// ```
+/// use resilim_core::{FiResult, TestOutcome};
+/// let mut fi = FiResult::new();
+/// fi.record(&TestOutcome::success(true, 1, 1));
+/// fi.record(&TestOutcome::sdc(4, 1));
+/// assert_eq!(fi.success_rate(), 0.5);
+/// assert_eq!(fi.masked, 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FiResult {
+    /// Outcome counts, indexed by [`OutcomeKind::index`].
+    pub counts: [u64; 3],
+    /// How many of the successes were bitwise identical to the fault-free
+    /// run (fully masked end-to-end).
+    pub masked: u64,
+}
+
+impl FiResult {
+    /// Empty result (no tests).
+    pub fn new() -> FiResult {
+        FiResult::default()
+    }
+
+    /// Build from raw test outcomes.
+    pub fn from_outcomes<'a>(outcomes: impl IntoIterator<Item = &'a TestOutcome>) -> FiResult {
+        let mut fi = FiResult::default();
+        for o in outcomes {
+            fi.record(o);
+        }
+        fi
+    }
+
+    /// Record one test outcome.
+    pub fn record(&mut self, o: &TestOutcome) {
+        self.counts[o.kind.index()] += 1;
+        if o.masked {
+            self.masked += 1;
+        }
+    }
+
+    /// Total number of tests.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of tests with the given outcome — the paper's "fault
+    /// injection result for a specific outcome". NaN-free: 0 when empty.
+    pub fn rate(&self, kind: OutcomeKind) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts[kind.index()] as f64 / total as f64
+    }
+
+    /// The success rate (the headline metric of Figures 3 and 5–8).
+    pub fn success_rate(&self) -> f64 {
+        self.rate(OutcomeKind::Success)
+    }
+
+    /// The SDC rate.
+    pub fn sdc_rate(&self) -> f64 {
+        self.rate(OutcomeKind::Sdc)
+    }
+
+    /// The failure (crash/hang) rate.
+    pub fn failure_rate(&self) -> f64 {
+        self.rate(OutcomeKind::Failure)
+    }
+
+    /// Rates for all three outcome classes `[success, sdc, failure]`.
+    pub fn rates(&self) -> [f64; 3] {
+        [self.success_rate(), self.sdc_rate(), self.failure_rate()]
+    }
+
+    /// Merge another deployment's counts into this one.
+    pub fn merge(&mut self, other: &FiResult) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.masked += other.masked;
+    }
+
+    /// Wilson score interval for an outcome's rate at confidence `z`
+    /// (e.g. `z = 1.96` for 95 %). Returns `(lo, hi)`.
+    ///
+    /// Used to decide whether a deployment has run enough tests: the paper
+    /// requires the result to be stable (±10 %) under more tests.
+    pub fn wilson_ci(&self, kind: OutcomeKind, z: f64) -> (f64, f64) {
+        let n = self.total() as f64;
+        if n == 0.0 {
+            return (0.0, 1.0);
+        }
+        let phat = self.rate(kind);
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (phat + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((phat * (1.0 - phat) / n + z2 / (4.0 * n * n)).sqrt());
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilim_inject::FailureKind;
+
+    fn sample() -> FiResult {
+        let outcomes = vec![
+            TestOutcome::success(true, 1, 1),
+            TestOutcome::success(false, 2, 1),
+            TestOutcome::success(false, 1, 1),
+            TestOutcome::sdc(4, 1),
+            TestOutcome::failure(FailureKind::Crash, 1, 1),
+        ];
+        FiResult::from_outcomes(&outcomes)
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let fi = sample();
+        assert_eq!(fi.total(), 5);
+        let sum: f64 = fi.rates().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((fi.success_rate() - 0.6).abs() < 1e-12);
+        assert!((fi.sdc_rate() - 0.2).abs() < 1e-12);
+        assert!((fi.failure_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(fi.masked, 1);
+    }
+
+    #[test]
+    fn empty_result_is_nan_free() {
+        let fi = FiResult::new();
+        assert_eq!(fi.total(), 0);
+        assert_eq!(fi.success_rate(), 0.0);
+        assert_eq!(fi.wilson_ci(OutcomeKind::Success, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), 10);
+        assert!((a.success_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(a.masked, 2);
+    }
+
+    #[test]
+    fn wilson_ci_contains_point_estimate() {
+        let fi = sample();
+        let (lo, hi) = fi.wilson_ci(OutcomeKind::Success, 1.96);
+        assert!(lo < fi.success_rate() && fi.success_rate() < hi);
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn wilson_ci_narrows_with_more_tests() {
+        let mut small = FiResult::new();
+        let mut large = FiResult::new();
+        for i in 0..20 {
+            small.record(&TestOutcome::success(false, 1, 1));
+            if i % 2 == 0 {
+                small.record(&TestOutcome::sdc(1, 1));
+            }
+        }
+        for i in 0..2000 {
+            large.record(&TestOutcome::success(false, 1, 1));
+            if i % 2 == 0 {
+                large.record(&TestOutcome::sdc(1, 1));
+            }
+        }
+        let w = |fi: &FiResult| {
+            let (lo, hi) = fi.wilson_ci(OutcomeKind::Success, 1.96);
+            hi - lo
+        };
+        assert!(w(&large) < w(&small) / 5.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let fi = sample();
+        let s = serde_json::to_string(&fi).unwrap();
+        let back: FiResult = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, fi);
+    }
+}

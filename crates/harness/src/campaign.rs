@@ -1,0 +1,568 @@
+//! Fault-injection campaigns: many randomized tests of one deployment.
+//!
+//! A *deployment* (paper §2) fixes the application, the scale, and the
+//! fault pattern; a *campaign* runs `tests` randomized fault-injection
+//! tests of that deployment and summarizes them as a
+//! [`resilim_core::FiResult`] plus a [`resilim_core::PropagationProfile`].
+//!
+//! Every test is fully determined by `(spec, seed, test_index)`: the
+//! random draws (dynamic op index, bit position, operand) happen up front
+//! into an [`InjectionPlan`], so campaigns are reproducible and
+//! individual tests can be replayed.
+
+use crate::golden::{GoldenRun, GoldenStore};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use resilim_apps::ProblemSpec;
+use resilim_core::{FiResult, PropagationProfile};
+use resilim_inject::{
+    FailureKind, InjectionPlan, OpMask, Operand, RankCtx, Region, Target, TestOutcome,
+};
+use resilim_simmpi::{PanicKind, World};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What faults a campaign injects per test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorSpec {
+    /// One single-bit error at a uniformly random injectable operation of
+    /// the whole parallel execution (any rank, any region) — the paper's
+    /// standard parallel deployment.
+    OneParallel,
+    /// `x` single-bit errors at distinct random operations of the *common*
+    /// computation of a serial run (`FI_ser_x`; requires `procs == 1`).
+    SerialErrors(usize),
+    /// One single-bit error targeted into the *parallel-unique* region of
+    /// a uniformly random rank (`FI_par_unique`'s measurement).
+    OneParallelUnique,
+    /// Like [`ErrorSpec::OneParallel`] but flipping `k` bits of the chosen
+    /// operand (multi-bit extension; ablation benches).
+    OneParallelMultiBit(u8),
+}
+
+/// Default contamination-significance threshold (relative): a rank counts
+/// as contaminated when it holds a value diverging from the fault-free
+/// shadow by more than this. Mirrors F-SEFI's application-level memory
+/// comparison, which is tolerance-based rather than bitwise; see
+/// DESIGN.md ("contamination significance").
+pub const DEFAULT_TAINT_THRESHOLD: f64 = 1e-9;
+
+/// A campaign specification.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// The workload.
+    pub spec: ProblemSpec,
+    /// Rank count.
+    pub procs: usize,
+    /// Fault pattern.
+    pub errors: ErrorSpec,
+    /// Number of fault-injection tests.
+    pub tests: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Contamination-significance threshold (see
+    /// [`DEFAULT_TAINT_THRESHOLD`]); 0 = bitwise.
+    pub taint_threshold: f64,
+    /// Which operation kinds are injection targets (the paper's default:
+    /// floating-point add/sub/mul).
+    pub op_mask: OpMask,
+}
+
+impl CampaignSpec {
+    /// Spec with the default contamination threshold.
+    pub fn new(
+        spec: ProblemSpec,
+        procs: usize,
+        errors: ErrorSpec,
+        tests: usize,
+        seed: u64,
+    ) -> CampaignSpec {
+        CampaignSpec {
+            spec,
+            procs,
+            errors,
+            tests,
+            seed,
+            taint_threshold: DEFAULT_TAINT_THRESHOLD,
+            op_mask: OpMask::FP_ARITH,
+        }
+    }
+
+    fn cache_key(&self) -> String {
+        format!(
+            "{}|p={}|{:?}|n={}|seed={}|theta={}|mask={}",
+            self.spec.cache_key(),
+            self.procs,
+            self.errors,
+            self.tests,
+            self.seed,
+            self.taint_threshold,
+            self.op_mask
+        )
+    }
+}
+
+/// A campaign's results.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Rank count of the deployment.
+    pub procs: usize,
+    /// Statistical summary over all tests.
+    pub fi: FiResult,
+    /// Contaminated-rank histogram over all tests.
+    pub prop: PropagationProfile,
+    /// Results conditioned on contamination count: `by_contam[x-1]`
+    /// summarizes the tests that contaminated exactly `x` ranks.
+    pub by_contam: Vec<FiResult>,
+    /// Raw per-test outcomes (test `i` used seed `hash(seed, i)`).
+    pub outcomes: Vec<TestOutcome>,
+    /// Wall-clock time of the whole campaign (the paper's "fault
+    /// injection time").
+    pub wall: Duration,
+    /// The golden run the campaign classified against.
+    pub golden: Arc<GoldenRun>,
+}
+
+impl CampaignResult {
+    /// Small-scale conditional results as the model wants them:
+    /// `None` where a contamination class was never observed.
+    pub fn by_contam_optional(&self) -> Vec<Option<FiResult>> {
+        self.by_contam
+            .iter()
+            .map(|fi| if fi.total() > 0 { Some(*fi) } else { None })
+            .collect()
+    }
+}
+
+/// Runs campaigns, caching both golden runs and whole campaign results
+/// (experiment pipelines share many deployments — e.g. every Figure 8
+/// sweep reuses the serial sample campaigns it has in common).
+pub struct CampaignRunner {
+    golden: GoldenStore,
+    cache: Mutex<HashMap<String, Arc<CampaignResult>>>,
+    test_parallelism: usize,
+}
+
+impl Default for CampaignRunner {
+    fn default() -> Self {
+        CampaignRunner::new()
+    }
+}
+
+impl CampaignRunner {
+    /// Fresh runner with empty caches, running tests sequentially.
+    pub fn new() -> CampaignRunner {
+        CampaignRunner {
+            golden: GoldenStore::new(),
+            cache: Mutex::new(HashMap::new()),
+            test_parallelism: 1,
+        }
+    }
+
+    /// Run up to `k` fault-injection tests concurrently (each test already
+    /// spawns `procs` rank threads, so a sensible `k` is
+    /// `cores / procs`, floored at 1). Results are bitwise identical to a
+    /// sequential run: every test's randomness is derived from its index.
+    pub fn with_test_parallelism(mut self, k: usize) -> CampaignRunner {
+        self.test_parallelism = k.max(1);
+        self
+    }
+
+    /// The golden-run store.
+    pub fn golden(&self) -> &GoldenStore {
+        &self.golden
+    }
+
+    /// Run (or fetch from cache) a campaign.
+    pub fn run(&self, spec: &CampaignSpec) -> Arc<CampaignResult> {
+        let key = spec.cache_key();
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        let result = Arc::new(self.run_uncached(spec));
+        self.cache.lock().insert(key, Arc::clone(&result));
+        result
+    }
+
+    /// Run a campaign without touching the campaign cache (golden runs are
+    /// still cached). Used by benches that time campaign execution.
+    pub fn run_uncached(&self, spec: &CampaignSpec) -> CampaignResult {
+        if let ErrorSpec::SerialErrors(_) = spec.errors {
+            assert_eq!(spec.procs, 1, "SerialErrors campaigns run serially");
+        }
+        let golden = self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask);
+        let op_cap = golden.op_cap();
+
+        let start = Instant::now();
+        let outcomes: Vec<TestOutcome> = if self.test_parallelism <= 1 {
+            (0..spec.tests)
+                .map(|test| self.run_test(spec, &golden, op_cap, test))
+                .collect()
+        } else {
+            // Workers pull test indices from a shared counter; results are
+            // stored by index, so aggregation order (and therefore every
+            // statistic) matches the sequential run exactly.
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<TestOutcome>>> =
+                (0..spec.tests).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..self.test_parallelism.min(spec.tests.max(1)) {
+                    scope.spawn(|| loop {
+                        let test = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if test >= spec.tests {
+                            break;
+                        }
+                        let outcome = self.run_test(spec, &golden, op_cap, test);
+                        *slots[test].lock() = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every test ran"))
+                .collect()
+        };
+
+        let mut fi = FiResult::new();
+        let mut prop = PropagationProfile::new(spec.procs);
+        let mut by_contam = vec![FiResult::new(); spec.procs];
+        for outcome in &outcomes {
+            fi.record(outcome);
+            prop.record(outcome);
+            let x = outcome.contaminated_ranks.clamp(1, spec.procs);
+            by_contam[x - 1].record(outcome);
+        }
+        CampaignResult {
+            procs: spec.procs,
+            fi,
+            prop,
+            by_contam,
+            outcomes,
+            wall: start.elapsed(),
+            golden,
+        }
+    }
+
+    /// Plan and execute a single fault-injection test.
+    fn run_test(
+        &self,
+        spec: &CampaignSpec,
+        golden: &GoldenRun,
+        op_cap: u64,
+        test: usize,
+    ) -> TestOutcome {
+        let mut rng = SmallRng::seed_from_u64(
+            spec.seed ^ resilim_apps::util::splitmix64(test as u64 + 0x1000),
+        );
+        let plans = plan_test(&mut rng, spec, golden);
+
+        let world = World::new(spec.procs);
+        let app = spec.spec.clone();
+        let plans_ref = &plans;
+        let results = world.run_with_ctx(
+            move |rank| {
+                let plan = plans_ref
+                    .get(&rank)
+                    .cloned()
+                    .unwrap_or_else(InjectionPlan::none);
+                Some(
+                    RankCtx::new(rank, plan)
+                        .with_op_cap(op_cap)
+                        .with_taint_threshold(spec.taint_threshold)
+                        .with_op_mask(spec.op_mask),
+                )
+            },
+            move |comm| app.run_rank(comm),
+        );
+
+        // Harvest: contamination, fired count, failures, rank-0 output.
+        let mut contaminated = 0usize;
+        let mut fired = 0usize;
+        let mut failure: Option<FailureKind> = None;
+        let mut output = None;
+        for r in &results {
+            let report = r.ctx_report.as_ref().expect("ctx always installed");
+            if report.contaminated {
+                contaminated += 1;
+            }
+            fired += report.fired.len();
+            match &r.result {
+                Ok(out) => {
+                    if r.rank == 0 {
+                        output = Some(out.clone());
+                    }
+                }
+                Err(panic) => {
+                    let kind = match panic.kind {
+                        PanicKind::HangGuard | PanicKind::RecvTimeout => FailureKind::Hang,
+                        PanicKind::Crash => FailureKind::Crash,
+                        // Secondary death: keep looking for the primary
+                        // cause; default to crash if none found.
+                        PanicKind::FabricDead => FailureKind::Crash,
+                    };
+                    failure = Some(match (failure, panic.kind) {
+                        // A real crash/hang overrides a secondary failure.
+                        (Some(prev), PanicKind::FabricDead) => prev,
+                        _ => kind,
+                    });
+                }
+            }
+        }
+        let contaminated = contaminated.max(1);
+
+        if let Some(kind) = failure {
+            return TestOutcome::failure(kind, contaminated, fired);
+        }
+        let output = output.expect("rank 0 finished without failure");
+        if output.identical(&golden.output) {
+            TestOutcome::success(true, contaminated, fired)
+        } else if output.passes_checker(&golden.output, spec.spec.app().epsilon()) {
+            TestOutcome::success(false, contaminated, fired)
+        } else {
+            TestOutcome::sdc(contaminated, fired)
+        }
+    }
+}
+
+/// Draw the injection plan(s) for one test: a map rank → plan.
+fn plan_test(
+    rng: &mut SmallRng,
+    spec: &CampaignSpec,
+    golden: &GoldenRun,
+) -> HashMap<usize, InjectionPlan> {
+    let mut plans = HashMap::new();
+    match spec.errors {
+        ErrorSpec::OneParallel | ErrorSpec::OneParallelMultiBit(_) => {
+            // Uniform over every injectable op of the whole execution.
+            let total = golden.injectable_total();
+            assert!(total > 0, "no injectable ops profiled");
+            let mut g = rng.gen_range(0..total);
+            let mut chosen = None;
+            'outer: for (rank, profile) in golden.profiles.iter().enumerate() {
+                for region in Region::ALL {
+                    let count = profile.injectable(region);
+                    if g < count {
+                        chosen = Some((rank, region, g));
+                        break 'outer;
+                    }
+                    g -= count;
+                }
+            }
+            let (rank, region, op_index) = chosen.expect("g < total");
+            let targets = draw_targets(rng, spec.errors, region, op_index);
+            plans.insert(rank, InjectionPlan::multi(targets));
+        }
+        ErrorSpec::OneParallelUnique => {
+            // Uniform over the parallel-unique ops of the whole execution.
+            let total = golden.injectable(Region::ParallelUnique);
+            assert!(
+                total > 0,
+                "OneParallelUnique needs parallel-unique computation"
+            );
+            let mut g = rng.gen_range(0..total);
+            let mut chosen = None;
+            for (rank, profile) in golden.profiles.iter().enumerate() {
+                let count = profile.injectable(Region::ParallelUnique);
+                if g < count {
+                    chosen = Some((rank, g));
+                    break;
+                }
+                g -= count;
+            }
+            let (rank, op_index) = chosen.expect("g < total");
+            plans.insert(
+                rank,
+                InjectionPlan::single(Target {
+                    region: Region::ParallelUnique,
+                    op_index,
+                    bit: rng.gen_range(0..64),
+                    operand: draw_operand(rng),
+                }),
+            );
+        }
+        ErrorSpec::SerialErrors(x) => {
+            let total = golden.profiles[0].injectable(Region::Common);
+            assert!(
+                (x as u64) <= total,
+                "cannot inject {x} distinct errors into {total} ops"
+            );
+            let mut indices = std::collections::BTreeSet::new();
+            while indices.len() < x {
+                indices.insert(rng.gen_range(0..total));
+            }
+            let targets = indices
+                .into_iter()
+                .map(|op_index| Target {
+                    region: Region::Common,
+                    op_index,
+                    bit: rng.gen_range(0..64),
+                    operand: draw_operand(rng),
+                })
+                .collect();
+            plans.insert(0, InjectionPlan::multi(targets));
+        }
+    }
+    plans
+}
+
+fn draw_operand(rng: &mut SmallRng) -> Operand {
+    if rng.gen_bool(0.5) {
+        Operand::A
+    } else {
+        Operand::B
+    }
+}
+
+/// Targets for the one-error patterns (single- or multi-bit).
+fn draw_targets(
+    rng: &mut SmallRng,
+    errors: ErrorSpec,
+    region: Region,
+    op_index: u64,
+) -> Vec<Target> {
+    let operand = draw_operand(rng);
+    let bits: Vec<u8> = match errors {
+        ErrorSpec::OneParallelMultiBit(k) => {
+            let mut set = std::collections::BTreeSet::new();
+            while set.len() < k as usize {
+                set.insert(rng.gen_range(0..64u8));
+            }
+            set.into_iter().collect()
+        }
+        _ => vec![rng.gen_range(0..64)],
+    };
+    bits.into_iter()
+        .map(|bit| Target {
+            region,
+            op_index,
+            bit,
+            operand,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilim_apps::App;
+    use resilim_core::OutcomeKind;
+
+    fn campaign(app: App, procs: usize, errors: ErrorSpec, tests: usize) -> CampaignSpec {
+        CampaignSpec::new(app.default_spec(), procs, errors, tests, 42)
+    }
+
+    #[test]
+    fn serial_campaign_basics() {
+        let runner = CampaignRunner::new();
+        let result = runner.run(&campaign(App::Cg, 1, ErrorSpec::SerialErrors(1), 30));
+        assert_eq!(result.fi.total(), 30);
+        assert_eq!(result.outcomes.len(), 30);
+        // Every test fired exactly its planned single error.
+        assert!(result.outcomes.iter().all(|o| o.injections_fired == 1));
+        // Single-rank: everything contaminates exactly one rank.
+        assert_eq!(result.prop.counts[0], 30);
+        // Single-bit flips in FP ops should not kill every run.
+        assert!(result.fi.success_rate() > 0.2, "{:?}", result.fi);
+    }
+
+    #[test]
+    fn parallel_campaign_spreads_contamination() {
+        let runner = CampaignRunner::new();
+        let result = runner.run(&campaign(App::Cg, 4, ErrorSpec::OneParallel, 40));
+        assert_eq!(result.fi.total(), 40);
+        let total: u64 = result.prop.counts.iter().sum();
+        assert_eq!(total, 40);
+        // CG reductions spread surviving errors to every rank: expect both
+        // single-rank (absorbed) and all-rank (propagated) cases.
+        assert!(result.prop.counts[0] > 0, "{:?}", result.prop.counts);
+        assert!(result.prop.counts[3] > 0, "{:?}", result.prop.counts);
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let runner = CampaignRunner::new();
+        let spec = campaign(App::Lu, 2, ErrorSpec::OneParallel, 15);
+        let a = runner.run_uncached(&spec);
+        let b = runner.run_uncached(&spec);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.fi, b.fi);
+    }
+
+    #[test]
+    fn campaign_cache_hits() {
+        let runner = CampaignRunner::new();
+        let spec = campaign(App::Lu, 2, ErrorSpec::OneParallel, 10);
+        let a = runner.run(&spec);
+        let b = runner.run(&spec);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn multi_error_serial_campaign() {
+        let runner = CampaignRunner::new();
+        let result = runner.run(&campaign(App::Cg, 1, ErrorSpec::SerialErrors(8), 20));
+        // Later errors can land in skipped code after corruption, but most
+        // tests should fire several of the 8 planned errors.
+        assert!(result.outcomes.iter().all(|o| o.injections_fired >= 1));
+        assert!(result.outcomes.iter().any(|o| o.injections_fired == 8));
+        // More errors -> lower success rate than 1-error campaigns.
+        let one = runner.run(&campaign(App::Cg, 1, ErrorSpec::SerialErrors(1), 20));
+        assert!(result.fi.success_rate() <= one.fi.success_rate() + 0.2);
+    }
+
+    #[test]
+    fn parallel_unique_campaign_targets_unique_region() {
+        let runner = CampaignRunner::new();
+        // FT's four-step twiddle scaling is the parallel-unique region.
+        let result = runner.run(&campaign(App::Ft, 4, ErrorSpec::OneParallelUnique, 15));
+        assert_eq!(result.fi.total(), 15);
+        assert!(result.outcomes.iter().all(|o| o.injections_fired == 1));
+    }
+
+    #[test]
+    fn parallel_test_execution_matches_sequential() {
+        let spec = campaign(App::Lu, 2, ErrorSpec::OneParallel, 24);
+        let sequential = CampaignRunner::new().run_uncached(&spec);
+        let parallel = CampaignRunner::new()
+            .with_test_parallelism(4)
+            .run_uncached(&spec);
+        assert_eq!(sequential.outcomes, parallel.outcomes);
+        assert_eq!(sequential.fi, parallel.fi);
+        assert_eq!(sequential.prop.counts, parallel.prop.counts);
+    }
+
+    #[test]
+    fn masked_campaign_targets_other_kinds() {
+        use resilim_inject::OpMask;
+        let runner = CampaignRunner::new();
+        let mut spec = campaign(App::Cg, 1, ErrorSpec::SerialErrors(1), 15);
+        spec.op_mask = OpMask::DIV;
+        let result = runner.run(&spec);
+        // Every test fired exactly one fault, in a division.
+        assert!(result.outcomes.iter().all(|o| o.injections_fired == 1));
+        assert_eq!(result.fi.total(), 15);
+        // The golden profile used for the index space was mask-specific:
+        // far fewer divisions than adds/muls in CG.
+        let div_golden = runner.golden().get_masked(&App::Cg.default_spec(), 1, OpMask::DIV);
+        let default_golden = runner.golden().get(&App::Cg.default_spec(), 1);
+        assert!(div_golden.injectable_total() * 10 < default_golden.injectable_total());
+        assert!(div_golden.injectable_total() > 0);
+    }
+
+    #[test]
+    fn by_contam_partitions_fi() {
+        let runner = CampaignRunner::new();
+        let result = runner.run(&campaign(App::Cg, 4, ErrorSpec::OneParallel, 30));
+        let total: u64 = result.by_contam.iter().map(|fi| fi.total()).sum();
+        assert_eq!(total, result.fi.total());
+        let success: u64 = result
+            .by_contam
+            .iter()
+            .map(|fi| fi.counts[OutcomeKind::Success.index()])
+            .sum();
+        assert_eq!(success, result.fi.counts[OutcomeKind::Success.index()]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Figure 3 — application-resilience difference between serial and
+//! parallel executions: success rate of a serial run with `x` errors
+//! injected vs a parallel (8-rank) run with `x` ranks contaminated.
+
+use crate::campaign::{CampaignRunner, CampaignSpec, ErrorSpec};
+use crate::experiments::ExperimentConfig;
+use crate::report::Table;
+use resilim_apps::App;
+use serde::{Deserialize, Serialize};
+
+/// Figure 3 panel for one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3App {
+    /// Workload label.
+    pub app: String,
+    /// Parallel scale (the paper uses 8).
+    pub procs: usize,
+    /// `serial[x-1]` = success rate of serial runs with `x` errors.
+    pub serial: Vec<f64>,
+    /// `parallel[x-1]` = success rate of parallel tests that contaminated
+    /// exactly `x` ranks; `None` when that contamination count never
+    /// occurred (the paper's "missing" bars).
+    pub parallel: Vec<Option<f64>>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// One panel per application.
+    pub apps: Vec<Fig3App>,
+}
+
+/// Regenerate Figure 3 for the given apps at the given parallel scale.
+pub fn fig3(
+    runner: &CampaignRunner,
+    cfg: &ExperimentConfig,
+    apps: &[App],
+    procs: usize,
+) -> Fig3 {
+    let mut panels = Vec::new();
+    for &app in apps {
+        // Serial multi-error campaigns, x = 1..=procs.
+        let mut serial = Vec::with_capacity(procs);
+        for x in 1..=procs {
+            let result = runner.run(&CampaignSpec {
+                spec: app.default_spec(),
+                procs: 1,
+                errors: ErrorSpec::SerialErrors(x),
+                tests: cfg.tests,
+                seed: cfg.seed,
+                taint_threshold: cfg.taint_threshold,
+                op_mask: Default::default(),
+            });
+            serial.push(result.fi.success_rate());
+        }
+        // One parallel campaign, conditioned on contamination count.
+        let par = runner.run(&CampaignSpec {
+            spec: app.default_spec(),
+            procs,
+            errors: ErrorSpec::OneParallel,
+            tests: cfg.tests,
+            seed: cfg.seed,
+            taint_threshold: cfg.taint_threshold,
+            op_mask: Default::default(),
+        });
+        let parallel = par
+            .by_contam
+            .iter()
+            .map(|fi| {
+                if fi.total() > 0 {
+                    Some(fi.success_rate())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        panels.push(Fig3App {
+            app: app.name().to_string(),
+            procs,
+            serial,
+            parallel,
+        });
+    }
+    Fig3 { apps: panels }
+}
+
+impl Fig3 {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for panel in &self.apps {
+            let mut t = Table::new(
+                format!(
+                    "Figure 3 ({}): success rate, serial x errors vs {} ranks x contaminated",
+                    panel.app, panel.procs
+                ),
+                &["x", "serial (x errors)", "parallel (x contaminated)"],
+            );
+            for x in 1..=panel.procs {
+                let serial = format!("{:.1}%", panel.serial[x - 1] * 100.0);
+                let parallel = match panel.parallel[x - 1] {
+                    Some(rate) => format!("{:.1}%", rate * 100.0),
+                    None => "(not observed)".to_string(),
+                };
+                t.row(vec![x.to_string(), serial, parallel]);
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+}
+
+impl Fig3 {
+    /// Render each app's serial-vs-parallel panel as stacked SVG bars
+    /// (missing parallel bars render as zero-height, like the paper's
+    /// empty slots).
+    pub fn to_svg(&self) -> String {
+        use crate::plot::{stack_svgs, BarChart};
+        let panels: Vec<String> = self
+            .apps
+            .iter()
+            .map(|panel| {
+                BarChart {
+                    title: format!(
+                        "Figure 3 ({}): serial x errors vs {} ranks x contaminated",
+                        panel.app, panel.procs
+                    ),
+                    y_label: "success rate".into(),
+                    categories: (1..=panel.procs).map(|x| x.to_string()).collect(),
+                    series: vec![
+                        ("serial".into(), panel.serial.clone()),
+                        (
+                            "parallel".into(),
+                            panel.parallel.iter().map(|p| p.unwrap_or(0.0)).collect(),
+                        ),
+                    ],
+                    y_max: 1.0,
+                }
+                .to_svg()
+            })
+            .collect();
+        stack_svgs(&panels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_wiring_small() {
+        let runner = CampaignRunner::new();
+        let cfg = ExperimentConfig { tests: 15, seed: 5, ..Default::default() };
+        let fig = fig3(&runner, &cfg, &[App::Cg], 2);
+        assert_eq!(fig.apps.len(), 1);
+        let panel = &fig.apps[0];
+        assert_eq!(panel.serial.len(), 2);
+        assert_eq!(panel.parallel.len(), 2);
+        assert!(panel.serial.iter().all(|r| (0.0..=1.0).contains(r)));
+        let text = fig.render();
+        assert!(text.contains("Figure 3 (cg)"));
+        assert!(fig.to_svg().contains("serial"));
+    }
+}

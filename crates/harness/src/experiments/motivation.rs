@@ -1,0 +1,127 @@
+//! The §1 motivation measurements: how much more work fault injection is
+//! at scale. The paper reports that CG with four MPI processes executes
+//! 74.5 % more instructions than serial execution and that F-SEFI's fault
+//! injection time grows 58 % — here we measure the tracked-op and
+//! campaign-wall-time growth of every app.
+
+use crate::campaign::{CampaignRunner, CampaignSpec, ErrorSpec};
+use crate::experiments::ExperimentConfig;
+use crate::report::Table;
+use resilim_apps::App;
+use serde::{Deserialize, Serialize};
+
+/// Scale-growth measurements for one app.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MotivationRow {
+    /// Workload label.
+    pub app: String,
+    /// Total tracked ops, serial.
+    pub serial_ops: u64,
+    /// Total tracked ops across all ranks at the parallel scale.
+    pub parallel_ops: u64,
+    /// Relative op growth (`parallel/serial − 1`).
+    pub op_growth: f64,
+    /// Serial 1-error campaign wall seconds.
+    pub serial_fi_secs: f64,
+    /// Parallel 1-error campaign wall seconds.
+    pub parallel_fi_secs: f64,
+    /// Relative fault-injection time growth.
+    pub fi_time_growth: f64,
+}
+
+/// The motivation study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Motivation {
+    /// Parallel scale compared against serial.
+    pub procs: usize,
+    /// Per-app rows.
+    pub rows: Vec<MotivationRow>,
+}
+
+/// Measure op-count and FI-time growth from serial to `procs` ranks.
+pub fn motivation(runner: &CampaignRunner, cfg: &ExperimentConfig, procs: usize) -> Motivation {
+    let mut rows = Vec::new();
+    for app in App::ALL {
+        let serial_golden = runner.golden().get(&app.default_spec(), 1);
+        let par_golden = runner.golden().get(&app.default_spec(), procs);
+        let serial_ops: u64 = serial_golden.profiles.iter().map(|p| p.total()).sum();
+        let parallel_ops: u64 = par_golden.profiles.iter().map(|p| p.total()).sum();
+
+        let serial_fi = runner.run(&CampaignSpec {
+            spec: app.default_spec(),
+            procs: 1,
+            errors: ErrorSpec::SerialErrors(1),
+            tests: cfg.tests,
+            seed: cfg.seed,
+            taint_threshold: cfg.taint_threshold,
+            op_mask: Default::default(),
+        });
+        let par_fi = runner.run(&CampaignSpec {
+            spec: app.default_spec(),
+            procs,
+            errors: ErrorSpec::OneParallel,
+            tests: cfg.tests,
+            seed: cfg.seed,
+            taint_threshold: cfg.taint_threshold,
+            op_mask: Default::default(),
+        });
+        let serial_fi_secs = serial_fi.wall.as_secs_f64();
+        let parallel_fi_secs = par_fi.wall.as_secs_f64();
+        rows.push(MotivationRow {
+            app: app.name().to_string(),
+            serial_ops,
+            parallel_ops,
+            op_growth: parallel_ops as f64 / serial_ops.max(1) as f64 - 1.0,
+            serial_fi_secs,
+            parallel_fi_secs,
+            fi_time_growth: parallel_fi_secs / serial_fi_secs.max(1e-9) - 1.0,
+        });
+    }
+    Motivation { procs, rows }
+}
+
+impl Motivation {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            format!("Motivation: cost growth from serial to {} ranks", self.procs),
+            &["benchmark", "ops serial", "ops parallel", "op growth", "FI time growth"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.app.clone(),
+                r.serial_ops.to_string(),
+                r.parallel_ops.to_string(),
+                format!("{:+.1}%", r.op_growth * 100.0),
+                format!("{:+.1}%", r.fi_time_growth * 100.0),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivation_measures_growth() {
+        let runner = CampaignRunner::new();
+        let cfg = ExperimentConfig { tests: 5, seed: 1, ..Default::default() };
+        let m = motivation(&runner, &cfg, 2);
+        assert_eq!(m.rows.len(), App::ALL.len());
+        for row in &m.rows {
+            assert!(row.serial_ops > 0);
+            // Parallel executions do at least the serial work (common
+            // computation plus possibly parallel-unique extra).
+            assert!(
+                row.parallel_ops >= row.serial_ops,
+                "{}: {} vs {}",
+                row.app,
+                row.parallel_ops,
+                row.serial_ops
+            );
+        }
+        assert!(m.render().contains("op growth"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Figures 1 and 2 — error-propagation histograms at a small and a large
+//! scale, plus the grouped large-scale histogram that Observation 3
+//! compares against the small one.
+
+use crate::campaign::{CampaignRunner, CampaignSpec, ErrorSpec};
+use crate::experiments::ExperimentConfig;
+use crate::report::{pct, Table};
+use resilim_apps::App;
+use resilim_core::{cosine_similarity, PropagationProfile};
+use serde::{Deserialize, Serialize};
+
+/// The data behind one propagation figure (Fig. 1 = CG, Fig. 2 = FT).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropagationFigure {
+    /// Workload label.
+    pub app: String,
+    /// Small-scale profile (sub-figure a).
+    pub small: PropagationProfile,
+    /// Large-scale profile (sub-figure b).
+    pub large: PropagationProfile,
+    /// Large-scale profile grouped into `small.p` buckets (sub-figure c).
+    pub grouped: Vec<f64>,
+    /// Cosine similarity of (a) and (c).
+    pub similarity: f64,
+}
+
+/// Regenerate a propagation figure for `app`: 1-error campaigns at
+/// `small_scale` and `large_scale`.
+pub fn fig_propagation(
+    runner: &CampaignRunner,
+    cfg: &ExperimentConfig,
+    app: App,
+    small_scale: usize,
+    large_scale: usize,
+) -> PropagationFigure {
+    let campaign_at = |procs: usize| {
+        runner.run(&CampaignSpec {
+            spec: app.default_spec(),
+            procs,
+            errors: ErrorSpec::OneParallel,
+            tests: cfg.tests,
+            seed: cfg.seed,
+            taint_threshold: cfg.taint_threshold,
+            op_mask: Default::default(),
+        })
+    };
+    let small = campaign_at(small_scale).prop.clone();
+    let large = campaign_at(large_scale).prop.clone();
+    let grouped = large.group(small_scale);
+    let similarity = cosine_similarity(&small.r_vec(), &grouped);
+    PropagationFigure {
+        app: app.name().to_string(),
+        small,
+        large,
+        grouped,
+        similarity,
+    }
+}
+
+impl PropagationFigure {
+    /// Render the three panels as text tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut a = Table::new(
+            format!("(a) {} propagation, {} ranks", self.app, self.small.p),
+            &["contaminated ranks", "fraction of tests"],
+        );
+        for (i, r) in self.small.r_vec().iter().enumerate() {
+            a.row(vec![format!("{}", i + 1), pct(*r)]);
+        }
+        out.push_str(&a.render());
+
+        let mut b = Table::new(
+            format!("(b) {} propagation, {} ranks (non-zero bins)", self.app, self.large.p),
+            &["contaminated ranks", "fraction of tests"],
+        );
+        for (i, r) in self.large.r_vec().iter().enumerate() {
+            if *r > 0.0 {
+                b.row(vec![format!("{}", i + 1), pct(*r)]);
+            }
+        }
+        out.push_str(&b.render());
+
+        let mut c = Table::new(
+            format!(
+                "(c) {}-rank cases grouped into {} groups (cosine sim {:.3})",
+                self.large.p, self.small.p, self.similarity
+            ),
+            &["group", "fraction of tests"],
+        );
+        for (j, g) in self.grouped.iter().enumerate() {
+            c.row(vec![format!("{}", j + 1), pct(*g)]);
+        }
+        out.push_str(&c.render());
+        out
+    }
+}
+
+impl PropagationFigure {
+    /// Render the three panels as one stacked SVG document.
+    pub fn to_svg(&self) -> String {
+        use crate::plot::{stack_svgs, BarChart};
+        let small = BarChart {
+            title: format!("(a) {} propagation, {} ranks", self.app, self.small.p),
+            y_label: "fraction of tests".into(),
+            categories: (1..=self.small.p).map(|x| x.to_string()).collect(),
+            series: vec![("contaminated".into(), self.small.r_vec())],
+            y_max: 1.0,
+        };
+        // Panel (b) compressed into the same group axis for readability.
+        let large_grouped = BarChart {
+            title: format!(
+                "(b) {} propagation, {} ranks (grouped by {})",
+                self.app,
+                self.large.p,
+                self.large.p / self.small.p
+            ),
+            y_label: "fraction of tests".into(),
+            categories: (1..=self.small.p).map(|g| format!("g{g}")).collect(),
+            series: vec![("grouped".into(), self.grouped.clone())],
+            y_max: 1.0,
+        };
+        let overlay = BarChart {
+            title: format!("(c) overlay, cosine similarity {:.3}", self.similarity),
+            y_label: "fraction of tests".into(),
+            categories: (1..=self.small.p).map(|x| x.to_string()).collect(),
+            series: vec![
+                (format!("{} ranks", self.small.p), self.small.r_vec()),
+                (format!("{} ranks grouped", self.large.p), self.grouped.clone()),
+            ],
+            y_max: 1.0,
+        };
+        stack_svgs(&[small.to_svg(), large_grouped.to_svg(), overlay.to_svg()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_wiring_small_scales() {
+        let runner = CampaignRunner::new();
+        let cfg = ExperimentConfig { tests: 20, seed: 3, ..Default::default() };
+        let fig = fig_propagation(&runner, &cfg, App::Cg, 2, 8);
+        assert_eq!(fig.small.p, 2);
+        assert_eq!(fig.large.p, 8);
+        assert_eq!(fig.grouped.len(), 2);
+        let mass: f64 = fig.grouped.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&fig.similarity));
+        let text = fig.render();
+        assert!(text.contains("(a)") && text.contains("(b)") && text.contains("(c)"));
+        let svg = fig.to_svg();
+        assert!(svg.starts_with("<svg") && svg.contains("cosine similarity"));
+    }
+}

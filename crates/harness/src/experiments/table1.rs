@@ -1,0 +1,107 @@
+//! Table 1 — percentage of parallel-unique computation.
+//!
+//! The paper measures the execution-time share of parallel-unique code at
+//! four MPI processes; this reproduction measures the dynamic
+//! injectable-FP-op share (the exact weight `prob₂` that Eq. 1 needs —
+//! see DESIGN.md on the substitution). Rows cover each app's default
+//! problem plus the larger problem class where the paper lists one.
+
+use crate::campaign::CampaignRunner;
+use crate::report::Table;
+use resilim_apps::App;
+use serde::{Deserialize, Serialize};
+
+/// One Table 1 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Workload label (app + problem class).
+    pub label: String,
+    /// Scale the profile was taken at.
+    pub procs: usize,
+    /// Parallel-unique share of injectable ops, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// The full Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Rows in paper order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Regenerate Table 1: profile fault-free runs at four ranks.
+pub fn table1(runner: &CampaignRunner) -> Table1 {
+    let procs = 4;
+    let mut rows = Vec::new();
+    for app in App::ALL {
+        let golden = runner.golden().get(&app.default_spec(), procs);
+        rows.push(Table1Row {
+            label: format!("{app} (default)"),
+            procs,
+            share: golden.unique_share(),
+        });
+        if let Some(large) = app.large_spec() {
+            let golden = runner.golden().get(&large, procs);
+            rows.push(Table1Row {
+                label: format!("{app} (large)"),
+                procs,
+                share: golden.unique_share(),
+            });
+        }
+    }
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 1: parallel-unique computation share (4 ranks)",
+            &["benchmark", "parallel-unique share"],
+        );
+        for row in &self.rows {
+            let share = if row.share == 0.0 {
+                "no parallel-unique comp".to_string()
+            } else {
+                format!("{:.2}%", row.share * 100.0)
+            };
+            t.row(vec![row.label.clone(), share]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_matches_paper() {
+        let runner = CampaignRunner::new();
+        let table = table1(&runner);
+        // 6 default rows + 3 large rows (CG, FT, MiniFE).
+        assert_eq!(table.rows.len(), 9);
+
+        let share = |label: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r.label.starts_with(label))
+                .map(|r| r.share)
+                .unwrap()
+        };
+        // FT's transpose twiddles dominate every other app's share.
+        let ft = share("ft (default)");
+        assert!(ft > 0.03, "ft share = {ft}");
+        for other in ["cg (default)", "minife (default)"] {
+            let s = share(other);
+            assert!(s > 0.0 && s < ft, "{other} share = {s} vs ft {ft}");
+        }
+        // MG, LU, PENNANT: no parallel-unique computation at all.
+        for none in ["mg (default)", "lu (default)", "pennant (default)"] {
+            assert_eq!(share(none), 0.0, "{none}");
+        }
+        let rendered = table.render();
+        assert!(rendered.contains("no parallel-unique comp"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Fault-free golden runs: the reference every fault-injection test is
+//! classified against, and the profile the injection sample space is
+//! drawn from.
+
+use parking_lot::Mutex;
+use resilim_apps::{AppOutput, ProblemSpec};
+use resilim_inject::{OpMask, OpProfile, RankCtx, Region};
+use resilim_simmpi::World;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A fault-free run of one `(problem, scale, mask)` deployment.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    /// The problem.
+    pub spec: ProblemSpec,
+    /// Rank count.
+    pub procs: usize,
+    /// The injectable-op mask the profile's index space was counted with.
+    pub op_mask: OpMask,
+    /// Rank 0's digest (identical on every rank in a fault-free run).
+    pub output: AppOutput,
+    /// Per-rank dynamic-op profiles.
+    pub profiles: Vec<OpProfile>,
+    /// Wall-clock duration of the fault-free run.
+    pub wall: Duration,
+}
+
+impl GoldenRun {
+    /// Execute the fault-free profiling run with the paper's default mask.
+    pub fn measure(spec: &ProblemSpec, procs: usize) -> GoldenRun {
+        GoldenRun::measure_masked(spec, procs, OpMask::FP_ARITH)
+    }
+
+    /// Execute the fault-free profiling run, counting the injection index
+    /// space over `mask`.
+    pub fn measure_masked(spec: &ProblemSpec, procs: usize, mask: OpMask) -> GoldenRun {
+        let world = World::new(procs);
+        let start = Instant::now();
+        let spec_clone = spec.clone();
+        let results = world.run_with_ctx(
+            move |rank| Some(RankCtx::profiling(rank).with_op_mask(mask)),
+            move |comm| spec_clone.run_rank(comm),
+        );
+        let wall = start.elapsed();
+        let mut output = None;
+        let mut profiles = Vec::with_capacity(procs);
+        for r in results {
+            let out = match r.result {
+                Ok(o) => o,
+                Err(p) => panic!(
+                    "fault-free run of {:?} at p={procs} failed on rank {}: {}",
+                    spec.app(),
+                    r.rank,
+                    p.message
+                ),
+            };
+            if r.rank == 0 {
+                output = Some(out);
+            }
+            profiles.push(r.ctx_report.expect("profiling ctx installed").profile);
+        }
+        GoldenRun {
+            spec: spec.clone(),
+            procs,
+            op_mask: mask,
+            output: output.expect("rank 0 reported"),
+            profiles,
+            wall,
+        }
+    }
+
+    /// Total injectable ops in a region across all ranks.
+    pub fn injectable(&self, region: Region) -> u64 {
+        self.profiles.iter().map(|p| p.injectable(region)).sum()
+    }
+
+    /// Total injectable ops across ranks and regions.
+    pub fn injectable_total(&self) -> u64 {
+        self.profiles.iter().map(|p| p.injectable_total()).sum()
+    }
+
+    /// The parallel-unique share of injectable ops (Table 1's quantity;
+    /// `prob₂` of Eq. 1).
+    pub fn unique_share(&self) -> f64 {
+        let total = self.injectable_total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.injectable(Region::ParallelUnique) as f64 / total as f64
+    }
+
+    /// Hang-guard budget per rank: generously above the fault-free op
+    /// count, so only genuinely runaway executions trip it.
+    pub fn op_cap(&self) -> u64 {
+        let max_ops = self.profiles.iter().map(|p| p.total()).max().unwrap_or(0);
+        max_ops * 8 + 100_000
+    }
+}
+
+/// Process-wide cache of golden runs, keyed by `(problem, scale)`.
+///
+/// Campaigns re-classify thousands of tests against the same golden run;
+/// measuring it once per deployment keeps the harness O(tests).
+#[derive(Debug, Default)]
+pub struct GoldenStore {
+    cache: Mutex<HashMap<(String, usize, OpMask), Arc<GoldenRun>>>,
+}
+
+impl GoldenStore {
+    /// Empty store.
+    pub fn new() -> GoldenStore {
+        GoldenStore::default()
+    }
+
+    /// Fetch (measuring on first use) the golden run for a deployment,
+    /// with the paper's default injectable mask.
+    pub fn get(&self, spec: &ProblemSpec, procs: usize) -> Arc<GoldenRun> {
+        self.get_masked(spec, procs, OpMask::FP_ARITH)
+    }
+
+    /// Fetch (measuring on first use) the golden run for a deployment
+    /// under an explicit injectable mask.
+    pub fn get_masked(&self, spec: &ProblemSpec, procs: usize, mask: OpMask) -> Arc<GoldenRun> {
+        let key = (spec.cache_key(), procs, mask);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Measure outside the lock (single-threaded campaigns anyway).
+        let run = Arc::new(GoldenRun::measure_masked(spec, procs, mask));
+        self.cache.lock().insert(key, Arc::clone(&run));
+        run
+    }
+
+    /// Number of cached runs.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilim_apps::App;
+
+    #[test]
+    fn golden_run_is_reproducible() {
+        let spec = App::Cg.default_spec();
+        let a = GoldenRun::measure(&spec, 2);
+        let b = GoldenRun::measure(&spec, 2);
+        assert!(a.output.identical(&b.output));
+        assert_eq!(a.profiles, b.profiles);
+    }
+
+    #[test]
+    fn profiles_cover_all_ranks_and_ops() {
+        let run = GoldenRun::measure(&App::Cg.default_spec(), 4);
+        assert_eq!(run.profiles.len(), 4);
+        assert!(run.injectable_total() > 10_000, "{}", run.injectable_total());
+        // CG's recursive-doubling combines are a small parallel-unique part.
+        let share = run.unique_share();
+        assert!(share > 0.0 && share < 0.05, "share = {share}");
+    }
+
+    #[test]
+    fn serial_run_has_no_parallel_unique_ops() {
+        let run = GoldenRun::measure(&App::Cg.default_spec(), 1);
+        assert_eq!(run.injectable(Region::ParallelUnique), 0);
+    }
+
+    #[test]
+    fn store_caches() {
+        let store = GoldenStore::new();
+        let spec = App::Lu.default_spec();
+        let a = store.get(&spec, 2);
+        let b = store.get(&spec, 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.len(), 1);
+        let _c = store.get(&spec, 4);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn op_cap_exceeds_fault_free_needs() {
+        let run = GoldenRun::measure(&App::Mg.default_spec(), 1);
+        assert!(run.op_cap() > run.profiles[0].total());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # resilim-harness
+//!
+//! The experiment layer of the `resilim` workspace: it drives
+//! fault-injection *campaigns* (many randomized tests of one deployment)
+//! over the ported applications, caches fault-free *golden* runs, and
+//! packages the paper's tables and figures as reproducible pipelines.
+//!
+//! * [`golden`] — fault-free profiling runs: per-rank dynamic-op profiles
+//!   (the injection sample space), golden digests (the SDC reference), and
+//!   hang-guard budgets.
+//! * [`campaign`] — deployment specs and the campaign runner: seeds →
+//!   injection plans → simulated runs → outcome classification →
+//!   [`FiResult`](resilim_core::FiResult) +
+//!   [`PropagationProfile`](resilim_core::PropagationProfile).
+//! * [`experiments`] — one entry point per paper artifact (Table 1/2,
+//!   Figures 1–3 and 5–8) returning typed, serializable results that the
+//!   CLI and benches render.
+//! * [`report`] — plain-text table rendering.
+//! * [`store`] — JSON persistence of campaign summaries ("measure once,
+//!   model later").
+//! * [`plot`] — dependency-free SVG rendering of the figures.
+
+pub mod campaign;
+pub mod experiments;
+pub mod golden;
+pub mod plot;
+pub mod report;
+pub mod store;
+
+pub use campaign::{CampaignResult, CampaignRunner, CampaignSpec, ErrorSpec};
+pub use golden::{GoldenRun, GoldenStore};
+pub use store::{CampaignSummary, ResultStore};

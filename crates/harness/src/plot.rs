@@ -1,0 +1,312 @@
+//! Minimal hand-rolled SVG charts for the paper's figures — no plotting
+//! dependency, just enough to eyeball the reproduced series: grouped bar
+//! charts (propagation histograms, measured-vs-predicted panels) and line
+//! charts (the Figure 8 sweep).
+
+/// A grouped bar chart: one bar per (category, series) pair.
+///
+/// ```
+/// use resilim_harness::plot::BarChart;
+/// let svg = BarChart {
+///     title: "success rates".into(),
+///     y_label: "rate".into(),
+///     categories: vec!["cg".into(), "ft".into()],
+///     series: vec![("measured".into(), vec![0.65, 0.76])],
+///     y_max: 1.0,
+/// }
+/// .to_svg();
+/// assert!(svg.starts_with("<svg"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Category labels along x.
+    pub categories: Vec<String>,
+    /// Series: `(legend label, one value per category)`.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Upper bound of the y axis (e.g. 1.0 for rates).
+    pub y_max: f64,
+}
+
+/// A multi-series line chart over shared x positions.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X tick labels.
+    pub x_labels: Vec<String>,
+    /// Series: `(legend label, one value per x position)`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+const WIDTH: f64 = 520.0;
+const HEIGHT: f64 = 300.0;
+const MARGIN_L: f64 = 56.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 46.0;
+const PALETTE: [&str; 4] = ["#4878a8", "#e49444", "#5ba053", "#b04f4f"];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn frame(title: &str, y_label: &str, body: &str) -> String {
+    format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="11">
+<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{tx}" y="20" text-anchor="middle" font-size="13" font-weight="bold">{title}</text>
+<text x="14" y="{ty}" text-anchor="middle" transform="rotate(-90 14 {ty})">{y}</text>
+{body}
+</svg>
+"##,
+        tx = WIDTH / 2.0,
+        ty = (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+        title = esc(title),
+        y = esc(y_label),
+    )
+}
+
+fn axes(y_max: f64, fmt: impl Fn(f64) -> String) -> String {
+    let x0 = MARGIN_L;
+    let x1 = WIDTH - MARGIN_R;
+    let y0 = HEIGHT - MARGIN_B;
+    let y1 = MARGIN_T;
+    let mut out = format!(
+        r#"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>
+<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>
+"#
+    );
+    for i in 0..=4 {
+        let v = y_max * i as f64 / 4.0;
+        let y = y0 - (y0 - y1) * i as f64 / 4.0;
+        out.push_str(&format!(
+            r#"<line x1="{}" y1="{y}" x2="{x0}" y2="{y}" stroke="black"/>
+<text x="{}" y="{}" text-anchor="end">{}</text>
+"#,
+            x0 - 4.0,
+            x0 - 7.0,
+            y + 4.0,
+            esc(&fmt(v)),
+        ));
+    }
+    out
+}
+
+fn legend(series: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    for (i, (label, _)) in series.iter().enumerate() {
+        let x = MARGIN_L + 10.0 + 130.0 * i as f64;
+        let y = MARGIN_T - 8.0;
+        out.push_str(&format!(
+            r#"<rect x="{x}" y="{}" width="10" height="10" fill="{}"/>
+<text x="{}" y="{}">{}</text>
+"#,
+            y - 9.0,
+            PALETTE[i % PALETTE.len()],
+            x + 14.0,
+            y,
+            esc(label),
+        ));
+    }
+    out
+}
+
+impl BarChart {
+    /// Render to an SVG document string.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.categories.is_empty() && !self.series.is_empty());
+        for (label, values) in &self.series {
+            assert_eq!(
+                values.len(),
+                self.categories.len(),
+                "series '{label}' length mismatch"
+            );
+        }
+        let y_max = if self.y_max > 0.0 { self.y_max } else { 1.0 };
+        let x0 = MARGIN_L;
+        let y0 = HEIGHT - MARGIN_B;
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = y0 - MARGIN_T;
+        let ncat = self.categories.len();
+        let nser = self.series.len();
+        let slot = plot_w / ncat as f64;
+        let bar_w = (slot * 0.8) / nser as f64;
+
+        let mut body = axes(y_max, |v| format!("{:.0}%", v * 100.0));
+        body.push_str(&legend(&self.series));
+        for (si, (_, values)) in self.series.iter().enumerate() {
+            for (ci, &v) in values.iter().enumerate() {
+                let h = (v.clamp(0.0, y_max) / y_max) * plot_h;
+                let x = x0 + slot * ci as f64 + slot * 0.1 + bar_w * si as f64;
+                body.push_str(&format!(
+                    r#"<rect x="{x:.1}" y="{:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{}"/>
+"#,
+                    y0 - h,
+                    PALETTE[si % PALETTE.len()],
+                ));
+            }
+        }
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let x = x0 + slot * (ci as f64 + 0.5);
+            body.push_str(&format!(
+                r#"<text x="{x:.1}" y="{}" text-anchor="middle">{}</text>
+"#,
+                y0 + 16.0,
+                esc(cat),
+            ));
+        }
+        frame(&self.title, &self.y_label, &body)
+    }
+}
+
+impl LineChart {
+    /// Render to an SVG document string.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.x_labels.is_empty() && !self.series.is_empty());
+        let y_max = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(1e-12)
+            * 1.1;
+        let x0 = MARGIN_L;
+        let y0 = HEIGHT - MARGIN_B;
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = y0 - MARGIN_T;
+        let n = self.x_labels.len();
+        let step = plot_w / (n.max(2) - 1) as f64;
+
+        let mut body = axes(y_max, |v| format!("{v:.2}"));
+        body.push_str(&legend(&self.series));
+        for (si, (label, values)) in self.series.iter().enumerate() {
+            assert_eq!(values.len(), n, "series '{label}' length mismatch");
+            let pts: Vec<String> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    format!(
+                        "{:.1},{:.1}",
+                        x0 + step * i as f64,
+                        y0 - (v.clamp(0.0, y_max) / y_max) * plot_h
+                    )
+                })
+                .collect();
+            body.push_str(&format!(
+                r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2"/>
+"#,
+                pts.join(" "),
+                PALETTE[si % PALETTE.len()],
+            ));
+            for pt in &pts {
+                let (x, y) = pt.split_once(',').expect("formatted above");
+                body.push_str(&format!(
+                    r#"<circle cx="{x}" cy="{y}" r="3" fill="{}"/>
+"#,
+                    PALETTE[si % PALETTE.len()],
+                ));
+            }
+        }
+        for (i, label) in self.x_labels.iter().enumerate() {
+            body.push_str(&format!(
+                r#"<text x="{:.1}" y="{}" text-anchor="middle">{}</text>
+"#,
+                x0 + step * i as f64,
+                y0 + 16.0,
+                esc(label),
+            ));
+        }
+        frame(&self.title, &self.y_label, &body)
+    }
+}
+
+/// Stack several SVG documents vertically into one document.
+pub fn stack_svgs(svgs: &[String]) -> String {
+    let total_h = HEIGHT * svgs.len() as f64;
+    let mut out = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{total_h}" viewBox="0 0 {WIDTH} {total_h}">
+"#
+    );
+    for (i, svg) in svgs.iter().enumerate() {
+        // Strip the outer <svg> wrapper and re-embed with an offset.
+        let inner = svg
+            .split_once('>')
+            .map(|(_, rest)| rest.rsplit_once("</svg>").map(|(body, _)| body).unwrap_or(rest))
+            .unwrap_or(svg);
+        out.push_str(&format!(
+            r#"<g transform="translate(0 {})">{inner}</g>
+"#,
+            HEIGHT * i as f64
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar() -> BarChart {
+        BarChart {
+            title: "Demo <bars>".into(),
+            y_label: "success rate".into(),
+            categories: vec!["cg".into(), "ft".into()],
+            series: vec![
+                ("measured".into(), vec![0.65, 0.76]),
+                ("predicted".into(), vec![0.60, 0.70]),
+            ],
+            y_max: 1.0,
+        }
+    }
+
+    #[test]
+    fn bar_chart_renders_valid_svg() {
+        let svg = bar().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 2 series x 2 categories = 4 bars (+1 legend swatch rect each +1 bg).
+        assert_eq!(svg.matches("<rect").count(), 4 + 2 + 1);
+        // Title is escaped.
+        assert!(svg.contains("Demo &lt;bars&gt;"));
+        assert!(svg.contains("measured"));
+    }
+
+    #[test]
+    fn line_chart_renders_polylines() {
+        let chart = LineChart {
+            title: "fig8".into(),
+            y_label: "RMSE".into(),
+            x_labels: vec!["4".into(), "8".into(), "16".into(), "32".into()],
+            series: vec![("rmse".into(), vec![0.066, 0.049, 0.045, 0.033])],
+        };
+        let svg = chart.to_svg();
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bar_chart_rejects_ragged_series() {
+        let mut chart = bar();
+        chart.series[0].1.pop();
+        chart.to_svg();
+    }
+
+    #[test]
+    fn stacking_combines_documents() {
+        let a = bar().to_svg();
+        let b = bar().to_svg();
+        let stacked = stack_svgs(&[a, b]);
+        assert!(stacked.starts_with("<svg"));
+        assert_eq!(stacked.matches("<g transform").count(), 2);
+        // No nested outer <svg> wrappers survive.
+        assert_eq!(stacked.matches("<svg").count(), 1);
+    }
+}

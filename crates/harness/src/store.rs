@@ -1,0 +1,324 @@
+//! Persisting campaign results: measure once, model later.
+//!
+//! A fault-injection campaign is expensive; the model that consumes it is
+//! not. [`CampaignSummary`] is the serializable record of one deployment
+//! (everything the model needs, nothing the simulator owns), and
+//! [`ResultStore`] is a directory of them. This mirrors the paper's
+//! workflow: collect serial and small-scale measurements on whatever
+//! machine is available, then predict large scales offline.
+
+use crate::campaign::{CampaignResult, CampaignSpec, ErrorSpec};
+use resilim_core::{FiResult, PropagationProfile};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// The serializable essence of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Application name.
+    pub app: String,
+    /// Rank count of the deployment.
+    pub procs: usize,
+    /// Fault pattern.
+    pub errors: ErrorSpec,
+    /// Number of tests.
+    pub tests: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Contamination-significance threshold used.
+    pub taint_threshold: f64,
+    /// Outcome statistics.
+    pub fi: FiResult,
+    /// Contaminated-rank histogram.
+    pub prop: PropagationProfile,
+    /// Outcome statistics conditioned on contamination count.
+    pub by_contam: Vec<FiResult>,
+    /// Campaign wall-clock seconds.
+    pub wall_secs: f64,
+}
+
+impl CampaignSummary {
+    /// Build the summary of a finished campaign.
+    pub fn of(spec: &CampaignSpec, result: &CampaignResult) -> CampaignSummary {
+        CampaignSummary {
+            app: spec.spec.app().name().to_string(),
+            procs: spec.procs,
+            errors: spec.errors,
+            tests: spec.tests,
+            seed: spec.seed,
+            taint_threshold: spec.taint_threshold,
+            fi: result.fi,
+            prop: result.prop.clone(),
+            by_contam: result.by_contam.clone(),
+            wall_secs: result.wall.as_secs_f64(),
+        }
+    }
+
+    /// The conditional results in the model's optional form.
+    pub fn by_contam_optional(&self) -> Vec<Option<FiResult>> {
+        self.by_contam
+            .iter()
+            .map(|fi| if fi.total() > 0 { Some(*fi) } else { None })
+            .collect()
+    }
+
+    /// Canonical file name for this deployment.
+    pub fn file_name(&self) -> String {
+        let errors = match self.errors {
+            ErrorSpec::OneParallel => "par1".to_string(),
+            ErrorSpec::SerialErrors(x) => format!("ser{x}"),
+            ErrorSpec::OneParallelUnique => "unique1".to_string(),
+            ErrorSpec::OneParallelMultiBit(k) => format!("par1x{k}bit"),
+        };
+        format!(
+            "{}_p{}_{}_n{}_s{}.json",
+            self.app, self.procs, errors, self.tests, self.seed
+        )
+    }
+}
+
+/// A directory of saved campaign summaries.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) a store at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ResultStore> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Save a summary under its canonical name; returns the path.
+    pub fn save(&self, summary: &CampaignSummary) -> std::io::Result<PathBuf> {
+        let path = self.dir.join(summary.file_name());
+        let json = serde_json::to_string_pretty(summary)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Load one summary by file name.
+    pub fn load(&self, file_name: &str) -> std::io::Result<CampaignSummary> {
+        let raw = std::fs::read_to_string(self.dir.join(file_name))?;
+        serde_json::from_str(&raw)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load every summary in the store.
+    pub fn load_all(&self) -> std::io::Result<Vec<CampaignSummary>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "json") {
+                let raw = std::fs::read_to_string(entry.path())?;
+                if let Ok(summary) = serde_json::from_str(&raw) {
+                    out.push(summary);
+                }
+            }
+        }
+        out.sort_by_key(CampaignSummary::file_name);
+        Ok(out)
+    }
+}
+
+/// Assemble [`ModelInputs`](resilim_core::ModelInputs) for predicting
+/// scale `p` of `app` from the summaries saved in `store` — the offline
+/// half of the paper's workflow.
+///
+/// Requires: serial campaigns (`SerialErrors(x)`) at every sample case of
+/// `(p, s, strategy)` plus `x = 1..=s`, and a 1-error campaign at `s`
+/// ranks. Uses a parallel-unique campaign at `s` ranks plus
+/// `unique_share` when provided.
+pub fn model_inputs_from_store(
+    store: &ResultStore,
+    app: &str,
+    p: usize,
+    s: usize,
+    strategy: resilim_core::SamplePoints,
+    unique_share: f64,
+) -> Result<resilim_core::ModelInputs, String> {
+    let all = store
+        .load_all()
+        .map_err(|e| format!("cannot read store: {e}"))?;
+    let serial_at = |x: usize| -> Option<FiResult> {
+        all.iter()
+            .find(|sum| {
+                sum.app == app && sum.procs == 1 && sum.errors == ErrorSpec::SerialErrors(x)
+            })
+            .map(|sum| sum.fi)
+    };
+    let mut serial = std::collections::BTreeMap::new();
+    let mut needed: Vec<usize> = resilim_core::sample_cases(p, s, strategy);
+    needed.extend(1..=s);
+    for x in needed {
+        let fi = serial_at(x).ok_or(format!("store is missing serial campaign x={x} for {app}"))?;
+        serial.insert(x, fi);
+    }
+    let small = all
+        .iter()
+        .find(|sum| sum.app == app && sum.procs == s && sum.errors == ErrorSpec::OneParallel)
+        .ok_or(format!("store is missing the {s}-rank 1-error campaign for {app}"))?;
+    let fi_unique = all
+        .iter()
+        .find(|sum| {
+            sum.app == app && sum.procs == s && sum.errors == ErrorSpec::OneParallelUnique
+        })
+        .map(|sum| sum.fi);
+    let unique_share = if fi_unique.is_some() { unique_share } else { 0.0 };
+    Ok(resilim_core::ModelInputs {
+        p,
+        s,
+        strategy,
+        serial,
+        small_prop: small.prop.clone(),
+        small_by_contam: small.by_contam_optional(),
+        unique_share,
+        fi_unique,
+        alpha_threshold: 0.20,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignRunner;
+    use resilim_apps::App;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("resilim-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn summary_roundtrips_through_disk() {
+        let runner = CampaignRunner::new();
+        let spec = CampaignSpec::new(
+            App::Lu.default_spec(),
+            2,
+            ErrorSpec::OneParallel,
+            10,
+            5,
+        );
+        let result = runner.run(&spec);
+        let summary = CampaignSummary::of(&spec, &result);
+
+        let store = ResultStore::open(temp_dir("roundtrip")).unwrap();
+        let path = store.save(&summary).unwrap();
+        assert!(path.exists());
+        let loaded = store.load(&summary.file_name()).unwrap();
+        assert_eq!(loaded, summary);
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn load_all_finds_everything() {
+        let runner = CampaignRunner::new();
+        let store = ResultStore::open(temp_dir("all")).unwrap();
+        for x in [1usize, 2] {
+            let spec = CampaignSpec::new(
+                App::Lu.default_spec(),
+                1,
+                ErrorSpec::SerialErrors(x),
+                8,
+                5,
+            );
+            let result = runner.run(&spec);
+            store.save(&CampaignSummary::of(&spec, &result)).unwrap();
+        }
+        let all = store.load_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|s| s.app == "lu" && s.tests == 8));
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn model_inputs_reconstructed_from_store() {
+        let runner = CampaignRunner::new();
+        let store = ResultStore::open(temp_dir("model")).unwrap();
+        let (p, s) = (4usize, 2usize);
+        // Measure and persist everything the model needs.
+        let mut cases: Vec<usize> =
+            resilim_core::sample_cases(p, s, resilim_core::SamplePoints::BucketUpper);
+        cases.extend(1..=s);
+        cases.sort_unstable();
+        cases.dedup();
+        for x in cases {
+            let spec = CampaignSpec::new(
+                App::Lu.default_spec(),
+                1,
+                ErrorSpec::SerialErrors(x),
+                12,
+                3,
+            );
+            let result = runner.run(&spec);
+            store.save(&CampaignSummary::of(&spec, &result)).unwrap();
+        }
+        let spec = CampaignSpec::new(App::Lu.default_spec(), s, ErrorSpec::OneParallel, 12, 3);
+        let result = runner.run(&spec);
+        store.save(&CampaignSummary::of(&spec, &result)).unwrap();
+
+        // Offline: rebuild the inputs and predict.
+        let inputs = model_inputs_from_store(
+            &store,
+            "lu",
+            p,
+            s,
+            resilim_core::SamplePoints::BucketUpper,
+            0.0,
+        )
+        .unwrap();
+        let pred = resilim_core::Predictor::new(inputs).predict();
+        let total: f64 = pred.rates.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+
+        // Missing data is reported, not panicked.
+        let err = model_inputs_from_store(
+            &store,
+            "cg",
+            p,
+            s,
+            resilim_core::SamplePoints::BucketUpper,
+            0.0,
+        )
+        .unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn file_names_distinguish_deployments() {
+        let mk = |errors| CampaignSummary {
+            app: "cg".into(),
+            procs: 4,
+            errors,
+            tests: 100,
+            seed: 1,
+            taint_threshold: 1e-9,
+            fi: FiResult::new(),
+            prop: PropagationProfile::new(4),
+            by_contam: vec![],
+            wall_secs: 0.0,
+        };
+        let names: Vec<String> = [
+            ErrorSpec::OneParallel,
+            ErrorSpec::SerialErrors(16),
+            ErrorSpec::OneParallelUnique,
+            ErrorSpec::OneParallelMultiBit(3),
+        ]
+        .into_iter()
+        .map(|e| mk(e).file_name())
+        .collect();
+        let unique: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "{names:?}");
+    }
+}

@@ -1,0 +1,754 @@
+//! Per-rank injection context and the thread-local hook machinery.
+//!
+//! Every simulated MPI rank runs on its own thread with a [`RankCtx`]
+//! installed. The [`Tf64`] arithmetic operators call into the
+//! context through [`hook_binop`]/[`hook_unop`]; when no context is
+//! installed the hooks degrade to plain shadow-tracked arithmetic (useful
+//! in unit tests and examples).
+
+use crate::mask::OpMask;
+use crate::plan::{InjectionPlan, Operand, Target};
+use crate::profile::{OpKind, OpProfile};
+use crate::region::{Region, RegionGuard};
+use crate::tf64::Tf64;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// A fault that actually fired during execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiredRecord {
+    /// The planned target that fired.
+    pub target: Target,
+    /// Operation kind at the firing site.
+    pub kind: OpKind,
+    /// Operand value before the flip (corrupted-world value).
+    pub before: f64,
+    /// Operand value after the flip.
+    pub after: f64,
+    /// Whether the flip was *instantly masked*: the operation result was
+    /// bitwise identical to the shadow result despite the flip.
+    pub masked_at_site: bool,
+}
+
+/// Summary extracted from a [`RankCtx`] after a rank finishes.
+#[derive(Debug, Clone, Default)]
+pub struct CtxReport {
+    /// Rank id the context belonged to.
+    pub rank: usize,
+    /// Dynamic-op counts observed.
+    pub profile: OpProfile,
+    /// Faults that fired (may be fewer than planned if corruption shortened
+    /// the execution before later targets were reached).
+    pub fired: Vec<FiredRecord>,
+    /// Number of faults that were planned.
+    pub planned: usize,
+    /// Whether this rank was ever contaminated (held a tainted value,
+    /// produced one, or received one in a message).
+    pub contaminated: bool,
+    /// Whether the hang guard tripped (op budget exceeded).
+    pub hang_guard_tripped: bool,
+}
+
+/// Panic payload message used by the hang guard; the runtime recognises it
+/// to classify the outcome as a hang rather than a crash.
+pub const HANG_GUARD_MSG: &str = "resilim: hang guard tripped (op budget exceeded)";
+
+/// Per-rank fault-injection context.
+pub struct RankCtx {
+    rank: usize,
+    region: Region,
+    /// Injectable-op counters per region (the target index space).
+    injectable: [u64; 2],
+    /// Per-region, per-kind op counters.
+    per_kind: [[u64; 5]; 2],
+    /// Pending targets per region, ascending op_index.
+    queues: [VecDeque<Target>; 2],
+    fired: Vec<FiredRecord>,
+    planned: usize,
+    contaminated: bool,
+    /// Relative significance threshold for *contamination marking*: a rank
+    /// counts as contaminated only when it holds a value whose corrupted
+    /// and shadow worlds differ by more than this relative amount. Zero
+    /// (the default) means any bitwise difference contaminates. Value
+    /// taint itself stays bit-exact regardless.
+    taint_threshold: f64,
+    /// Which operation kinds are injection targets (and counted in the
+    /// per-region `injectable` index space).
+    op_mask: OpMask,
+    /// Abort (panic) when total tracked ops exceed this budget.
+    op_cap: Option<u64>,
+    total_ops: u64,
+    hang_guard_tripped: bool,
+}
+
+/// Whether a (corrupted, shadow) pair differs *significantly* at relative
+/// threshold `theta`: `|v − sh| > θ·max(|v|, |sh|)`, with any bitwise
+/// difference significant at `theta == 0` and non-finite disagreements
+/// always significant.
+#[inline]
+pub fn significant_divergence(v: f64, sh: f64, theta: f64) -> bool {
+    if v.to_bits() == sh.to_bits() {
+        return false;
+    }
+    if theta <= 0.0 {
+        return true;
+    }
+    if !v.is_finite() || !sh.is_finite() {
+        return true;
+    }
+    (v - sh).abs() > theta * v.abs().max(sh.abs())
+}
+
+impl RankCtx {
+    /// New context for `rank` with an injection plan.
+    pub fn new(rank: usize, plan: InjectionPlan) -> Self {
+        let planned = plan.len();
+        RankCtx {
+            rank,
+            region: Region::Common,
+            injectable: [0; 2],
+            per_kind: [[0; 5]; 2],
+            queues: plan.into_queues(),
+            fired: Vec::new(),
+            planned,
+            contaminated: false,
+            taint_threshold: 0.0,
+            op_mask: OpMask::FP_ARITH,
+            op_cap: None,
+            total_ops: 0,
+            hang_guard_tripped: false,
+        }
+    }
+
+    /// Profiling context: counts ops, injects nothing.
+    pub fn profiling(rank: usize) -> Self {
+        RankCtx::new(rank, InjectionPlan::none())
+    }
+
+    /// Set the hang-guard budget: the context panics (with
+    /// [`HANG_GUARD_MSG`]) once more than `cap` tracked ops execute.
+    pub fn with_op_cap(mut self, cap: u64) -> Self {
+        self.op_cap = Some(cap);
+        self
+    }
+
+    /// Set the relative significance threshold for contamination marking
+    /// (see [`significant_divergence`]). Zero means bitwise.
+    pub fn with_taint_threshold(mut self, theta: f64) -> Self {
+        self.taint_threshold = theta;
+        self
+    }
+
+    /// The contamination significance threshold.
+    pub fn taint_threshold(&self) -> f64 {
+        self.taint_threshold
+    }
+
+    /// Set which operation kinds are injection targets. The default is
+    /// the paper's floating-point add/sub/mul; the index space of plan
+    /// targets is counted over exactly this set, so plans and profiles
+    /// must use the same mask.
+    pub fn with_op_mask(mut self, mask: OpMask) -> Self {
+        self.op_mask = mask;
+        self
+    }
+
+    /// The injectable-operation mask.
+    pub fn op_mask(&self) -> OpMask {
+        self.op_mask
+    }
+
+    /// Mark the rank contaminated if the value pair diverges significantly.
+    #[inline]
+    pub fn observe(&mut self, value: Tf64) {
+        if significant_divergence(value.value(), value.shadow(), self.taint_threshold) {
+            self.contaminated = true;
+        }
+    }
+
+    /// Rank id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Extract the final report.
+    pub fn into_report(self) -> CtxReport {
+        CtxReport {
+            rank: self.rank,
+            profile: self.profile(),
+            fired: self.fired,
+            planned: self.planned,
+            contaminated: self.contaminated,
+            hang_guard_tripped: self.hang_guard_tripped,
+        }
+    }
+
+    /// Current op profile snapshot.
+    pub fn profile(&self) -> OpProfile {
+        let mut p = OpProfile::default();
+        for r in Region::ALL {
+            let i = r.index();
+            p.regions[i].injectable = self.injectable[i];
+            p.regions[i].per_kind = self.per_kind[i];
+        }
+        p
+    }
+
+    /// Whether the rank has been contaminated so far.
+    pub fn is_contaminated(&self) -> bool {
+        self.contaminated
+    }
+
+    /// Mark the rank contaminated (called on tainted values and tainted
+    /// incoming messages).
+    #[inline]
+    pub fn mark_contaminated(&mut self) {
+        self.contaminated = true;
+    }
+
+    #[inline]
+    fn bump(&mut self, kind: OpKind) {
+        let i = self.region.index();
+        self.per_kind[i][kind.index()] += 1;
+        self.total_ops += 1;
+        if let Some(cap) = self.op_cap {
+            if self.total_ops > cap {
+                self.hang_guard_tripped = true;
+                panic!("{HANG_GUARD_MSG}");
+            }
+        }
+    }
+
+    /// Count an injectable op; fire *every* target whose index matches
+    /// (multi-bit patterns plan several flips on the same dynamic op).
+    #[inline]
+    fn advance_injectable(&mut self) -> Vec<Target> {
+        let i = self.region.index();
+        let idx = self.injectable[i];
+        self.injectable[i] += 1;
+        let mut fired = Vec::new();
+        while matches!(self.queues[i].front(), Some(t) if t.op_index == idx) {
+            fired.push(self.queues[i].pop_front().expect("front just matched"));
+        }
+        fired
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<RankCtx>> = const { RefCell::new(None) };
+}
+
+/// Install a context on the current thread, returning the previous one.
+pub fn install(ctx: RankCtx) -> Option<RankCtx> {
+    CTX.with(|c| c.borrow_mut().replace(ctx))
+}
+
+/// Remove and return the current thread's context.
+pub fn take() -> Option<RankCtx> {
+    CTX.with(|c| c.borrow_mut().take())
+}
+
+/// Whether a context is installed on this thread.
+pub fn is_installed() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Run `f` with mutable access to the installed context (if any).
+pub fn with<R>(f: impl FnOnce(&mut RankCtx) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow_mut().as_mut().map(f))
+}
+
+/// Enter a computation region; restored when the guard drops.
+pub fn enter_region(r: Region) -> RegionGuard {
+    let prev = CTX.with(|c| {
+        c.borrow_mut().as_mut().map(|ctx| {
+            let prev = ctx.region;
+            ctx.region = r;
+            prev
+        })
+    });
+    RegionGuard { prev }
+}
+
+pub(crate) fn set_region(r: Region) {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            ctx.region = r;
+        }
+    });
+}
+
+/// Report externally observed taint (e.g. a received message containing
+/// tainted elements) to the current rank's context, unconditionally.
+pub fn note_taint(tainted: bool) {
+    if tainted {
+        CTX.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                ctx.mark_contaminated();
+            }
+        });
+    }
+}
+
+/// Report received values to the current rank's context: the rank is
+/// marked contaminated when any element diverges beyond the context's
+/// significance threshold (how the runtime accounts message-borne
+/// contamination).
+pub fn note_values(values: &[Tf64]) {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            for &v in values {
+                if v.is_tainted() {
+                    ctx.observe(v);
+                    if ctx.is_contaminated() {
+                        break;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// The binary-operation hook: counts the op, possibly injects, computes
+/// both the corrupted-world and shadow-world results, and records
+/// contamination.
+///
+/// `f` must be a pure function of its operands (it is invoked twice, once
+/// per world).
+#[inline]
+pub fn hook_binop(kind: OpKind, mut a: Tf64, mut b: Tf64, f: fn(f64, f64) -> f64) -> Tf64 {
+    let fired: Vec<(Target, f64, f64)> = CTX.with(|c| {
+        let mut borrow = c.borrow_mut();
+        let Some(ctx) = borrow.as_mut() else {
+            return Vec::new();
+        };
+        ctx.bump(kind);
+        if !ctx.op_mask.contains(kind) {
+            return Vec::new();
+        }
+        // Apply input-operand flips to the corrupted world only;
+        // result-operand flips are applied after computing f.
+        ctx.advance_injectable()
+            .into_iter()
+            .map(|t| {
+                let (before, after) = match t.operand {
+                    Operand::A => {
+                        let before = a.value();
+                        let after = t.apply(before);
+                        a = Tf64::from_parts(after, a.shadow());
+                        (before, after)
+                    }
+                    Operand::B => {
+                        let before = b.value();
+                        let after = t.apply(before);
+                        b = Tf64::from_parts(after, b.shadow());
+                        (before, after)
+                    }
+                    Operand::Result => (0.0, 0.0), // sentinel; patched below
+                };
+                (t, before, after)
+            })
+            .collect()
+    });
+
+    let mut v = f(a.value(), b.value());
+    let sh = f(a.shadow(), b.shadow());
+
+    if !fired.is_empty() {
+        let mut records = Vec::with_capacity(fired.len());
+        for (t, mut before, mut after) in fired {
+            if matches!(t.operand, Operand::Result) {
+                before = v;
+                v = t.apply(v);
+                after = v;
+            }
+            records.push((t, before, after));
+        }
+        let masked = v.to_bits() == sh.to_bits();
+        CTX.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                for (t, before, after) in records {
+                    ctx.fired.push(FiredRecord {
+                        target: t,
+                        kind,
+                        before,
+                        after,
+                        masked_at_site: masked,
+                    });
+                }
+                ctx.mark_contaminated();
+            }
+        });
+    }
+
+    let out = Tf64::from_parts(v, sh);
+    if out.is_tainted() {
+        CTX.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                ctx.observe(out);
+            }
+        });
+    }
+    out
+}
+
+/// The unary-operation hook (sqrt, abs, exp, …): counted as
+/// [`OpKind::Other`] (or the given kind). Not a target under the default
+/// mask, but extended masks (e.g. [`OpMask::ALL`]) may fire here: input
+/// flips corrupt the operand, result flips corrupt the output.
+#[inline]
+pub fn hook_unop(kind: OpKind, mut a: Tf64, f: fn(f64) -> f64) -> Tf64 {
+    let fired: Vec<Target> = CTX.with(|c| {
+        let mut borrow = c.borrow_mut();
+        let Some(ctx) = borrow.as_mut() else {
+            return Vec::new();
+        };
+        ctx.bump(kind);
+        if !ctx.op_mask.contains(kind) {
+            return Vec::new();
+        }
+        ctx.advance_injectable()
+    });
+    let mut result_flips = Vec::new();
+    if !fired.is_empty() {
+        let mut records = Vec::new();
+        for t in fired {
+            match t.operand {
+                Operand::A | Operand::B => {
+                    let before = a.value();
+                    let after = t.apply(before);
+                    a = Tf64::from_parts(after, a.shadow());
+                    records.push((t, before, after));
+                }
+                Operand::Result => result_flips.push(t),
+            }
+        }
+        CTX.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                for (t, before, after) in records {
+                    ctx.fired.push(FiredRecord {
+                        target: t,
+                        kind,
+                        before,
+                        after,
+                        masked_at_site: false,
+                    });
+                }
+                ctx.mark_contaminated();
+            }
+        });
+    }
+    let mut v = f(a.value());
+    let sh = f(a.shadow());
+    if !result_flips.is_empty() {
+        let mut records = Vec::new();
+        for t in result_flips {
+            let before = v;
+            v = t.apply(v);
+            records.push((t, before, v));
+        }
+        let masked = v.to_bits() == sh.to_bits();
+        CTX.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                for (t, before, after) in records {
+                    ctx.fired.push(FiredRecord {
+                        target: t,
+                        kind,
+                        before,
+                        after,
+                        masked_at_site: masked,
+                    });
+                }
+                ctx.mark_contaminated();
+            }
+        });
+    }
+    let out = Tf64::from_parts(v, sh);
+    if out.is_tainted() {
+        CTX.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                ctx.observe(out);
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{InjectionPlan, Operand};
+
+    fn target(region: Region, op_index: u64, bit: u8, operand: Operand) -> Target {
+        Target {
+            region,
+            op_index,
+            bit,
+            operand,
+        }
+    }
+
+    /// Serialize context-using tests: contexts are thread-local, and the
+    /// test harness may run tests on the same thread pool.
+    fn with_clean_ctx<R>(ctx: RankCtx, f: impl FnOnce() -> R) -> (R, CtxReport) {
+        let prev = install(ctx);
+        assert!(prev.is_none(), "leaked context from another test");
+        let r = f();
+        let report = take().unwrap().into_report();
+        (r, report)
+    }
+
+    #[test]
+    fn counting_without_plan() {
+        let (_, report) = with_clean_ctx(RankCtx::profiling(3), || {
+            let a = Tf64::new(1.5);
+            let b = Tf64::new(2.5);
+            let _ = a + b;
+            let _ = a * b;
+            let _ = a / b;
+        });
+        assert_eq!(report.rank, 3);
+        assert_eq!(report.profile.injectable(Region::Common), 2);
+        assert_eq!(report.profile.total(), 3);
+        assert!(!report.contaminated);
+        assert!(report.fired.is_empty());
+    }
+
+    #[test]
+    fn single_injection_fires_at_exact_index() {
+        // Bit 55 (an exponent bit) guarantees the flip is not rounded away.
+        let plan = InjectionPlan::single(target(Region::Common, 2, 55, Operand::B));
+        let (_, report) = with_clean_ctx(RankCtx::new(0, plan), || {
+            let a = Tf64::new(1.0);
+            let b = Tf64::new(2.0);
+            let c = a + b; // idx 0
+            let d = c * b; // idx 1
+            let e = d + a; // idx 2  <- fires on operand B (= a)
+            assert!(e.is_tainted());
+            assert!(!d.is_tainted());
+        });
+        assert_eq!(report.fired.len(), 1);
+        assert_eq!(report.fired[0].target.op_index, 2);
+        assert!(report.contaminated);
+    }
+
+    #[test]
+    fn result_operand_flip() {
+        let plan = InjectionPlan::single(target(Region::Common, 0, 52, Operand::Result));
+        let (_, report) = with_clean_ctx(RankCtx::new(0, plan), || {
+            let a = Tf64::new(1.0);
+            let b = Tf64::new(2.0);
+            let c = a + b;
+            assert!(c.is_tainted());
+            assert_eq!(c.shadow(), 3.0);
+            assert_ne!(c.value(), 3.0);
+        });
+        assert_eq!(report.fired.len(), 1);
+        assert_eq!(report.fired[0].before, 3.0);
+    }
+
+    #[test]
+    fn injection_in_masked_position_is_detected() {
+        // Flip a low mantissa bit of an operand that is then multiplied by
+        // zero: result identical in both worlds -> masked at site.
+        let plan = InjectionPlan::single(target(Region::Common, 0, 0, Operand::A));
+        let (_, report) = with_clean_ctx(RankCtx::new(0, plan), || {
+            let a = Tf64::new(1.0);
+            let zero = Tf64::new(0.0);
+            let c = a * zero;
+            assert!(!c.is_tainted());
+            assert_eq!(c.value(), 0.0);
+        });
+        assert_eq!(report.fired.len(), 1);
+        assert!(report.fired[0].masked_at_site);
+        // The rank still counts as contaminated: the flipped operand existed.
+        assert!(report.contaminated);
+    }
+
+    #[test]
+    fn region_counters_are_separate() {
+        let plan = InjectionPlan::single(target(Region::ParallelUnique, 0, 3, Operand::A));
+        let (_, report) = with_clean_ctx(RankCtx::new(0, plan), || {
+            let a = Tf64::new(1.0);
+            let b = Tf64::new(2.0);
+            let _ = a + b; // common idx 0: must NOT fire
+            let g = enter_region(Region::ParallelUnique);
+            let c = a + b; // parallel-unique idx 0: fires
+            assert!(c.is_tainted());
+            drop(g);
+            let d = a + b; // common idx 1
+            assert!(!d.is_tainted());
+        });
+        assert_eq!(report.profile.injectable(Region::Common), 2);
+        assert_eq!(report.profile.injectable(Region::ParallelUnique), 1);
+        assert_eq!(report.fired.len(), 1);
+    }
+
+    #[test]
+    fn region_guard_restores_on_drop() {
+        let (_, report) = with_clean_ctx(RankCtx::profiling(0), || {
+            let a = Tf64::new(1.0);
+            {
+                let _g = enter_region(Region::ParallelUnique);
+                let _ = a + a;
+                {
+                    let _g2 = enter_region(Region::Common);
+                    let _ = a + a;
+                }
+                let _ = a + a;
+            }
+            let _ = a + a;
+        });
+        assert_eq!(report.profile.injectable(Region::ParallelUnique), 2);
+        assert_eq!(report.profile.injectable(Region::Common), 2);
+    }
+
+    #[test]
+    fn multi_error_plan_fires_all() {
+        let plan = InjectionPlan::multi(vec![
+            target(Region::Common, 1, 5, Operand::A),
+            target(Region::Common, 3, 6, Operand::B),
+            target(Region::Common, 0, 7, Operand::A),
+        ]);
+        let (_, report) = with_clean_ctx(RankCtx::new(0, plan), || {
+            let a = Tf64::new(1.0);
+            let mut acc = Tf64::new(0.0);
+            for _ in 0..5 {
+                acc += a;
+            }
+            acc
+        });
+        assert_eq!(report.planned, 3);
+        assert_eq!(report.fired.len(), 3);
+        let idx: Vec<u64> = report.fired.iter().map(|f| f.target.op_index).collect();
+        assert_eq!(idx, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn multiple_flips_on_one_op_all_fire() {
+        // Multi-bit pattern: three distinct bits of the same operand of
+        // the same dynamic op must all flip (their XOR composes).
+        let plan = InjectionPlan::multi(vec![
+            target(Region::Common, 1, 3, Operand::A),
+            target(Region::Common, 1, 7, Operand::A),
+            target(Region::Common, 1, 55, Operand::A),
+        ]);
+        let (value, report) = with_clean_ctx(RankCtx::new(0, plan), || {
+            let a = Tf64::new(1.5);
+            let b = a + 0.0; // op 0
+            let c = b + 0.0; // op 1: three flips on operand A (= b)
+            c
+        });
+        assert_eq!(report.fired.len(), 3);
+        let expect = f64::from_bits(1.5f64.to_bits() ^ (1 << 3) ^ (1 << 7) ^ (1 << 55));
+        assert_eq!(value.value(), expect + 0.0);
+        assert!(value.is_tainted());
+    }
+
+    #[test]
+    fn extended_mask_targets_divisions() {
+        use crate::mask::OpMask;
+        // Under OpMask::DIV, only divisions advance the index space.
+        let plan = InjectionPlan::single(target(Region::Common, 0, 55, Operand::B));
+        let (_, report) = with_clean_ctx(
+            RankCtx::new(0, plan).with_op_mask(OpMask::DIV),
+            || {
+                let a = Tf64::new(6.0);
+                let b = Tf64::new(2.0);
+                let c = a + b; // add: not a target under DIV mask
+                assert!(!c.is_tainted());
+                let d = a / b; // div idx 0: fires on operand B
+                assert!(d.is_tainted());
+            },
+        );
+        assert_eq!(report.fired.len(), 1);
+        assert_eq!(report.fired[0].kind, OpKind::Div);
+        // The injectable index space counted only the division.
+        assert_eq!(report.profile.injectable(Region::Common), 1);
+    }
+
+    #[test]
+    fn extended_mask_fires_on_unary_ops() {
+        use crate::mask::OpMask;
+        let plan = InjectionPlan::single(target(Region::Common, 0, 52, Operand::Result));
+        let (_, report) = with_clean_ctx(
+            RankCtx::new(0, plan).with_op_mask(OpMask::of(&[OpKind::Other])),
+            || {
+                let a = Tf64::new(4.0);
+                let r = a.sqrt(); // Other idx 0: result flip
+                assert!(r.is_tainted());
+                assert_eq!(r.shadow(), 2.0);
+                assert_ne!(r.value(), 2.0);
+            },
+        );
+        assert_eq!(report.fired.len(), 1);
+        assert_eq!(report.fired[0].kind, OpKind::Other);
+        assert!(report.contaminated);
+    }
+
+    #[test]
+    fn unfired_targets_are_reported() {
+        let plan = InjectionPlan::single(target(Region::Common, 100, 5, Operand::A));
+        let (_, report) = with_clean_ctx(RankCtx::new(0, plan), || {
+            let a = Tf64::new(1.0);
+            let _ = a + a; // only 1 op; target at 100 never fires
+        });
+        assert_eq!(report.planned, 1);
+        assert!(report.fired.is_empty());
+        assert!(!report.contaminated);
+    }
+
+    #[test]
+    fn hang_guard_panics_past_budget() {
+        let prev = install(RankCtx::profiling(0).with_op_cap(10));
+        assert!(prev.is_none());
+        let result = std::panic::catch_unwind(|| {
+            let a = Tf64::new(1.0);
+            let mut acc = Tf64::new(0.0);
+            for _ in 0..100 {
+                acc += a;
+            }
+            acc
+        });
+        assert!(result.is_err());
+        let msg = result
+            .unwrap_err()
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("hang guard"));
+        let report = take().unwrap().into_report();
+        assert!(report.hang_guard_tripped);
+    }
+
+    #[test]
+    fn note_taint_marks_contamination() {
+        let (_, report) = with_clean_ctx(RankCtx::profiling(0), || {
+            note_taint(false);
+            assert!(!with(|c| c.is_contaminated()).unwrap());
+            note_taint(true);
+        });
+        assert!(report.contaminated);
+    }
+
+    #[test]
+    fn tainted_operand_contaminates_rank() {
+        let (_, report) = with_clean_ctx(RankCtx::profiling(0), || {
+            // Value born tainted (e.g. received from a contaminated rank).
+            let t = Tf64::from_parts(1.5, 1.0);
+            let clean = Tf64::new(2.0);
+            let out = t + clean;
+            assert!(out.is_tainted());
+        });
+        assert!(report.contaminated);
+    }
+
+    #[test]
+    fn hooks_work_without_context() {
+        assert!(!is_installed());
+        let a = Tf64::new(2.0);
+        let b = Tf64::new(3.0);
+        assert_eq!((a * b).value(), 6.0);
+        assert!(!(a * b).is_tainted());
+    }
+}

@@ -1,0 +1,147 @@
+//! Injectable-operation masks: which kinds of tracked operations are
+//! fault-injection targets.
+//!
+//! The paper always injects into floating-point add/multiply but states
+//! the methodology "does not make any assumption on which specific
+//! instruction type should be considered" (§2). [`OpMask`] makes the
+//! target set a campaign parameter: the default reproduces the paper
+//! (add/sub/mul); `OpMask::ALL` extends to divisions and the transcendental
+//! /selection operations, and custom masks isolate single kinds.
+
+use crate::profile::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// A set of [`OpKind`]s eligible for fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpMask(u8);
+
+impl OpMask {
+    /// The paper's target set: floating-point add, sub, mul.
+    #[allow(clippy::unusual_byte_groupings)]
+    pub const FP_ARITH: OpMask = OpMask(0b0_0111);
+    /// Divisions only.
+    #[allow(clippy::unusual_byte_groupings)]
+    pub const DIV: OpMask = OpMask(0b0_1000);
+    /// Everything the tracker sees (including sqrt/exp/min/max "other").
+    #[allow(clippy::unusual_byte_groupings)]
+    pub const ALL: OpMask = OpMask(0b1_1111);
+
+    /// Empty mask (profiling-only contexts).
+    pub const fn empty() -> OpMask {
+        OpMask(0)
+    }
+
+    /// Mask containing exactly the given kinds.
+    pub fn of(kinds: &[OpKind]) -> OpMask {
+        let mut bits = 0u8;
+        for k in kinds {
+            bits |= 1 << k.index();
+        }
+        OpMask(bits)
+    }
+
+    /// Whether `kind` is an injection target under this mask.
+    #[inline]
+    pub const fn contains(self, kind: OpKind) -> bool {
+        self.0 & (1 << kind.index()) != 0
+    }
+
+    /// Union of two masks.
+    pub const fn union(self, other: OpMask) -> OpMask {
+        OpMask(self.0 | other.0)
+    }
+
+    /// The kinds in this mask.
+    pub fn kinds(self) -> Vec<OpKind> {
+        OpKind::ALL
+            .into_iter()
+            .filter(|k| self.contains(*k))
+            .collect()
+    }
+}
+
+impl Default for OpMask {
+    /// The paper's default: FP add/sub/mul.
+    fn default() -> Self {
+        OpMask::FP_ARITH
+    }
+}
+
+impl std::fmt::Display for OpMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == OpMask::FP_ARITH {
+            return write!(f, "fp-arith");
+        }
+        if *self == OpMask::ALL {
+            return write!(f, "all");
+        }
+        let names: Vec<&str> = self
+            .kinds()
+            .into_iter()
+            .map(|k| match k {
+                OpKind::Add => "add",
+                OpKind::Sub => "sub",
+                OpKind::Mul => "mul",
+                OpKind::Div => "div",
+                OpKind::Other => "other",
+            })
+            .collect();
+        write!(f, "{}", names.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let m = OpMask::default();
+        assert!(m.contains(OpKind::Add));
+        assert!(m.contains(OpKind::Sub));
+        assert!(m.contains(OpKind::Mul));
+        assert!(!m.contains(OpKind::Div));
+        assert!(!m.contains(OpKind::Other));
+    }
+
+    #[test]
+    fn of_and_kinds_roundtrip() {
+        let m = OpMask::of(&[OpKind::Div, OpKind::Mul]);
+        assert_eq!(m.kinds(), vec![OpKind::Mul, OpKind::Div]);
+        assert!(!m.contains(OpKind::Add));
+    }
+
+    #[test]
+    fn union_combines() {
+        let m = OpMask::FP_ARITH.union(OpMask::DIV);
+        assert!(m.contains(OpKind::Div));
+        assert!(m.contains(OpKind::Add));
+        assert!(!m.contains(OpKind::Other));
+    }
+
+    #[test]
+    fn all_contains_everything() {
+        for k in OpKind::ALL {
+            assert!(OpMask::ALL.contains(k));
+        }
+        for k in OpKind::ALL {
+            assert!(!OpMask::empty().contains(k));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(OpMask::FP_ARITH.to_string(), "fp-arith");
+        assert_eq!(OpMask::ALL.to_string(), "all");
+        assert_eq!(OpMask::DIV.to_string(), "div");
+        assert_eq!(OpMask::of(&[OpKind::Add, OpKind::Other]).to_string(), "add+other");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = OpMask::of(&[OpKind::Div]);
+        let s = serde_json::to_string(&m).unwrap();
+        let back: OpMask = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+}

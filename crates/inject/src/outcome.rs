@@ -1,0 +1,149 @@
+//! Fault-injection test outcomes (paper §2).
+//!
+//! Every fault-injection test ends in exactly one of three outcomes:
+//!
+//! * **Success** — the output is bitwise identical to the fault-free run,
+//!   *or* differs but passes the application's checker;
+//! * **SDC** (silent data corruption) — the output differs from the
+//!   fault-free run and fails the checker;
+//! * **Failure** — the application crashed or hung.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a test counted as a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// A rank panicked (models an application crash/abort).
+    Crash,
+    /// The hang guard tripped: the run executed far more FP ops than the
+    /// fault-free run, or a receive timed out.
+    Hang,
+}
+
+/// The three paper-defined outcome classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutcomeKind {
+    /// Output valid (identical to fault-free, or passes the checker).
+    Success,
+    /// Output differs from fault-free and fails the checker.
+    Sdc,
+    /// Crash or hang.
+    Failure,
+}
+
+impl OutcomeKind {
+    /// All outcome kinds, index-aligned with [`OutcomeKind::index`].
+    pub const ALL: [OutcomeKind; 3] = [OutcomeKind::Success, OutcomeKind::Sdc, OutcomeKind::Failure];
+
+    /// Stable array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            OutcomeKind::Success => 0,
+            OutcomeKind::Sdc => 1,
+            OutcomeKind::Failure => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for OutcomeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutcomeKind::Success => write!(f, "success"),
+            OutcomeKind::Sdc => write!(f, "SDC"),
+            OutcomeKind::Failure => write!(f, "failure"),
+        }
+    }
+}
+
+/// Full record of one fault-injection test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestOutcome {
+    /// Outcome class.
+    pub kind: OutcomeKind,
+    /// Failure detail when `kind == Failure`.
+    pub failure: Option<FailureKind>,
+    /// Whether the output was bitwise identical to the fault-free run
+    /// (error fully masked end-to-end).
+    pub masked: bool,
+    /// Number of MPI ranks contaminated by the end of the run (≥ 1 for any
+    /// test whose injection fired; the paper's Figures 1/2 histogram this).
+    pub contaminated_ranks: usize,
+    /// Number of planned faults that actually fired.
+    pub injections_fired: usize,
+}
+
+impl TestOutcome {
+    /// A successful, fully masked test with `contaminated` contaminated ranks.
+    pub fn success(masked: bool, contaminated: usize, fired: usize) -> Self {
+        TestOutcome {
+            kind: OutcomeKind::Success,
+            failure: None,
+            masked,
+            contaminated_ranks: contaminated,
+            injections_fired: fired,
+        }
+    }
+
+    /// An SDC test.
+    pub fn sdc(contaminated: usize, fired: usize) -> Self {
+        TestOutcome {
+            kind: OutcomeKind::Sdc,
+            failure: None,
+            masked: false,
+            contaminated_ranks: contaminated,
+            injections_fired: fired,
+        }
+    }
+
+    /// A failed (crashed/hung) test.
+    pub fn failure(kind: FailureKind, contaminated: usize, fired: usize) -> Self {
+        TestOutcome {
+            kind: OutcomeKind::Failure,
+            failure: Some(kind),
+            masked: false,
+            contaminated_ranks: contaminated,
+            injections_fired: fired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_align() {
+        for (i, k) in OutcomeKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn constructors() {
+        let s = TestOutcome::success(true, 1, 1);
+        assert_eq!(s.kind, OutcomeKind::Success);
+        assert!(s.masked);
+        let d = TestOutcome::sdc(3, 1);
+        assert_eq!(d.kind, OutcomeKind::Sdc);
+        assert_eq!(d.contaminated_ranks, 3);
+        let f = TestOutcome::failure(FailureKind::Hang, 2, 1);
+        assert_eq!(f.kind, OutcomeKind::Failure);
+        assert_eq!(f.failure, Some(FailureKind::Hang));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(OutcomeKind::Success.to_string(), "success");
+        assert_eq!(OutcomeKind::Sdc.to_string(), "SDC");
+        assert_eq!(OutcomeKind::Failure.to_string(), "failure");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let o = TestOutcome::failure(FailureKind::Crash, 4, 2);
+        let s = serde_json::to_string(&o).unwrap();
+        let back: TestOutcome = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, o);
+    }
+}

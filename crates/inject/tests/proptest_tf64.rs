@@ -1,0 +1,139 @@
+//! Property-based tests for the tracked-scalar algebra and injection plans.
+
+use proptest::prelude::*;
+use resilim_inject::{ctx, InjectionPlan, Operand, RankCtx, Region, Target, Tf64};
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL | prop::num::f64::SUBNORMAL | prop::num::f64::ZERO
+}
+
+proptest! {
+    /// Untainted inputs always produce untainted outputs whose value
+    /// matches plain f64 arithmetic exactly.
+    #[test]
+    fn clean_arithmetic_is_transparent(a in finite_f64(), b in finite_f64()) {
+        let ta = Tf64::new(a);
+        let tb = Tf64::new(b);
+        for (t, p) in [
+            (ta + tb, a + b),
+            (ta - tb, a - b),
+            (ta * tb, a * b),
+            (ta / tb, a / b),
+            (ta.min(tb), a.min(b)),
+            (ta.max(tb), a.max(b)),
+        ] {
+            prop_assert_eq!(t.value().to_bits(), p.to_bits());
+            prop_assert!(!t.is_tainted());
+        }
+    }
+
+    /// The shadow world always equals the arithmetic on shadows, and the
+    /// corrupted world always equals the arithmetic on values — the two
+    /// never cross-contaminate.
+    #[test]
+    fn worlds_stay_separate(
+        av in finite_f64(), ash in finite_f64(),
+        bv in finite_f64(), bsh in finite_f64(),
+    ) {
+        let a = Tf64::from_parts(av, ash);
+        let b = Tf64::from_parts(bv, bsh);
+        let s = a * b + a;
+        prop_assert_eq!(s.value().to_bits(), (av * bv + av).to_bits());
+        prop_assert_eq!(s.shadow().to_bits(), (ash * bsh + ash).to_bits());
+    }
+
+    /// Taint is exactly "bits differ": deciding taintedness after any op
+    /// chain is equivalent to comparing the two worlds.
+    #[test]
+    fn taint_iff_bits_differ(v in finite_f64(), sh in finite_f64()) {
+        let t = Tf64::from_parts(v, sh);
+        prop_assert_eq!(t.is_tainted(), v.to_bits() != sh.to_bits());
+    }
+
+    /// A double application of the same target restores the value.
+    #[test]
+    fn flip_is_involutive(x in finite_f64(), bit in 0u8..64) {
+        let t = Target { region: Region::Common, op_index: 0, bit, operand: Operand::A };
+        prop_assert_eq!(t.apply(t.apply(x)).to_bits(), x.to_bits());
+        prop_assert_ne!(t.apply(x).to_bits(), x.to_bits());
+    }
+
+    /// Multi-target plans keep all targets and sort them by
+    /// (region, op_index).
+    #[test]
+    fn plan_sorting(indices in prop::collection::vec(0u64..1000, 0..20)) {
+        let targets: Vec<Target> = indices.iter().map(|&i| Target {
+            region: if i % 3 == 0 { Region::ParallelUnique } else { Region::Common },
+            op_index: i,
+            bit: (i % 64) as u8,
+            operand: Operand::A,
+        }).collect();
+        let plan = InjectionPlan::multi(targets.clone());
+        prop_assert_eq!(plan.len(), targets.len());
+        let sorted = plan.targets();
+        for w in sorted.windows(2) {
+            prop_assert!((w[0].region, w[0].op_index) <= (w[1].region, w[1].op_index));
+        }
+    }
+
+    /// For any chain of clean ops with a single injected bit-flip, the
+    /// shadow equals the completely uninstrumented computation.
+    #[test]
+    fn shadow_equals_fault_free_run(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..40),
+        target_idx in 0u64..20,
+        bit in 0u8..64,
+    ) {
+        // Fault-free reference.
+        let mut reference = 1.0f64;
+        for &x in &xs {
+            reference = reference * 0.5 + x;
+        }
+
+        let plan = InjectionPlan::single(Target {
+            region: Region::Common,
+            op_index: target_idx,
+            bit,
+            operand: Operand::B,
+        });
+        ctx::install(RankCtx::new(0, plan));
+        let mut acc = Tf64::new(1.0);
+        for &x in &xs {
+            acc = acc * 0.5 + x;
+        }
+        let report = ctx::take().unwrap().into_report();
+        prop_assert_eq!(acc.shadow().to_bits(), reference.to_bits());
+        // If the fault fired and the result is tainted, the rank must be
+        // contaminated.
+        if acc.is_tainted() {
+            prop_assert!(report.contaminated);
+            prop_assert_eq!(report.fired.len(), 1);
+        }
+    }
+
+    /// Op counting is independent of injection: a plan never changes how
+    /// many dynamic ops are counted.
+    #[test]
+    fn counting_independent_of_plan(n in 1usize..50, target_idx in 0u64..100) {
+        let run = |plan: InjectionPlan| {
+            ctx::install(RankCtx::new(0, plan));
+            let mut acc = Tf64::new(0.0);
+            for i in 0..n {
+                acc += i as f64;
+            }
+            ctx::take().unwrap().into_report()
+        };
+        let clean = run(InjectionPlan::none());
+        let injected = run(InjectionPlan::single(Target {
+            region: Region::Common,
+            op_index: target_idx,
+            bit: 12,
+            operand: Operand::A,
+        }));
+        prop_assert_eq!(clean.profile.injectable(Region::Common), n as u64);
+        prop_assert_eq!(
+            injected.profile.injectable(Region::Common),
+            clean.profile.injectable(Region::Common)
+        );
+    }
+}

@@ -1,0 +1,531 @@
+//! The per-rank communicator handle.
+//!
+//! [`Comm`] wraps the shared [`fabric::Fabric`](crate::fabric::Fabric) with an
+//! MPI-flavoured API: tagged point-to-point messages plus the collectives
+//! the ported applications need (barrier, bcast, reduce, allreduce,
+//! gather, allgather, alltoallv, scatter, sendrecv).
+//!
+//! Design notes:
+//!
+//! * **Errors abort the job.** Fabric errors become panics with
+//!   recognisable messages (see [`crate::error`]); the world runner
+//!   classifies them. This mirrors the default `MPI_ERRORS_ARE_FATAL`.
+//! * **Collectives are linear and deterministic.** Reductions gather
+//!   contributions at the root and fold them in rank order 0,1,…,p−1, so
+//!   results are bit-reproducible and independent of thread scheduling.
+//!   With ≤128 ranks the O(p) fan-in is not a bottleneck.
+//! * **Reduction arithmetic is not instrumented.** The paper injects into
+//!   application computation, never into MPI internals, so collective
+//!   combines bypass the injection hook (and therefore also keep dynamic
+//!   op counts identical across scales). Taint still propagates, because
+//!   it is carried by the values themselves.
+//! * **Every received numeric payload reports its taint** to the current
+//!   rank's injection context — that is how cross-rank contamination
+//!   (paper §3.2) becomes observable.
+
+use crate::error::MpiError;
+use crate::fabric::Fabric;
+use crate::payload::Payload;
+use resilim_inject::{ctx, Tf64};
+use std::cell::Cell;
+
+/// Reduction operators for [`Comm::reduce`]/[`Comm::allreduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise product.
+    Prod,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Combine two tracked scalars in both worlds, outside the injection
+    /// hook (reductions model MPI-internal arithmetic).
+    #[inline]
+    pub fn combine(self, a: Tf64, b: Tf64) -> Tf64 {
+        let f: fn(f64, f64) -> f64 = match self {
+            ReduceOp::Sum => |x, y| x + y,
+            ReduceOp::Prod => |x, y| x * y,
+            ReduceOp::Min => f64::min,
+            ReduceOp::Max => f64::max,
+        };
+        Tf64::from_parts(f(a.value(), b.value()), f(a.shadow(), b.shadow()))
+    }
+}
+
+/// Report a received payload's (significance-thresholded) taint to the
+/// current rank's injection context.
+fn note_payload(payload: &Payload) {
+    if let Payload::F64(values) = payload {
+        ctx::note_values(values);
+    }
+}
+
+/// Base tag for internal collective messages; user tags must stay below.
+const COLL_TAG_BASE: u64 = 1 << 63;
+
+/// Per-rank communicator handle (one per rank thread).
+pub struct Comm<'a> {
+    rank: usize,
+    size: usize,
+    fabric: &'a Fabric,
+    coll_seq: Cell<u64>,
+}
+
+#[allow(clippy::needless_range_loop)] // receives are matched by explicit src rank
+impl<'a> Comm<'a> {
+    /// Handle for `rank` over a shared fabric.
+    pub fn new(rank: usize, fabric: &'a Fabric) -> Comm<'a> {
+        Comm {
+            rank,
+            size: fabric.size(),
+            fabric,
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size (number of ranks).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether this is a single-rank (serial) world.
+    #[inline]
+    pub fn is_serial(&self) -> bool {
+        self.size == 1
+    }
+
+    fn chk<T>(r: Result<T, MpiError>) -> T {
+        match r {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        COLL_TAG_BASE | seq
+    }
+
+    // ----------------------------------------------------------------
+    // Point-to-point
+    // ----------------------------------------------------------------
+
+    /// Send tracked floats to `dst` (non-blocking buffered send).
+    pub fn send(&self, dst: usize, tag: u64, data: &[Tf64]) {
+        debug_assert!(tag < COLL_TAG_BASE, "user tags must be < 2^63");
+        Self::chk(self.fabric.send(self.rank, dst, tag, data.into()));
+    }
+
+    /// Receive tracked floats from `src`.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<Tf64> {
+        let payload = Self::chk(self.fabric.recv(self.rank, src, tag));
+        note_payload(&payload);
+        Self::chk(payload.into_f64())
+    }
+
+    /// Send raw bytes to `dst`.
+    pub fn send_bytes(&self, dst: usize, tag: u64, data: Vec<u8>) {
+        debug_assert!(tag < COLL_TAG_BASE, "user tags must be < 2^63");
+        Self::chk(self.fabric.send(self.rank, dst, tag, data.into()));
+    }
+
+    /// Receive raw bytes from `src`.
+    pub fn recv_bytes(&self, src: usize, tag: u64) -> Vec<u8> {
+        Self::chk(Self::chk(self.fabric.recv(self.rank, src, tag)).into_bytes())
+    }
+
+    /// Combined send-to-`dst` + receive-from-`src` (halo-exchange staple;
+    /// deadlock-free because sends never block).
+    pub fn sendrecv(&self, dst: usize, src: usize, tag: u64, data: &[Tf64]) -> Vec<Tf64> {
+        self.send(dst, tag, data);
+        self.recv(src, tag)
+    }
+
+    // ----------------------------------------------------------------
+    // Collectives (all ranks must call, in the same order)
+    // ----------------------------------------------------------------
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        let tag = self.next_coll_tag();
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            for src in 1..self.size {
+                let _ = Self::chk(self.fabric.recv(self.rank, src, tag));
+            }
+            for dst in 1..self.size {
+                Self::chk(self.fabric.send(self.rank, dst, tag, Payload::Bytes(Vec::new())));
+            }
+        } else {
+            Self::chk(self.fabric.send(self.rank, 0, tag, Payload::Bytes(Vec::new())));
+            let _ = Self::chk(self.fabric.recv(self.rank, 0, tag));
+        }
+    }
+
+    /// Broadcast `data` from `root`; non-root buffers are overwritten.
+    pub fn bcast(&self, root: usize, data: &mut Vec<Tf64>) {
+        let tag = self.next_coll_tag();
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == root {
+            for dst in 0..self.size {
+                if dst != root {
+                    Self::chk(self.fabric.send(self.rank, dst, tag, data.as_slice().into()));
+                }
+            }
+        } else {
+            let payload = Self::chk(self.fabric.recv(self.rank, root, tag));
+            note_payload(&payload);
+            *data = Self::chk(payload.into_f64());
+        }
+    }
+
+    /// Reduce `data` elementwise onto `root`; returns `Some(result)` at the
+    /// root and `None` elsewhere. Contributions fold in rank order.
+    pub fn reduce(&self, root: usize, op: ReduceOp, data: &[Tf64]) -> Option<Vec<Tf64>> {
+        let tag = self.next_coll_tag();
+        if self.size == 1 {
+            return Some(data.to_vec());
+        }
+        if self.rank == root {
+            // Gather all contributions first so folding is in rank order
+            // regardless of arrival order.
+            let mut parts: Vec<Option<Vec<Tf64>>> = vec![None; self.size];
+            parts[root] = Some(data.to_vec());
+            for src in 0..self.size {
+                if src != root {
+                    let payload = Self::chk(self.fabric.recv(self.rank, src, tag));
+                    note_payload(&payload);
+                    parts[src] = Some(Self::chk(payload.into_f64()));
+                }
+            }
+            let mut iter = parts.into_iter().map(|p| p.expect("all parts gathered"));
+            let mut acc = iter.next().expect("size >= 1");
+            for part in iter {
+                assert_eq!(part.len(), acc.len(), "reduce: length mismatch across ranks");
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a = op.combine(*a, b);
+                }
+            }
+            Some(acc)
+        } else {
+            Self::chk(self.fabric.send(self.rank, root, tag, data.into()));
+            None
+        }
+    }
+
+    /// Allreduce: reduce onto rank 0, then broadcast the result.
+    pub fn allreduce(&self, op: ReduceOp, data: &[Tf64]) -> Vec<Tf64> {
+        let reduced = self.reduce(0, op, data);
+        let mut buf = reduced.unwrap_or_default();
+        self.bcast(0, &mut buf);
+        buf
+    }
+
+    /// Scalar allreduce convenience.
+    pub fn allreduce_scalar(&self, op: ReduceOp, x: Tf64) -> Tf64 {
+        self.allreduce(op, &[x])[0]
+    }
+
+    /// Gather every rank's buffer at `root` (rank-indexed).
+    pub fn gather(&self, root: usize, data: &[Tf64]) -> Option<Vec<Vec<Tf64>>> {
+        let tag = self.next_coll_tag();
+        if self.size == 1 {
+            return Some(vec![data.to_vec()]);
+        }
+        if self.rank == root {
+            let mut out: Vec<Vec<Tf64>> = vec![Vec::new(); self.size];
+            out[root] = data.to_vec();
+            for src in 0..self.size {
+                if src != root {
+                    let payload = Self::chk(self.fabric.recv(self.rank, src, tag));
+                    note_payload(&payload);
+                    out[src] = Self::chk(payload.into_f64());
+                }
+            }
+            Some(out)
+        } else {
+            Self::chk(self.fabric.send(self.rank, root, tag, data.into()));
+            None
+        }
+    }
+
+    /// Allgather: every rank receives every rank's buffer (rank-indexed).
+    /// Buffers may have different lengths (allgatherv semantics).
+    pub fn allgather(&self, data: &[Tf64]) -> Vec<Vec<Tf64>> {
+        let gathered = self.gather(0, data);
+        if self.size == 1 {
+            return gathered.expect("serial gather");
+        }
+        // Broadcast the concatenation plus a length table.
+        let tag = self.next_coll_tag();
+        if self.rank == 0 {
+            let parts = gathered.expect("root gather");
+            let lens: Vec<Tf64> = parts.iter().map(|p| Tf64::new(p.len() as f64)).collect();
+            let mut flat: Vec<Tf64> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for p in &parts {
+                flat.extend_from_slice(p);
+            }
+            for dst in 1..self.size {
+                Self::chk(self.fabric.send(self.rank, dst, tag, lens.as_slice().into()));
+                Self::chk(self.fabric.send(self.rank, dst, tag, flat.as_slice().into()));
+            }
+            parts
+        } else {
+            let lens_payload = Self::chk(self.fabric.recv(self.rank, 0, tag));
+            let lens = Self::chk(lens_payload.into_f64());
+            let flat_payload = Self::chk(self.fabric.recv(self.rank, 0, tag));
+            note_payload(&flat_payload);
+            let flat = Self::chk(flat_payload.into_f64());
+            let mut out = Vec::with_capacity(self.size);
+            let mut off = 0usize;
+            for len in lens {
+                let n = len.value() as usize;
+                out.push(flat[off..off + n].to_vec());
+                off += n;
+            }
+            out
+        }
+    }
+
+    /// All-to-all with per-destination buffers: `outgoing[d]` goes to rank
+    /// `d`; returns `incoming[s]` from each rank `s`. (The FT transpose
+    /// backbone.)
+    pub fn alltoallv(&self, outgoing: Vec<Vec<Tf64>>) -> Vec<Vec<Tf64>> {
+        assert_eq!(outgoing.len(), self.size, "alltoallv: need one buffer per rank");
+        let tag = self.next_coll_tag();
+        let mut incoming: Vec<Vec<Tf64>> = vec![Vec::new(); self.size];
+        for (dst, buf) in outgoing.into_iter().enumerate() {
+            if dst == self.rank {
+                incoming[dst] = buf;
+            } else {
+                Self::chk(self.fabric.send(self.rank, dst, tag, buf.into()));
+            }
+        }
+        for src in 0..self.size {
+            if src != self.rank {
+                let payload = Self::chk(self.fabric.recv(self.rank, src, tag));
+                note_payload(&payload);
+                incoming[src] = Self::chk(payload.into_f64());
+            }
+        }
+        incoming
+    }
+
+    /// Scatter `chunks` (one per rank, provided at `root`) to all ranks.
+    pub fn scatter(&self, root: usize, chunks: Option<&[Vec<Tf64>]>) -> Vec<Tf64> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let chunks = chunks.expect("root must provide chunks");
+            assert_eq!(chunks.len(), self.size, "scatter: need one chunk per rank");
+            for (dst, chunk) in chunks.iter().enumerate() {
+                if dst != root {
+                    Self::chk(self.fabric.send(self.rank, dst, tag, chunk.as_slice().into()));
+                }
+            }
+            chunks[root].clone()
+        } else {
+            let payload = Self::chk(self.fabric.recv(self.rank, root, tag));
+            note_payload(&payload);
+            Self::chk(payload.into_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn reduce_op_combine() {
+        let a = Tf64::new(3.0);
+        let b = Tf64::new(5.0);
+        assert_eq!(ReduceOp::Sum.combine(a, b).value(), 8.0);
+        assert_eq!(ReduceOp::Prod.combine(a, b).value(), 15.0);
+        assert_eq!(ReduceOp::Min.combine(a, b).value(), 3.0);
+        assert_eq!(ReduceOp::Max.combine(a, b).value(), 5.0);
+    }
+
+    #[test]
+    fn combine_preserves_world_separation() {
+        let a = Tf64::from_parts(1.0, 10.0);
+        let b = Tf64::from_parts(2.0, 20.0);
+        let s = ReduceOp::Sum.combine(a, b);
+        assert_eq!(s.value(), 3.0);
+        assert_eq!(s.shadow(), 30.0);
+        assert!(s.is_tainted());
+    }
+
+    #[test]
+    fn combine_min_can_mask_taint() {
+        // Corrupted world picks 1.0 (clean), shadow world picks 1.0 too.
+        let corrupt = Tf64::from_parts(50.0, 2.0);
+        let clean = Tf64::new(1.0);
+        let m = ReduceOp::Min.combine(corrupt, clean);
+        assert_eq!(m.value(), 1.0);
+        // Shadow: min(2.0, 1.0) = 1.0 -> identical, taint masked.
+        assert!(!m.is_tainted());
+    }
+
+    // Collective behaviour across real rank threads.
+
+    #[test]
+    fn allreduce_sum_all_sizes() {
+        for p in [1usize, 2, 3, 4, 8] {
+            let world = World::new(p);
+            let results = world.run(move |comm| {
+                let x = [Tf64::new((comm.rank() + 1) as f64)];
+                comm.allreduce(ReduceOp::Sum, &x)[0].value()
+            });
+            let expect = (p * (p + 1) / 2) as f64;
+            for r in results {
+                assert_eq!(r.result.unwrap(), expect, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let world = World::new(4);
+        let results = world.run(|comm| {
+            let mut data = if comm.rank() == 2 {
+                vec![Tf64::new(7.5), Tf64::new(-1.0)]
+            } else {
+                Vec::new()
+            };
+            comm.bcast(2, &mut data);
+            (data[0].value(), data[1].value())
+        });
+        for r in results {
+            assert_eq!(r.result.unwrap(), (7.5, -1.0));
+        }
+    }
+
+    #[test]
+    fn gather_rank_ordered() {
+        let world = World::new(4);
+        let results = world.run(|comm| {
+            let mine = vec![Tf64::new(comm.rank() as f64); comm.rank() + 1];
+            comm.gather(1, &mine)
+        });
+        for (rank, r) in results.into_iter().enumerate() {
+            let g = r.result.unwrap();
+            if rank == 1 {
+                let g = g.unwrap();
+                for (i, part) in g.iter().enumerate() {
+                    assert_eq!(part.len(), i + 1);
+                    assert!(part.iter().all(|x| x.value() == i as f64));
+                }
+            } else {
+                assert!(g.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_variable_lengths() {
+        let world = World::new(3);
+        let results = world.run(|comm| {
+            let mine = vec![Tf64::new(comm.rank() as f64); comm.rank() + 1];
+            let all = comm.allgather(&mine);
+            all.iter().map(|p| p.len()).collect::<Vec<_>>()
+        });
+        for r in results {
+            assert_eq!(r.result.unwrap(), vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_transpose() {
+        let p = 4;
+        let world = World::new(p);
+        let results = world.run(move |comm| {
+            let me = comm.rank();
+            // Send value me*10+dst to each dst.
+            let outgoing: Vec<Vec<Tf64>> = (0..p)
+                .map(|dst| vec![Tf64::new((me * 10 + dst) as f64)])
+                .collect();
+            let incoming = comm.alltoallv(outgoing);
+            incoming.iter().map(|b| b[0].value() as usize).collect::<Vec<_>>()
+        });
+        for (rank, r) in results.into_iter().enumerate() {
+            let inc = r.result.unwrap();
+            let expect: Vec<usize> = (0..p).map(|src| src * 10 + rank).collect();
+            assert_eq!(inc, expect);
+        }
+    }
+
+    #[test]
+    fn scatter_chunks() {
+        let world = World::new(3);
+        let results = world.run(|comm| {
+            let chunks: Option<Vec<Vec<Tf64>>> = (comm.rank() == 0).then(|| {
+                (0..3).map(|i| vec![Tf64::new(i as f64 * 2.0)]).collect()
+            });
+            comm.scatter(0, chunks.as_deref())[0].value()
+        });
+        for (rank, r) in results.into_iter().enumerate() {
+            assert_eq!(r.result.unwrap(), rank as f64 * 2.0);
+        }
+    }
+
+    #[test]
+    fn sendrecv_ring() {
+        let p = 5;
+        let world = World::new(p);
+        let results = world.run(move |comm| {
+            let me = comm.rank();
+            let right = (me + 1) % p;
+            let left = (me + p - 1) % p;
+            let got = comm.sendrecv(right, left, 3, &[Tf64::new(me as f64)]);
+            got[0].value() as usize
+        });
+        for (rank, r) in results.into_iter().enumerate() {
+            assert_eq!(r.result.unwrap(), (rank + p - 1) % p);
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let world = World::new(6);
+        let results = world.run(|comm| {
+            for _ in 0..10 {
+                comm.barrier();
+            }
+            true
+        });
+        assert!(results.into_iter().all(|r| r.result.unwrap()));
+    }
+
+    #[test]
+    fn deterministic_reduction_order() {
+        // Sum of values whose FP addition is order-sensitive; two runs must
+        // agree bitwise.
+        let run_once = || {
+            let world = World::new(8);
+            let results = world.run(|comm| {
+                let x = [Tf64::new(0.1 * (comm.rank() as f64 + 1.0))];
+                comm.allreduce(ReduceOp::Sum, &x)[0].value().to_bits()
+            });
+            results.into_iter().map(|r| r.result.unwrap()).collect::<Vec<u64>>()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,215 @@
+//! The in-memory message fabric.
+//!
+//! One mailbox per rank, guarded by a `parking_lot` mutex + condvar pair
+//! (see *Rust Atomics and Locks* ch. 5 for the pattern). Sends never
+//! block; receives block with a timeout and support `(src, tag)` matching
+//! with out-of-order buffering, like MPI's unexpected-message queue.
+//!
+//! When a rank dies, the fabric is *poisoned*: every pending and future
+//! receive fails fast with [`MpiError::FabricDead`], so one rank's crash
+//! tears the whole job down instead of hanging it — the behaviour of
+//! `MPI_Abort`.
+
+use crate::error::MpiError;
+use crate::payload::Payload;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A message in flight.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Payload.
+    pub payload: Payload,
+}
+
+struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    arrived: Condvar,
+}
+
+/// The shared fabric connecting all ranks of one [`World`](crate::World)
+/// run.
+pub struct Fabric {
+    boxes: Vec<Mailbox>,
+    dead: AtomicBool,
+    timeout: Duration,
+}
+
+impl Fabric {
+    /// A fabric for `size` ranks with the given receive timeout.
+    pub fn new(size: usize, timeout: Duration) -> Fabric {
+        Fabric {
+            boxes: (0..size)
+                .map(|_| Mailbox {
+                    queue: Mutex::new(VecDeque::new()),
+                    arrived: Condvar::new(),
+                })
+                .collect(),
+            dead: AtomicBool::new(false),
+            timeout,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Whether the fabric has been poisoned.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Poison the fabric and wake every waiting receiver.
+    pub fn poison(&self) {
+        self.dead.store(true, Ordering::Release);
+        for mb in &self.boxes {
+            // Acquire the lock so a receiver between its dead-check and its
+            // wait cannot miss the wake-up.
+            let _guard = mb.queue.lock();
+            mb.arrived.notify_all();
+        }
+    }
+
+    /// Deliver a message to `dst`'s mailbox. Never blocks.
+    pub fn send(&self, src: usize, dst: usize, tag: u64, payload: Payload) -> Result<(), MpiError> {
+        if self.is_dead() {
+            return Err(MpiError::FabricDead);
+        }
+        let mb = self
+            .boxes
+            .get(dst)
+            .ok_or(MpiError::InvalidRank { rank: dst, size: self.size() })?;
+        let mut q = mb.queue.lock();
+        q.push_back(Envelope { src, tag, payload });
+        mb.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Blocking receive of the first message matching `(src, tag)` in
+    /// `me`'s mailbox. Non-matching messages stay buffered.
+    pub fn recv(&self, me: usize, src: usize, tag: u64) -> Result<Payload, MpiError> {
+        let mb = self
+            .boxes
+            .get(me)
+            .ok_or(MpiError::InvalidRank { rank: me, size: self.size() })?;
+        let deadline = Instant::now() + self.timeout;
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| e.src == src && e.tag == tag) {
+                return Ok(q.remove(pos).expect("position just found").payload);
+            }
+            if self.is_dead() {
+                return Err(MpiError::FabricDead);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(MpiError::RecvTimeout { rank: me, src, tag });
+            }
+            if mb
+                .arrived
+                .wait_until(&mut q, deadline)
+                .timed_out()
+            {
+                // Loop once more: the message may have raced the timeout.
+                if let Some(pos) = q.iter().position(|e| e.src == src && e.tag == tag) {
+                    return Ok(q.remove(pos).expect("position just found").payload);
+                }
+                if self.is_dead() {
+                    return Err(MpiError::FabricDead);
+                }
+                return Err(MpiError::RecvTimeout { rank: me, src, tag });
+            }
+        }
+    }
+
+    /// Number of buffered (undelivered) messages across all mailboxes.
+    /// Useful for leak checks in tests: a clean SPMD program ends with an
+    /// empty fabric.
+    pub fn pending_messages(&self) -> usize {
+        self.boxes.iter().map(|mb| mb.queue.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilim_inject::Tf64;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn fabric(n: usize) -> Arc<Fabric> {
+        Arc::new(Fabric::new(n, Duration::from_millis(200)))
+    }
+
+    #[test]
+    fn send_then_recv() {
+        let f = fabric(2);
+        f.send(0, 1, 7, Payload::F64(vec![Tf64::new(1.5)])).unwrap();
+        let p = f.recv(1, 0, 7).unwrap();
+        assert_eq!(p.into_f64().unwrap()[0].value(), 1.5);
+        assert_eq!(f.pending_messages(), 0);
+    }
+
+    #[test]
+    fn tag_matching_buffers_out_of_order() {
+        let f = fabric(2);
+        f.send(0, 1, 1, Payload::Bytes(vec![1])).unwrap();
+        f.send(0, 1, 2, Payload::Bytes(vec![2])).unwrap();
+        // Receive tag 2 first; tag 1 stays buffered.
+        assert_eq!(f.recv(1, 0, 2).unwrap().into_bytes().unwrap(), vec![2]);
+        assert_eq!(f.recv(1, 0, 1).unwrap().into_bytes().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn src_matching() {
+        let f = fabric(3);
+        f.send(2, 0, 9, Payload::Bytes(vec![2])).unwrap();
+        f.send(1, 0, 9, Payload::Bytes(vec![1])).unwrap();
+        assert_eq!(f.recv(0, 1, 9).unwrap().into_bytes().unwrap(), vec![1]);
+        assert_eq!(f.recv(0, 2, 9).unwrap().into_bytes().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn recv_timeout() {
+        let f = Arc::new(Fabric::new(2, Duration::from_millis(30)));
+        let err = f.recv(0, 1, 0).unwrap_err();
+        assert!(matches!(err, MpiError::RecvTimeout { rank: 0, src: 1, tag: 0 }));
+    }
+
+    #[test]
+    fn recv_across_threads() {
+        let f = fabric(2);
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || f2.recv(1, 0, 5));
+        std::thread::sleep(Duration::from_millis(20));
+        f.send(0, 1, 5, Payload::Bytes(vec![42])).unwrap();
+        assert_eq!(h.join().unwrap().unwrap().into_bytes().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn poison_wakes_receivers() {
+        let f = Arc::new(Fabric::new(2, Duration::from_secs(10)));
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || f2.recv(1, 0, 5));
+        std::thread::sleep(Duration::from_millis(20));
+        f.poison();
+        assert!(matches!(h.join().unwrap().unwrap_err(), MpiError::FabricDead));
+        assert!(f.send(0, 1, 5, Payload::Bytes(vec![])).is_err());
+    }
+
+    #[test]
+    fn invalid_rank() {
+        let f = fabric(2);
+        assert!(matches!(
+            f.send(0, 5, 0, Payload::Bytes(vec![])),
+            Err(MpiError::InvalidRank { rank: 5, size: 2 })
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # resilim-simmpi
+//!
+//! An in-process MPI runtime for resilience studies: every rank of a
+//! simulated job runs on its own OS thread and communicates through an
+//! in-memory fabric. The runtime exists so that the `resilim` workspace
+//! can execute the paper's MPI workloads at 1–128 "ranks" on a single
+//! machine, with two properties real MPI does not give us:
+//!
+//! * **Taint-carrying messages** — payloads are
+//!   [`Tf64`](resilim_inject::Tf64) buffers, so an error injected in one
+//!   rank observably contaminates every rank whose memory it reaches
+//!   (paper §3.2, Figures 1–2).
+//! * **Deterministic collectives** — reductions fold contributions in rank
+//!   order, so a fault-free run is bit-reproducible and "output identical
+//!   to the fault-free run" is a meaningful (bitwise) predicate.
+//!
+//! ## Example
+//!
+//! ```
+//! use resilim_simmpi::{World, ReduceOp};
+//! use resilim_inject::Tf64;
+//!
+//! let world = World::new(4);
+//! let results = world.run(|comm| {
+//!     let mine = [Tf64::new((comm.rank() + 1) as f64)];
+//!     let total = comm.allreduce(ReduceOp::Sum, &mine);
+//!     total[0].value()
+//! });
+//! for r in &results {
+//!     assert_eq!(*r.result.as_ref().unwrap(), 10.0);
+//! }
+//! ```
+
+pub mod comm;
+pub mod error;
+pub mod fabric;
+pub mod payload;
+pub mod world;
+
+pub use comm::{Comm, ReduceOp};
+pub use error::{MpiError, PanicKind, RankPanic};
+pub use payload::Payload;
+pub use world::{RankOutcome, World, WorldConfig};

@@ -1,0 +1,110 @@
+//! Message payloads.
+
+use resilim_inject::Tf64;
+
+/// The payload of a fabric message.
+///
+/// Numeric data travels as tracked scalars so that taint crosses rank
+/// boundaries; structural data (index lists, sizes) travels as raw bytes
+/// and can never carry taint (the paper injects into floating-point
+/// computation only).
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A buffer of tracked floats.
+    F64(Vec<Tf64>),
+    /// Raw bytes (metadata, index lists).
+    Bytes(Vec<u8>),
+}
+
+impl Payload {
+    /// Whether any element of a numeric payload is tainted.
+    pub fn is_tainted(&self) -> bool {
+        match self {
+            Payload::F64(v) => v.iter().any(|x| x.is_tainted()),
+            Payload::Bytes(_) => false,
+        }
+    }
+
+    /// Length in elements (floats or bytes).
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::F64(v) => v.len(),
+            Payload::Bytes(v) => v.len(),
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extract a numeric payload.
+    pub fn into_f64(self) -> Result<Vec<Tf64>, crate::error::MpiError> {
+        match self {
+            Payload::F64(v) => Ok(v),
+            Payload::Bytes(_) => Err(crate::error::MpiError::PayloadMismatch {
+                what: "expected F64 payload, got Bytes",
+            }),
+        }
+    }
+
+    /// Extract a byte payload.
+    pub fn into_bytes(self) -> Result<Vec<u8>, crate::error::MpiError> {
+        match self {
+            Payload::Bytes(v) => Ok(v),
+            Payload::F64(_) => Err(crate::error::MpiError::PayloadMismatch {
+                what: "expected Bytes payload, got F64",
+            }),
+        }
+    }
+}
+
+impl From<Vec<Tf64>> for Payload {
+    fn from(v: Vec<Tf64>) -> Payload {
+        Payload::F64(v)
+    }
+}
+
+impl From<&[Tf64]> for Payload {
+    fn from(v: &[Tf64]) -> Payload {
+        Payload::F64(v.to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload::Bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taint_detection() {
+        let clean = Payload::F64(vec![Tf64::new(1.0), Tf64::new(2.0)]);
+        assert!(!clean.is_tainted());
+        let dirty = Payload::F64(vec![Tf64::new(1.0), Tf64::from_parts(2.0, 3.0)]);
+        assert!(dirty.is_tainted());
+        let bytes = Payload::Bytes(vec![1, 2, 3]);
+        assert!(!bytes.is_tainted());
+    }
+
+    #[test]
+    fn extraction() {
+        let p = Payload::F64(vec![Tf64::new(1.0)]);
+        assert_eq!(p.clone().into_f64().unwrap().len(), 1);
+        assert!(p.into_bytes().is_err());
+        let b = Payload::Bytes(vec![7]);
+        assert_eq!(b.clone().into_bytes().unwrap(), vec![7]);
+        assert!(b.into_f64().is_err());
+    }
+
+    #[test]
+    fn lengths() {
+        assert_eq!(Payload::F64(vec![]).len(), 0);
+        assert!(Payload::F64(vec![]).is_empty());
+        assert_eq!(Payload::Bytes(vec![0; 5]).len(), 5);
+    }
+}

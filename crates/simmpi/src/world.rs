@@ -1,0 +1,339 @@
+//! The world runner: spawns one thread per rank, wires them to a shared
+//! fabric, installs injection contexts, and collects results, panics, and
+//! contamination reports.
+
+use crate::comm::Comm;
+use crate::error::RankPanic;
+use crate::fabric::Fabric;
+use resilim_inject::{ctx, CtxReport, RankCtx};
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+use std::time::Duration;
+
+/// Tuning knobs for a [`World`].
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// How long a receive waits before the job is declared hung.
+    pub recv_timeout: Duration,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            recv_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What one rank produced.
+#[derive(Debug)]
+pub struct RankOutcome<T> {
+    /// Rank id.
+    pub rank: usize,
+    /// The rank body's return value, or its classified panic.
+    pub result: Result<T, RankPanic>,
+    /// The injection context report, when a context was installed.
+    pub ctx_report: Option<CtxReport>,
+}
+
+/// A simulated MPI world: `size` ranks over one fabric.
+#[derive(Debug, Clone)]
+pub struct World {
+    size: usize,
+    cfg: WorldConfig,
+}
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once per process) a panic hook that silences panics on rank
+/// threads — fault-injection campaigns deliberately panic thousands of
+/// times, and the default hook would flood stderr. Panics on all other
+/// threads keep the previous behaviour.
+fn install_quiet_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl World {
+    /// A world of `size` ranks with default configuration.
+    pub fn new(size: usize) -> World {
+        World::with_config(size, WorldConfig::default())
+    }
+
+    /// A world of `size` ranks with explicit configuration.
+    pub fn with_config(size: usize, cfg: WorldConfig) -> World {
+        assert!(size >= 1, "a world needs at least one rank");
+        World { size, cfg }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `body` on every rank without injection contexts.
+    pub fn run<T, F>(&self, body: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Send + Sync,
+    {
+        self.run_with_ctx(|_| None, body)
+    }
+
+    /// Run `body` on every rank; `mk_ctx(rank)` supplies an optional
+    /// injection context per rank (installed before the body, harvested
+    /// after it — even when the body panics).
+    ///
+    /// If any rank panics the fabric is poisoned, so every other rank fails
+    /// fast instead of hanging (MPI-abort semantics). Results come back in
+    /// rank order.
+    pub fn run_with_ctx<T, F, M>(&self, mk_ctx: M, body: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Send + Sync,
+        M: Fn(usize) -> Option<RankCtx> + Send + Sync,
+    {
+        install_quiet_hook();
+        let fabric = Fabric::new(self.size, self.cfg.recv_timeout);
+        let mut outcomes: Vec<Option<RankOutcome<T>>> = Vec::new();
+        for _ in 0..self.size {
+            outcomes.push(None);
+        }
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.size);
+            for rank in 0..self.size {
+                let fabric = &fabric;
+                let body = &body;
+                let mk_ctx = &mk_ctx;
+                handles.push(scope.spawn(move || {
+                    QUIET_PANICS.with(|q| q.set(true));
+                    if let Some(c) = mk_ctx(rank) {
+                        ctx::install(c);
+                    }
+                    let comm = Comm::new(rank, fabric);
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&comm)));
+                    let ctx_report = ctx::take().map(RankCtx::into_report);
+                    let result = match result {
+                        Ok(v) => Ok(v),
+                        Err(payload) => {
+                            fabric.poison();
+                            Err(RankPanic::from_payload(payload.as_ref()))
+                        }
+                    };
+                    RankOutcome {
+                        rank,
+                        result,
+                        ctx_report,
+                    }
+                }));
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                let outcome = handle.join().expect("rank thread itself never panics");
+                outcomes[rank] = Some(outcome);
+            }
+        });
+
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every rank reported"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::ReduceOp;
+    use crate::error::PanicKind;
+    use resilim_inject::{InjectionPlan, Operand, Region, Target, Tf64};
+
+    #[test]
+    fn serial_world() {
+        let world = World::new(1);
+        let results = world.run(|comm| {
+            assert!(comm.is_serial());
+            comm.allreduce_scalar(ReduceOp::Sum, Tf64::new(5.0)).value()
+        });
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].result.as_ref().unwrap(), &5.0);
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let world = World::new(8);
+        let results = world.run(|comm| comm.rank() * 2);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.rank, i);
+            assert_eq!(*r.result.as_ref().unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn one_crash_poisons_everyone() {
+        let world = World::with_config(
+            4,
+            WorldConfig {
+                recv_timeout: Duration::from_secs(5),
+            },
+        );
+        let results = world.run(|comm| {
+            if comm.rank() == 2 {
+                panic!("simulated application abort");
+            }
+            // Everyone else blocks on a collective that can never finish.
+            comm.barrier();
+        });
+        let kinds: Vec<Option<PanicKind>> = results
+            .iter()
+            .map(|r| r.result.as_ref().err().map(|p| p.kind))
+            .collect();
+        assert_eq!(kinds[2], Some(PanicKind::Crash));
+        for rank in [0usize, 1, 3] {
+            assert!(
+                matches!(kinds[rank], Some(PanicKind::FabricDead) | Some(PanicKind::RecvTimeout)),
+                "rank {rank} got {:?}",
+                kinds[rank]
+            );
+        }
+    }
+
+    #[test]
+    fn ctx_reports_collected_on_success() {
+        let world = World::new(3);
+        let results = world.run_with_ctx(
+            |rank| Some(resilim_inject::RankCtx::profiling(rank)),
+            |comm| {
+                let a = Tf64::new(comm.rank() as f64);
+                let _ = a * a + a;
+                comm.rank()
+            },
+        );
+        for (i, r) in results.iter().enumerate() {
+            let report = r.ctx_report.as_ref().unwrap();
+            assert_eq!(report.rank, i);
+            assert_eq!(report.profile.injectable(Region::Common), 2);
+        }
+    }
+
+    #[test]
+    fn ctx_reports_collected_on_panic() {
+        let world = World::new(2);
+        let results = world.run_with_ctx(
+            |rank| Some(resilim_inject::RankCtx::profiling(rank)),
+            |comm| {
+                let a = Tf64::new(1.0);
+                let _ = a + a;
+                if comm.rank() == 0 {
+                    panic!("boom");
+                }
+                comm.barrier();
+            },
+        );
+        let report0 = results[0].ctx_report.as_ref().unwrap();
+        assert_eq!(report0.profile.injectable(Region::Common), 1);
+        assert!(results[0].result.is_err());
+    }
+
+    #[test]
+    fn taint_crosses_ranks_via_messages() {
+        // Rank 0 gets an injected error that reaches its send buffer; the
+        // receiving rank must be flagged contaminated.
+        let world = World::new(2);
+        let results = world.run_with_ctx(
+            |rank| {
+                let plan = if rank == 0 {
+                    InjectionPlan::single(Target {
+                        region: Region::Common,
+                        op_index: 0,
+                        bit: 55, // exponent bit: never rounded away
+                        operand: Operand::A,
+                    })
+                } else {
+                    InjectionPlan::none()
+                };
+                Some(resilim_inject::RankCtx::new(rank, plan))
+            },
+            |comm| {
+                let mine = Tf64::new(1.0) + Tf64::new(2.0); // op 0: corrupted on rank 0
+                let sum = comm.allreduce_scalar(ReduceOp::Sum, mine);
+                sum.is_tainted()
+            },
+        );
+        for r in &results {
+            assert!(r.result.as_ref().unwrap(), "allreduce result must be tainted");
+            assert!(r.ctx_report.as_ref().unwrap().contaminated);
+        }
+    }
+
+    #[test]
+    fn absorbed_taint_does_not_cross_ranks() {
+        // Rank 0's error is multiplied by zero before communication: the
+        // other rank must stay clean.
+        let world = World::new(2);
+        let results = world.run_with_ctx(
+            |rank| {
+                let plan = if rank == 0 {
+                    InjectionPlan::single(Target {
+                        region: Region::Common,
+                        op_index: 0,
+                        bit: 55,
+                        operand: Operand::A,
+                    })
+                } else {
+                    InjectionPlan::none()
+                };
+                Some(resilim_inject::RankCtx::new(rank, plan))
+            },
+            |comm| {
+                let corrupted = Tf64::new(1.0) + Tf64::new(2.0); // corrupted on rank 0
+                let masked = corrupted * Tf64::ZERO; // absorbed
+                let sum = comm.allreduce_scalar(ReduceOp::Sum, masked);
+                sum.is_tainted()
+            },
+        );
+        assert!(!results[0].result.as_ref().unwrap());
+        assert!(results[0].ctx_report.as_ref().unwrap().contaminated); // had the error
+        assert!(!results[1].ctx_report.as_ref().unwrap().contaminated); // never saw it
+    }
+
+    #[test]
+    fn hang_guard_classified() {
+        let world = World::new(1);
+        let results = world.run_with_ctx(
+            |rank| Some(resilim_inject::RankCtx::profiling(rank).with_op_cap(100)),
+            |_comm| {
+                let mut acc = Tf64::ZERO;
+                loop {
+                    acc += 1.0; // trips the guard long before looping forever
+                    if acc.value() < 0.0 {
+                        break;
+                    }
+                }
+            },
+        );
+        let err = results[0].result.as_ref().unwrap_err();
+        assert_eq!(err.kind, PanicKind::HangGuard);
+        assert!(results[0].ctx_report.as_ref().unwrap().hang_guard_tripped);
+    }
+
+    #[test]
+    fn large_world_smoke() {
+        let world = World::new(64);
+        let results = world.run(|comm| {
+            let x = [Tf64::new(1.0)];
+            comm.allreduce(ReduceOp::Sum, &x)[0].value()
+        });
+        assert!(results.iter().all(|r| *r.result.as_ref().unwrap() == 64.0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Using `resilim-core` on *externally measured* fault-injection data —
+//! no simulator involved. If you already have F-SEFI/LLFI-style campaign
+//! results from a real testbed, the model predicts your large-scale
+//! resilience from them directly.
+//!
+//! The numbers below are a hand-transcribed scenario in the spirit of the
+//! paper's CG evaluation: serial multi-error results, a 4-rank propagation
+//! profile, and 4-rank conditional results.
+//!
+//! ```text
+//! cargo run --release --example external_data
+//! ```
+
+use resilim::core::{
+    cosine_similarity, FiResult, ModelInputs, OutcomeKind, Predictor, PropagationProfile,
+    SamplePoints, TestOutcome,
+};
+use std::collections::BTreeMap;
+
+/// Build an [`FiResult`] from (success, sdc, failure) counts.
+fn fi(success: u64, sdc: u64, failure: u64) -> FiResult {
+    let mut out = FiResult::new();
+    for _ in 0..success {
+        out.record(&TestOutcome::success(false, 1, 1));
+    }
+    for _ in 0..sdc {
+        out.record(&TestOutcome::sdc(1, 1));
+    }
+    for _ in 0..failure {
+        out.record(&TestOutcome::failure(
+            resilim::core::FailureKind::Crash,
+            1,
+            1,
+        ));
+    }
+    out
+}
+
+fn main() {
+    // --- your measurements ---------------------------------------------
+    // Serial campaigns: x errors injected per test, 4000 tests each.
+    // (Only the sparse sample cases for p = 64, S = 4 are needed.)
+    let mut serial = BTreeMap::new();
+    serial.insert(1, fi(3560, 380, 60)); // 89.0 % success
+    serial.insert(2, fi(3280, 660, 60));
+    serial.insert(3, fi(3050, 890, 60));
+    serial.insert(4, fi(2840, 1100, 60)); // 71.0 %
+    serial.insert(32, fi(1220, 2700, 80)); // 30.5 %
+    serial.insert(48, fi(640, 3280, 80));
+    serial.insert(64, fi(320, 3600, 80)); // 8.0 %
+
+    // 4-rank campaign: contaminated-rank histogram (r') + conditionals.
+    let mut small_prop = PropagationProfile::new(4);
+    small_prop.counts = vec![3080, 40, 20, 860]; // 77 % stay local (Fig. 1a)
+    let small_by_contam = vec![
+        Some(fi(2980, 80, 20)),  // 1 contaminated: 96.8 % success
+        Some(fi(30, 10, 0)),     // 2 contaminated
+        Some(fi(12, 8, 0)),      // 3 contaminated
+        Some(fi(560, 280, 20)),  // 4 contaminated: 65.1 %
+    ];
+
+    // --- the model -------------------------------------------------------
+    let inputs = ModelInputs {
+        p: 64,
+        s: 4,
+        strategy: SamplePoints::BucketUpper,
+        serial,
+        small_prop: small_prop.clone(),
+        small_by_contam,
+        unique_share: 0.016, // Table 1: CG Class S = 1.6 %
+        fi_unique: Some(fi(700, 280, 20)),
+        alpha_threshold: 0.20,
+    };
+    let predictor = Predictor::new(inputs);
+    println!(
+        "serial-vs-small divergence: {:.1}% (alpha threshold 20%)",
+        predictor.divergence() * 100.0
+    );
+    let pred = predictor.predict();
+
+    println!("\npredicted 64-rank fault-injection result:");
+    for kind in OutcomeKind::ALL {
+        println!("  {kind:>8}: {:5.1}%", pred.rates[kind.index()] * 100.0);
+    }
+    println!("  (alpha fine-tuning active: {})", pred.used_alpha);
+
+    println!("\nper-bucket breakdown (Eq. 8):");
+    for term in &pred.per_bucket {
+        println!(
+            "  bucket {} <- FI_ser_{:<2} weight r'={:.3} success {:.1}%{}",
+            term.bucket,
+            term.sample_x,
+            term.weight,
+            term.rates[0] * 100.0,
+            if term.tuned { " (tuned)" } else { "" }
+        );
+    }
+
+    // Bonus: Table 2-style similarity if you also measured the large scale.
+    let mut large_prop = PropagationProfile::new(64);
+    large_prop.counts[0] = 3000;
+    large_prop.counts[1] = 60;
+    large_prop.counts[63] = 940;
+    let sim = cosine_similarity(&small_prop.r_vec(), &large_prop.group(4));
+    println!("\npropagation similarity vs a measured 64-rank profile: {sim:.3}");
+}

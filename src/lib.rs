@@ -1,0 +1,28 @@
+//! # resilim — Modeling Application Resilience in Large-scale Parallel Execution
+//!
+//! Umbrella crate for the `resilim` workspace, a from-scratch Rust
+//! reproduction of Wu et al., *Modeling Application Resilience in
+//! Large-scale Parallel Execution* (ICPP 2018).
+//!
+//! The workspace implements the paper's full pipeline:
+//!
+//! * [`inject`] — tracked-scalar fault injection with shadow-execution
+//!   taint tracking (the F-SEFI substitute);
+//! * [`simmpi`] — an in-process MPI runtime whose messages carry taint, so
+//!   cross-rank error propagation is observable;
+//! * [`apps`] — ports of the paper's six workloads (NPB CG/FT/MG/LU,
+//!   MiniFE, PENNANT) running serial or at any power-of-two scale on the
+//!   same strong-scaling problem;
+//! * [`core`] — the paper's resilience model (Equations 1–9, propagation
+//!   grouping, cosine similarity, sparse sampling, α fine-tuning, RMSE);
+//! * [`harness`] — campaign driver and per-table/per-figure experiment
+//!   pipelines.
+//!
+//! See `README.md` for a tour and `examples/quickstart.rs` for the fastest
+//! end-to-end path.
+
+pub use resilim_apps as apps;
+pub use resilim_core as core;
+pub use resilim_harness as harness;
+pub use resilim_inject as inject;
+pub use resilim_simmpi as simmpi;

@@ -1,0 +1,171 @@
+//! Property-based tests on the model layer: invariants of the predictor,
+//! propagation grouping, and sampling, over randomized measurement data.
+
+use proptest::prelude::*;
+use resilim::core::{
+    bucket_of, cosine_similarity, rmse, sample_cases, FiResult, ModelInputs, Predictor,
+    PropagationProfile, SamplePoints, TestOutcome,
+};
+use std::collections::BTreeMap;
+
+fn arbitrary_fi() -> impl Strategy<Value = FiResult> {
+    (0u64..200, 0u64..200, 0u64..50).prop_map(|(s, d, f)| {
+        let mut fi = FiResult::new();
+        for _ in 0..s.max(1) {
+            fi.record(&TestOutcome::success(false, 1, 1));
+        }
+        for _ in 0..d {
+            fi.record(&TestOutcome::sdc(1, 1));
+        }
+        for _ in 0..f {
+            fi.record(&TestOutcome::failure(resilim::core::FailureKind::Crash, 1, 1));
+        }
+        fi
+    })
+}
+
+/// (p, s) pairs with s | p, both powers of two.
+fn scales() -> impl Strategy<Value = (usize, usize)> {
+    (1u32..6, 0u32..4).prop_map(|(lp, ds)| {
+        let p = 1usize << (lp + ds);
+        let s = 1usize << ds.min(lp + ds);
+        (p, s.min(p))
+    })
+}
+
+proptest! {
+    /// The predictor output is always a probability distribution when its
+    /// inputs are.
+    #[test]
+    fn prediction_is_a_distribution(
+        (p, s) in scales(),
+        fis in prop::collection::vec(arbitrary_fi(), 40),
+        hist in prop::collection::vec(1u64..100, 40),
+        unique_share in 0.0f64..0.3,
+    ) {
+        let cases = sample_cases(p, s, SamplePoints::BucketUpper);
+        let mut serial = BTreeMap::new();
+        let mut it = fis.iter();
+        for &x in &cases {
+            serial.insert(x, *it.next().unwrap());
+        }
+        for x in 1..=s {
+            serial.entry(x).or_insert_with(|| *it.next().unwrap());
+        }
+        let mut small_prop = PropagationProfile::new(s);
+        for (i, h) in hist.iter().take(s).enumerate() {
+            small_prop.counts[i] = *h;
+        }
+        let small_by_contam = (0..s).map(|_| it.next().copied()).collect();
+        let inputs = ModelInputs {
+            p,
+            s,
+            strategy: SamplePoints::BucketUpper,
+            serial,
+            small_prop,
+            small_by_contam,
+            unique_share,
+            fi_unique: Some(*it.next().unwrap()),
+            alpha_threshold: 0.20,
+        };
+        let pred = Predictor::new(inputs).predict();
+        let total: f64 = pred.rates.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "rates sum to {total}");
+        for r in pred.rates {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+        }
+        prop_assert_eq!(pred.per_bucket.len(), s);
+    }
+
+    /// The prediction is a convex combination: it never leaves the hull of
+    /// its bucket values and the unique term.
+    #[test]
+    fn prediction_within_input_hull(
+        fis in prop::collection::vec(arbitrary_fi(), 10),
+        hist in prop::collection::vec(1u64..50, 4),
+    ) {
+        let (p, s) = (64usize, 4usize);
+        let mut serial = BTreeMap::new();
+        let mut it = fis.iter();
+        for &x in &sample_cases(p, s, SamplePoints::BucketUpper) {
+            serial.insert(x, *it.next().unwrap());
+        }
+        for x in 1..=s {
+            serial.entry(x).or_insert_with(|| *it.next().unwrap());
+        }
+        let mut small_prop = PropagationProfile::new(s);
+        small_prop.counts.copy_from_slice(&hist);
+        let inputs = ModelInputs {
+            p, s,
+            strategy: SamplePoints::BucketUpper,
+            serial: serial.clone(),
+            small_prop,
+            small_by_contam: vec![None; s],
+            unique_share: 0.0,
+            fi_unique: None,
+            alpha_threshold: 0.20,
+        };
+        let pred = Predictor::new(inputs).predict();
+        let lo = serial.values().map(|f| f.success_rate()).fold(1.0, f64::min);
+        let hi = serial.values().map(|f| f.success_rate()).fold(0.0, f64::max);
+        prop_assert!(pred.success() >= lo - 1e-12 && pred.success() <= hi + 1e-12);
+    }
+
+    /// Grouping conserves probability mass and never exceeds 1 per bucket.
+    #[test]
+    fn grouping_conserves_mass(
+        counts in prop::collection::vec(0u64..1000, 64),
+        log_groups in 0u32..7,
+    ) {
+        let mut prof = PropagationProfile::new(64);
+        prof.counts.copy_from_slice(&counts);
+        prop_assume!(prof.total() > 0);
+        let groups = 1usize << log_groups;
+        let g = prof.group(groups);
+        let mass: f64 = g.iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        prop_assert!(g.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+    }
+
+    /// Every x lands in exactly the bucket whose sample case represents it,
+    /// and bucket indices are monotone in x.
+    #[test]
+    fn bucket_map_is_total_and_monotone((p, s) in scales()) {
+        let mut prev = 1;
+        for x in 1..=p {
+            let b = bucket_of(x, p, s);
+            prop_assert!((1..=s).contains(&b));
+            prop_assert!(b >= prev);
+            prev = b;
+        }
+        // Each bucket gets exactly p/s values of x.
+        for j in 1..=s {
+            let n = (1..=p).filter(|&x| bucket_of(x, p, s) == j).count();
+            prop_assert_eq!(n, p / s);
+        }
+    }
+
+    /// Cosine similarity is symmetric, bounded, and 1 on self.
+    #[test]
+    fn cosine_similarity_properties(
+        a in prop::collection::vec(0.0f64..1.0, 8),
+        b in prop::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let ab = cosine_similarity(&a, &b);
+        let ba = cosine_similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        if a.iter().any(|&x| x > 0.0) {
+            prop_assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// RMSE is zero iff all pairs agree, and scales with uniform offset.
+    #[test]
+    fn rmse_properties(values in prop::collection::vec(0.0f64..1.0, 1..20), off in 0.01f64..0.5) {
+        let exact: Vec<(f64, f64)> = values.iter().map(|&v| (v, v)).collect();
+        prop_assert!(rmse(&exact) < 1e-12);
+        let offset: Vec<(f64, f64)> = values.iter().map(|&v| (v, v + off)).collect();
+        prop_assert!((rmse(&offset) - off).abs() < 1e-9);
+    }
+}
