@@ -88,7 +88,10 @@ impl SparseMatrix {
         // Diagonal dominance => SPD.
         for (i, row) in entries.iter_mut().enumerate() {
             let off_sum: f64 = row.iter().map(|(_, v)| v.abs()).sum();
-            row.push((i, off_sum + 2.0 + hash_range(seed ^ 0x1234, i as u64, 0.0, 1.0)));
+            row.push((
+                i,
+                off_sum + 2.0 + hash_range(seed ^ 0x1234, i as u64, 0.0, 1.0),
+            ));
             row.sort_by_key(|(j, _)| *j);
             // Merge duplicate columns deterministically.
             let mut merged: Vec<(usize, f64)> = Vec::with_capacity(row.len());
@@ -111,7 +114,12 @@ impl SparseMatrix {
             }
             row_ptr.push(cols.len());
         }
-        SparseMatrix { n, row_ptr, cols, vals }
+        SparseMatrix {
+            n,
+            row_ptr,
+            cols,
+            vals,
+        }
     }
 
     /// Number of stored nonzeros.

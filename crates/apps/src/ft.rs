@@ -391,9 +391,8 @@ impl<'a, 'c> Ft<'a, 'c> {
             for j in 0..nz {
                 for y in 0..ny {
                     for x in 0..nx {
-                        let ksq = signed(x, nx).powi(2)
-                            + signed(y, ny).powi(2)
-                            + signed(j, nz).powi(2);
+                        let ksq =
+                            signed(x, nx).powi(2) + signed(y, ny).powi(2) + signed(j, nz).powi(2);
                         let factor = (coeff * ksq).exp();
                         out.push(freq[self.idx(j, y, x)].scale(factor));
                     }
@@ -419,8 +418,7 @@ impl<'a, 'c> Ft<'a, 'c> {
             let x = pencil % nx;
             for q in 0..p {
                 let kz = q * self.m + j;
-                let ksq =
-                    signed(x, nx).powi(2) + signed(y, ny).powi(2) + signed(kz, nz).powi(2);
+                let ksq = signed(x, nx).powi(2) + signed(y, ny).powi(2) + signed(kz, nz).powi(2);
                 let factor = (coeff * ksq).exp();
                 out.push(freq[t_local * p + q].scale(factor));
             }

@@ -124,7 +124,14 @@ pub enum App {
 
 impl App {
     /// All applications in evaluation order.
-    pub const ALL: [App; 6] = [App::Cg, App::Ft, App::Mg, App::Lu, App::MiniFe, App::Pennant];
+    pub const ALL: [App; 6] = [
+        App::Cg,
+        App::Ft,
+        App::Mg,
+        App::Lu,
+        App::MiniFe,
+        App::Pennant,
+    ];
 
     /// Short lowercase name (CLI spelling).
     pub fn name(self) -> &'static str {
@@ -328,9 +335,15 @@ mod tests {
 
     #[test]
     fn output_identity() {
-        let a = AppOutput { digest: vec![1.0, 2.0] };
-        let b = AppOutput { digest: vec![1.0, 2.0] };
-        let c = AppOutput { digest: vec![1.0, 2.0 + 1e-12] };
+        let a = AppOutput {
+            digest: vec![1.0, 2.0],
+        };
+        let b = AppOutput {
+            digest: vec![1.0, 2.0],
+        };
+        let c = AppOutput {
+            digest: vec![1.0, 2.0 + 1e-12],
+        };
         assert!(a.identical(&b));
         assert!(!a.identical(&c));
         assert!(!a.identical(&AppOutput { digest: vec![1.0] }));
@@ -338,9 +351,15 @@ mod tests {
 
     #[test]
     fn checker_tolerance() {
-        let golden = AppOutput { digest: vec![100.0] };
-        let near = AppOutput { digest: vec![100.0 * (1.0 + 1e-10)] };
-        let far = AppOutput { digest: vec![101.0] };
+        let golden = AppOutput {
+            digest: vec![100.0],
+        };
+        let near = AppOutput {
+            digest: vec![100.0 * (1.0 + 1e-10)],
+        };
+        let far = AppOutput {
+            digest: vec![101.0],
+        };
         assert!(near.passes_checker(&golden, 1e-8));
         assert!(!far.passes_checker(&golden, 1e-8));
     }
@@ -348,16 +367,24 @@ mod tests {
     #[test]
     fn checker_rejects_non_finite() {
         let golden = AppOutput { digest: vec![1.0] };
-        let nan = AppOutput { digest: vec![f64::NAN] };
-        let inf = AppOutput { digest: vec![f64::INFINITY] };
+        let nan = AppOutput {
+            digest: vec![f64::NAN],
+        };
+        let inf = AppOutput {
+            digest: vec![f64::INFINITY],
+        };
         assert!(!nan.passes_checker(&golden, 1e100));
         assert!(!inf.passes_checker(&golden, 1e100));
     }
 
     #[test]
     fn rel_diff_uses_golden_scale() {
-        let golden = AppOutput { digest: vec![1000.0] };
-        let off = AppOutput { digest: vec![1001.0] };
+        let golden = AppOutput {
+            digest: vec![1000.0],
+        };
+        let off = AppOutput {
+            digest: vec![1001.0],
+        };
         let d = off.max_rel_diff(&golden).unwrap();
         assert!((d - 1e-3).abs() < 1e-12);
     }

@@ -87,7 +87,10 @@ struct Lu<'a, 'c> {
 impl<'a, 'c> Lu<'a, 'c> {
     fn new(prob: &'a LuProblem, comm: &'a Comm<'c>) -> Self {
         let (px, py) = proc_grid(comm.size());
-        assert!(prob.nx.is_multiple_of(px) && prob.ny.is_multiple_of(py), "LU needs px|nx, py|ny");
+        assert!(
+            prob.nx.is_multiple_of(px) && prob.ny.is_multiple_of(py),
+            "LU needs px|nx, py|ny"
+        );
         let bi = comm.rank() % px;
         let bj = comm.rank() / px;
         let bx = prob.nx / px;
@@ -148,10 +151,15 @@ impl<'a, 'c> Lu<'a, 'c> {
         let mut out: [Vec<Tf64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         // West/east exchange.
         if self.bi > 0 {
-            self.comm.send(self.rank_of(self.bi - 1, self.bj), tag, &col(self.xs));
+            self.comm
+                .send(self.rank_of(self.bi - 1, self.bj), tag, &col(self.xs));
         }
         if self.bi + 1 < self.px {
-            self.comm.send(self.rank_of(self.bi + 1, self.bj), tag + 1, &col(self.xe - 1));
+            self.comm.send(
+                self.rank_of(self.bi + 1, self.bj),
+                tag + 1,
+                &col(self.xe - 1),
+            );
         }
         if self.bi > 0 {
             out[0] = self.comm.recv(self.rank_of(self.bi - 1, self.bj), tag + 1);
@@ -161,10 +169,15 @@ impl<'a, 'c> Lu<'a, 'c> {
         }
         // North/south exchange.
         if self.bj > 0 {
-            self.comm.send(self.rank_of(self.bi, self.bj - 1), tag + 2, &row(self.ys));
+            self.comm
+                .send(self.rank_of(self.bi, self.bj - 1), tag + 2, &row(self.ys));
         }
         if self.bj + 1 < self.py {
-            self.comm.send(self.rank_of(self.bi, self.bj + 1), tag + 3, &row(self.ye - 1));
+            self.comm.send(
+                self.rank_of(self.bi, self.bj + 1),
+                tag + 3,
+                &row(self.ye - 1),
+            );
         }
         if self.bj > 0 {
             out[2] = self.comm.recv(self.rank_of(self.bi, self.bj - 1), tag + 3);
@@ -241,8 +254,10 @@ impl<'a, 'c> Lu<'a, 'c> {
                 Vec::new()
             };
             let north_in: Vec<Tf64> = if self.bj > 0 {
-                self.comm
-                    .recv(self.rank_of(self.bi, self.bj - 1), TAG_SWEEP + z as u64 * 4 + 1)
+                self.comm.recv(
+                    self.rank_of(self.bi, self.bj - 1),
+                    TAG_SWEEP + z as u64 * 4 + 1,
+                )
             } else {
                 Vec::new()
             };
@@ -302,14 +317,18 @@ impl<'a, 'c> Lu<'a, 'c> {
         let mut e = vec![Tf64::ZERO; dstar.len()];
         for z in (0..nz).rev() {
             let east_in: Vec<Tf64> = if self.bi + 1 < self.px {
-                self.comm
-                    .recv(self.rank_of(self.bi + 1, self.bj), TAG_SWEEP + z as u64 * 4 + 2)
+                self.comm.recv(
+                    self.rank_of(self.bi + 1, self.bj),
+                    TAG_SWEEP + z as u64 * 4 + 2,
+                )
             } else {
                 Vec::new()
             };
             let south_in: Vec<Tf64> = if self.bj + 1 < self.py {
-                self.comm
-                    .recv(self.rank_of(self.bi, self.bj + 1), TAG_SWEEP + z as u64 * 4 + 3)
+                self.comm.recv(
+                    self.rank_of(self.bi, self.bj + 1),
+                    TAG_SWEEP + z as u64 * 4 + 3,
+                )
             } else {
                 Vec::new()
             };

@@ -106,7 +106,10 @@ struct Mg<'a, 'c> {
 impl<'a, 'c> Mg<'a, 'c> {
     fn new(prob: &'a MgProblem, comm: &'a Comm<'c>) -> Self {
         let p = comm.size();
-        assert!(prob.nz.is_multiple_of(p) || p > prob.nz, "MG needs p | nz (or p > nz)");
+        assert!(
+            prob.nz.is_multiple_of(p) || p > prob.nz,
+            "MG needs p | nz (or p > nz)"
+        );
         assert!(p <= prob.nz, "MG supports at most nz ranks");
         assert!(prob.nz >> (prob.levels - 1) >= 2, "too many levels for nz");
         assert!(prob.nx >> (prob.levels - 1) >= 2, "too many levels for nx");
@@ -325,7 +328,8 @@ impl<'a, 'c> Mg<'a, 'c> {
             let up = (me + 1) % lc.active;
             let down = (me + lc.active - 1) % lc.active;
             let above = if lc.active > 1 {
-                self.comm.sendrecv(down, up, TAG_CABOVE + l as u64, &my_first)
+                self.comm
+                    .sendrecv(down, up, TAG_CABOVE + l as u64, &my_first)
             } else {
                 my_first
             };
@@ -524,7 +528,12 @@ mod tests {
         let serial = run_at(1, small());
         let par = run_at(16, small());
         let d = par.max_rel_diff(&serial).unwrap();
-        assert!(d < 1e-9, "rel diff {d} ({:?} vs {:?})", par.digest, serial.digest);
+        assert!(
+            d < 1e-9,
+            "rel diff {d} ({:?} vs {:?})",
+            par.digest,
+            serial.digest
+        );
     }
 
     #[test]

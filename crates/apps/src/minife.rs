@@ -87,7 +87,10 @@ struct MiniFe<'a, 'c> {
 impl<'a, 'c> MiniFe<'a, 'c> {
     fn new(prob: &'a MiniFeProblem, comm: &'a Comm<'c>) -> Self {
         let p = comm.size();
-        assert!(prob.nz.is_multiple_of(p), "MiniFE needs p | nz (element layers)");
+        assert!(
+            prob.nz.is_multiple_of(p),
+            "MiniFE needs p | nz (element layers)"
+        );
         let per = prob.nz / p;
         let ez0 = comm.rank() * per;
         let ez1 = ez0 + per;
@@ -140,11 +143,11 @@ impl<'a, 'c> MiniFe<'a, 'c> {
         let mut export: Vec<Vec<(usize, usize, Tf64)>> = vec![Vec::new(); p];
 
         let add = |rows: &mut Vec<Vec<(usize, Tf64)>>,
-                       export: &mut Vec<Vec<(usize, usize, Tf64)>>,
-                       gr: usize,
-                       gz: usize,
-                       gc: usize,
-                       v: Tf64| {
+                   export: &mut Vec<Vec<(usize, usize, Tf64)>>,
+                   gr: usize,
+                   gz: usize,
+                   gc: usize,
+                   v: Tf64| {
             if self.owns_layer(gz) {
                 let lr = gr - self.nz0 * plane;
                 match rows[lr].iter_mut().find(|(c, _)| *c == gc) {
@@ -251,12 +254,7 @@ impl<'a, 'c> MiniFe<'a, 'c> {
 
     /// Matvec with halo exchange: needs node layers nz0−1 and nz1 from the
     /// neighbouring ranks.
-    fn matvec(
-        &self,
-        rows: &[Vec<(usize, Tf64)>],
-        x: &[Tf64],
-        out: &mut Vec<Tf64>,
-    ) {
+    fn matvec(&self, rows: &[Vec<(usize, Tf64)>], x: &[Tf64], out: &mut Vec<Tf64>) {
         let plane = self.plane();
         let p = self.comm.size();
         let me = self.comm.rank();
@@ -387,7 +385,10 @@ mod tests {
         let prob = small();
         let out = run_at(1, prob.clone());
         let plane = ((prob.nx + 1) * (prob.ny + 1)) as f64;
-        let expect: f64 = (0..=prob.nz).map(|z| z as f64 / prob.nz as f64).sum::<f64>() * plane;
+        let expect: f64 = (0..=prob.nz)
+            .map(|z| z as f64 / prob.nz as f64)
+            .sum::<f64>()
+            * plane;
         let got = out.digest[2];
         assert!(
             (got - expect).abs() < 1e-6 * expect,

@@ -285,7 +285,12 @@ pub fn run(prob: &PennantProblem, comm: &Comm) -> AppOutput {
                 }
             }
         }
-        point_sum_exchange(comm, &mesh, &mut [&mut fx, &mut fy], TAG_PSUM + cycle as u64 * 4);
+        point_sum_exchange(
+            comm,
+            &mesh,
+            &mut [&mut fx, &mut fy],
+            TAG_PSUM + cycle as u64 * 4,
+        );
 
         // --- point update (reflecting walls at the domain box) ---
         for i in mesh.zx0..=mesh.zx1 {
@@ -331,7 +336,11 @@ pub fn run(prob: &PennantProblem, comm: &Comm) -> AppOutput {
     let mut e_kin = Tf64::ZERO;
     let mut x_sum = Tf64::ZERO;
     let half = Tf64::new(0.5);
-    let i_lo = if comm.rank() == 0 { mesh.zx0 } else { mesh.zx0 + 1 };
+    let i_lo = if comm.rank() == 0 {
+        mesh.zx0
+    } else {
+        mesh.zx0 + 1
+    };
     for i in i_lo..=mesh.zx1 {
         for j in 0..=prob.nzy {
             let pp = mesh.pidx(i, j);
@@ -410,7 +419,11 @@ mod tests {
         let drift = (out.digest[0] - e0).abs() / e0;
         // Explicit staggered schemes drift slightly; the point is order of
         // magnitude conservation, not exactness.
-        assert!(drift < 0.05, "energy drift {drift} (E = {} vs {e0})", out.digest[0]);
+        assert!(
+            drift < 0.05,
+            "energy drift {drift} (E = {} vs {e0})",
+            out.digest[0]
+        );
     }
 
     #[test]
@@ -418,8 +431,14 @@ mod tests {
         let prob = small();
         let out = run_at(1, prob.clone());
         // Initial Σx over all points.
-        let x0: f64 = (0..=prob.nzx).map(|i| (i as f64) * (prob.nzy + 1) as f64).sum();
-        assert!(out.digest[2] > x0, "interface should move right: {} vs {x0}", out.digest[2]);
+        let x0: f64 = (0..=prob.nzx)
+            .map(|i| (i as f64) * (prob.nzy + 1) as f64)
+            .sum();
+        assert!(
+            out.digest[2] > x0,
+            "interface should move right: {} vs {x0}",
+            out.digest[2]
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ const RD_TAG: u64 = 0x5244; // "RD"
 /// additions per element inside the parallel-unique region.
 pub fn rd_allreduce_sum(comm: &Comm, x: &[Tf64]) -> Vec<Tf64> {
     let p = comm.size();
-    assert!(p.is_power_of_two(), "recursive doubling needs power-of-two ranks");
+    assert!(
+        p.is_power_of_two(),
+        "recursive doubling needs power-of-two ranks"
+    );
     let mut acc = x.to_vec();
     if p == 1 {
         return acc;
@@ -137,7 +140,10 @@ mod tests {
             });
             for r in results {
                 let v = r.result.unwrap();
-                assert!((v - serial).abs() <= 1e-12 * serial.abs(), "p={p}: {v} vs {serial}");
+                assert!(
+                    (v - serial).abs() <= 1e-12 * serial.abs(),
+                    "p={p}: {v} vs {serial}"
+                );
             }
         }
     }

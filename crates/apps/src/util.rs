@@ -186,8 +186,13 @@ pub fn pack_cplx(src: &[Cplx]) -> Vec<Tf64> {
 
 /// Unpack an interleaved Tf64 buffer into complex values.
 pub fn unpack_cplx(src: &[Tf64]) -> Vec<Cplx> {
-    assert!(src.len().is_multiple_of(2), "unpack_cplx: odd buffer length");
-    src.chunks_exact(2).map(|p| Cplx { re: p[0], im: p[1] }).collect()
+    assert!(
+        src.len().is_multiple_of(2),
+        "unpack_cplx: odd buffer length"
+    );
+    src.chunks_exact(2)
+        .map(|p| Cplx { re: p[0], im: p[1] })
+        .collect()
 }
 
 #[cfg(test)]

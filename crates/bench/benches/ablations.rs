@@ -17,10 +17,10 @@
 
 use resilim_apps::App;
 use resilim_bench::bench_config;
-use resilim_inject::OpMask;
 use resilim_core::{prediction_error, Predictor, SamplePoints};
 use resilim_harness::experiments::build_inputs;
 use resilim_harness::{CampaignRunner, CampaignSpec, ErrorSpec};
+use resilim_inject::OpMask;
 
 fn main() {
     let cfg = bench_config();
@@ -32,7 +32,10 @@ fn main() {
     // 1. Sample-point strategy.
     // ---------------------------------------------------------------
     println!("== ablation 1: serial sample-point strategy (p=64, s=4, alpha off) ==");
-    println!("{:<10} {:>14} {:>14} {:>14}", "app", "BucketUpper", "PaperEq8", "BucketMid");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "app", "BucketUpper", "PaperEq8", "BucketMid"
+    );
     for app in apps {
         let measured = runner
             .run(&CampaignSpec::new(
@@ -68,7 +71,10 @@ fn main() {
     // 2. Alpha policy (threshold 0.20 = paper, inf = never, 0 = always).
     // ---------------------------------------------------------------
     println!("\n== ablation 2: alpha fine-tuning policy (p=64, s=4) ==");
-    println!("{:<10} {:>14} {:>14} {:>14}", "app", "paper(0.20)", "never", "always");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "app", "paper(0.20)", "never", "always"
+    );
     for app in apps {
         let measured = runner
             .run(&CampaignSpec::new(
@@ -97,7 +103,10 @@ fn main() {
     // 3. Contamination-significance threshold.
     // ---------------------------------------------------------------
     println!("\n== ablation 3: contamination threshold θ (CG, 8 ranks) ==");
-    println!("{:<10} {:>12} {:>12} {:>16}", "θ", "1 rank", "all ranks", "mean contam");
+    println!(
+        "{:<10} {:>12} {:>12} {:>16}",
+        "θ", "1 rank", "all ranks", "mean contam"
+    );
     for theta in [0.0, 1e-12, 1e-9, 1e-6] {
         let mut spec = CampaignSpec::new(
             App::Cg.default_spec(),
@@ -123,7 +132,10 @@ fn main() {
     // 4. Fault pattern: single vs multi-bit flips.
     // ---------------------------------------------------------------
     println!("\n== ablation 4: fault pattern (LU, 8 ranks) ==");
-    println!("{:<12} {:>10} {:>10} {:>10}", "pattern", "success", "SDC", "failure");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "pattern", "success", "SDC", "failure"
+    );
     for (label, errors) in [
         ("1-bit", ErrorSpec::OneParallel),
         ("2-bit", ErrorSpec::OneParallelMultiBit(2)),
@@ -150,7 +162,10 @@ fn main() {
     // 5. Instruction-type mask: which op kinds are injection targets.
     // ---------------------------------------------------------------
     println!("\n== ablation 5: instruction-type mask (CG, 8 ranks) ==");
-    println!("{:<12} {:>10} {:>10} {:>10}", "mask", "success", "SDC", "failure");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "mask", "success", "SDC", "failure"
+    );
     for mask in [OpMask::FP_ARITH, OpMask::DIV, OpMask::ALL] {
         let mut spec = CampaignSpec::new(
             App::Cg.default_spec(),

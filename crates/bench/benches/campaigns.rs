@@ -23,39 +23,51 @@ fn bench_campaigns(c: &mut Criterion) {
         runner.golden().get(&app.default_spec(), 4);
         runner.golden().get(&app.default_spec(), 64);
 
-        group.bench_with_input(BenchmarkId::new("serial_1err", app.name()), &app, |b, &app| {
-            b.iter(|| {
-                runner.run_uncached(&CampaignSpec::new(
-                    app.default_spec(),
-                    1,
-                    ErrorSpec::SerialErrors(1),
-                    tests,
-                    7,
-                ))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("par4_1err", app.name()), &app, |b, &app| {
-            b.iter(|| {
-                runner.run_uncached(&CampaignSpec::new(
-                    app.default_spec(),
-                    4,
-                    ErrorSpec::OneParallel,
-                    tests,
-                    7,
-                ))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("par64_1err", app.name()), &app, |b, &app| {
-            b.iter(|| {
-                runner.run_uncached(&CampaignSpec::new(
-                    app.default_spec(),
-                    64,
-                    ErrorSpec::OneParallel,
-                    tests,
-                    7,
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("serial_1err", app.name()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    runner.run_uncached(&CampaignSpec::new(
+                        app.default_spec(),
+                        1,
+                        ErrorSpec::SerialErrors(1),
+                        tests,
+                        7,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("par4_1err", app.name()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    runner.run_uncached(&CampaignSpec::new(
+                        app.default_spec(),
+                        4,
+                        ErrorSpec::OneParallel,
+                        tests,
+                        7,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("par64_1err", app.name()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    runner.run_uncached(&CampaignSpec::new(
+                        app.default_spec(),
+                        64,
+                        ErrorSpec::OneParallel,
+                        tests,
+                        7,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -44,14 +44,8 @@ fn main() {
     let mut errors = Vec::new();
     for (fig, s) in [(5usize, 4usize), (6, 8)] {
         let t = Instant::now();
-        let report = experiments::prediction(
-            &runner,
-            &cfg,
-            &App::ALL,
-            64,
-            s,
-            SamplePoints::BucketUpper,
-        );
+        let report =
+            experiments::prediction(&runner, &cfg, &App::ALL, 64, s, SamplePoints::BucketUpper);
         println!("{}", report.render());
         println!("[figure {fig} regenerated in {:.2?}]\n", t.elapsed());
         errors.push(report.avg_error);
@@ -59,8 +53,16 @@ fn main() {
     // Paper shape: both predictions land within tens of percentage points
     // on average (paper: 8 % and 7 %), and s = 8 is at least as good as
     // s = 4 up to noise.
-    assert!(errors[0] < 0.20, "figure 5 average error too large: {}", errors[0]);
-    assert!(errors[1] < 0.20, "figure 6 average error too large: {}", errors[1]);
+    assert!(
+        errors[0] < 0.20,
+        "figure 5 average error too large: {}",
+        errors[0]
+    );
+    assert!(
+        errors[1] < 0.20,
+        "figure 6 average error too large: {}",
+        errors[1]
+    );
 
     // Figure 7: 128-rank predictions for the apps that decompose that far.
     let t = Instant::now();
@@ -74,7 +76,11 @@ fn main() {
             SamplePoints::BucketUpper,
         );
         println!("{}", report.render());
-        assert!(report.avg_error < 0.25, "figure 7 (s={s}) error: {}", report.avg_error);
+        assert!(
+            report.avg_error < 0.25,
+            "figure 7 (s={s}) error: {}",
+            report.avg_error
+        );
     }
     println!("[figure 7 regenerated in {:.2?}]\n", t.elapsed());
 

@@ -69,6 +69,25 @@ fn bench_tf64(c: &mut Criterion) {
         });
         ctx::take();
     });
+
+    // The observability hooks in the same hot path, off vs on: "off" is
+    // the production default (one relaxed load per potential record) and
+    // must stay indistinguishable from tracked_with_ctx above.
+    for (label, enabled) in [("obs_off", false), ("obs_on", true)] {
+        group.bench_function(format!("tracked_with_ctx_{label}"), |b| {
+            resilim_obs::set_enabled(enabled);
+            ctx::install(RankCtx::profiling(0));
+            b.iter(|| {
+                let mut acc = Tf64::ZERO;
+                for &x in &xs {
+                    acc = acc * 0.999 + x;
+                }
+                black_box(acc.value())
+            });
+            ctx::take();
+            resilim_obs::set_enabled(false);
+        });
+    }
     group.finish();
 }
 

@@ -37,10 +37,16 @@ fn main() {
         .find(|r| r.label.starts_with("ft"))
         .unwrap()
         .share;
-    assert!(ft_share > 0.03, "FT parallel-unique share collapsed: {ft_share}");
-    let avg_sim: f64 = table2.rows.iter().map(|r| r.similarity).sum::<f64>()
-        / table2.rows.len() as f64;
+    assert!(
+        ft_share > 0.03,
+        "FT parallel-unique share collapsed: {ft_share}"
+    );
+    let avg_sim: f64 =
+        table2.rows.iter().map(|r| r.similarity).sum::<f64>() / table2.rows.len() as f64;
     assert!(avg_sim > 0.9, "propagation similarity collapsed: {avg_sim}");
-    println!("\nshape checks passed (FT share {:.1}%, mean similarity {:.3})",
-        ft_share * 100.0, avg_sim);
+    println!(
+        "\nshape checks passed (FT share {:.1}%, mean similarity {:.3})",
+        ft_share * 100.0,
+        avg_sim
+    );
 }

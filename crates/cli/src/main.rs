@@ -19,14 +19,20 @@
 //!   weak                weak-scaling extension study (not in the paper)
 //!   campaign            run one deployment; print or --store its summary
 //!   model               predict from a --store directory (offline)
+//!   metrics             aggregate report from a --trace JSONL file
 //!   all                 every table/figure above, in order
 //! ```
+//!
+//! Observability: `--trace FILE` streams structured events (campaign
+//! starts, trials, fired injections, cache lookups) as JSONL; `--metrics`
+//! prints the aggregate counter/histogram report to stderr after the run.
+//! Either flag also enables a live progress line on stderr.
+
+mod trace;
 
 use resilim_apps::App;
 use resilim_core::SamplePoints;
-use resilim_harness::experiments::{
-    self, ExperimentConfig, LARGE_SCALE, XLARGE_SCALE,
-};
+use resilim_harness::experiments::{self, ExperimentConfig, LARGE_SCALE, XLARGE_SCALE};
 use resilim_harness::store::{model_inputs_from_store, CampaignSummary, ResultStore};
 use resilim_harness::{CampaignRunner, CampaignSpec, ErrorSpec};
 use std::io::Write as _;
@@ -44,13 +50,16 @@ struct Options {
     store: Option<String>,
     svg: Option<String>,
     jobs: usize,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|all>\n\
+    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|metrics|all>\n\
      \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
      \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
-     \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K]"
+     \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K]\n\
+     \u{20}       [--trace FILE] [--metrics]"
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -67,6 +76,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         store: None,
         svg: None,
         jobs: 1,
+        trace: None,
+        metrics: false,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -114,6 +125,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?
             }
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--metrics" => opts.metrics = true,
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -150,7 +163,9 @@ fn parse_errors(spec: &str, procs: usize) -> Result<ErrorSpec, String> {
             k.parse().map_err(|e| format!("multi:K: {e}"))?,
         ));
     }
-    Err(format!("unknown --errors '{spec}' (par|ser:N|unique|multi:K)"))
+    Err(format!(
+        "unknown --errors '{spec}' (par|ser:N|unique|multi:K)"
+    ))
 }
 
 /// Emit one experiment's text and JSON forms.
@@ -204,8 +219,7 @@ fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result
                 .copied()
                 .filter(|a| a.max_procs() >= p)
                 .collect();
-            let report =
-                experiments::prediction(runner, cfg, &apps, p, s, SamplePoints::default());
+            let report = experiments::prediction(runner, cfg, &apps, p, s, SamplePoints::default());
             write_svg(opts, report.to_svg())?;
             emit(opts, report.render(), &report)
         }
@@ -244,7 +258,9 @@ fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result
             let mut rows = Vec::new();
             for &app in &opts.apps {
                 let golden = runner.golden().get(&app.default_spec(), 1);
-                let par = runner.golden().get(&app.default_spec(), 4.min(app.max_procs()));
+                let par = runner
+                    .golden()
+                    .get(&app.default_spec(), 4.min(app.max_procs()));
                 let diff = par.output.max_rel_diff(&golden.output).unwrap();
                 text.push_str(&format!(
                     "{app}: digest {:?}\n  serial-vs-4-rank rel diff {diff:.2e}, ops {}, unique share {:.2}%\n",
@@ -307,14 +323,8 @@ fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result
             let app = *opts.apps.first().ok_or("model needs --apps <one app>")?;
             let p = opts.scale.unwrap_or(LARGE_SCALE);
             let s = opts.small.unwrap_or(4);
-            let inputs = model_inputs_from_store(
-                &store,
-                app.name(),
-                p,
-                s,
-                SamplePoints::default(),
-                0.0,
-            )?;
+            let inputs =
+                model_inputs_from_store(&store, app.name(), p, s, SamplePoints::default(), 0.0)?;
             let pred = resilim_core::Predictor::new(inputs).predict();
             let text = format!(
                 "predicted {app} at {p} ranks (from stored serial + {s}-rank data):\n  \
@@ -326,10 +336,27 @@ fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result
             );
             emit(opts, text, &pred)
         }
+        "metrics" => {
+            let path = opts
+                .trace
+                .as_ref()
+                .ok_or("metrics needs --trace FILE (a trace written by a previous run)")?;
+            let report = trace::TraceReport::from_file(path)?;
+            emit(opts, report.render(), &report.to_json_value())
+        }
         "all" => {
             for cmd in [
-                "apps", "motivation", "table1", "table2", "fig1", "fig2", "fig3", "fig5",
-                "fig6", "fig7", "fig8",
+                "apps",
+                "motivation",
+                "table1",
+                "table2",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
             ] {
                 eprintln!("--- {cmd} ---");
                 run_command(opts, runner, cmd)?;
@@ -340,6 +367,23 @@ fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result
     }
 }
 
+/// Turn the observability recorder on and install the requested sinks.
+/// No-op (recorder stays off, campaigns run untraced) without `--trace`
+/// or `--metrics`, and for the offline `metrics` command.
+fn setup_observability(opts: &Options) -> Result<(), String> {
+    if opts.command == "metrics" || (opts.trace.is_none() && !opts.metrics) {
+        return Ok(());
+    }
+    if let Some(path) = &opts.trace {
+        let sink = resilim_obs::JsonlSink::create(std::path::Path::new(path))
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+        resilim_obs::add_sink(std::sync::Arc::new(sink));
+    }
+    resilim_obs::add_sink(std::sync::Arc::new(resilim_obs::ProgressSink::new()));
+    resilim_obs::set_enabled(true);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args(std::env::args().skip(1)) {
         Ok(o) => o,
@@ -348,8 +392,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = setup_observability(&opts) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let metrics_before = resilim_obs::MetricsSnapshot::capture();
     let runner = CampaignRunner::new().with_test_parallelism(opts.jobs);
-    match run_command(&opts, &runner, &opts.command.clone()) {
+    let outcome = run_command(&opts, &runner, &opts.command.clone());
+    resilim_obs::flush_sinks();
+    if opts.metrics && opts.command != "metrics" {
+        eprint!(
+            "{}",
+            resilim_obs::MetricsSnapshot::capture()
+                .delta(&metrics_before)
+                .render()
+        );
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

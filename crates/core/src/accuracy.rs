@@ -49,7 +49,13 @@ mod tests {
     #[test]
     fn rmse_dominated_by_worst_case() {
         let small_errors = [(0.5, 0.51); 5];
-        let with_outlier = [(0.5, 0.51), (0.5, 0.51), (0.5, 0.51), (0.5, 0.51), (0.9, 0.5)];
+        let with_outlier = [
+            (0.5, 0.51),
+            (0.5, 0.51),
+            (0.5, 0.51),
+            (0.5, 0.51),
+            (0.9, 0.5),
+        ];
         assert!(rmse(&with_outlier) > 5.0 * rmse(&small_errors));
     }
 }

@@ -113,7 +113,10 @@ impl Predictor {
     /// If `s ∤ p`, a serial sample case is missing, the small profile has
     /// the wrong scale, or `unique_share > 0` without `fi_unique`.
     pub fn new(inputs: ModelInputs) -> Predictor {
-        assert!(inputs.s >= 1 && inputs.p.is_multiple_of(inputs.s), "need s | p");
+        assert!(
+            inputs.s >= 1 && inputs.p.is_multiple_of(inputs.s),
+            "need s | p"
+        );
         assert_eq!(
             inputs.small_prop.p, inputs.s,
             "small-scale propagation profile must be at scale s"
@@ -240,7 +243,11 @@ mod tests {
             f.record(&TestOutcome::sdc(1, 1));
         }
         for _ in 0..failure {
-            f.record(&TestOutcome::failure(resilim_inject::FailureKind::Crash, 1, 1));
+            f.record(&TestOutcome::failure(
+                resilim_inject::FailureKind::Crash,
+                1,
+                1,
+            ));
         }
         f
     }

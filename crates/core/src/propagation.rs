@@ -82,12 +82,7 @@ impl PropagationProfile {
         let width = self.p / groups;
         let total = self.total().max(1) as f64;
         (0..groups)
-            .map(|j| {
-                self.counts[j * width..(j + 1) * width]
-                    .iter()
-                    .sum::<u64>() as f64
-                    / total
-            })
+            .map(|j| self.counts[j * width..(j + 1) * width].iter().sum::<u64>() as f64 / total)
             .collect()
     }
 

@@ -15,8 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Strategy for choosing the `S` serial sample cases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SamplePoints {
     /// `{1, 2p/S, 3p/S, …, p}` — Eq. 7's points (bucket upper edges,
     /// anchored at 1). The default.
@@ -30,7 +29,6 @@ pub enum SamplePoints {
     BucketMid,
 }
 
-
 /// The 1-based bucket index of `x` under an `S`-way uniform split of
 /// `[1, p]`: `⌈x·S/p⌉`.
 ///
@@ -42,7 +40,10 @@ pub enum SamplePoints {
 #[inline]
 pub fn bucket_of(x: usize, p: usize, s: usize) -> usize {
     assert!(x >= 1 && x <= p, "x = {x} out of [1, {p}]");
-    assert!(s >= 1 && p.is_multiple_of(s), "need s | p (s = {s}, p = {p})");
+    assert!(
+        s >= 1 && p.is_multiple_of(s),
+        "need s | p (s = {s}, p = {p})"
+    );
     x.div_ceil(p / s)
 }
 
@@ -54,7 +55,10 @@ pub fn bucket_of(x: usize, p: usize, s: usize) -> usize {
 /// assert_eq!(sample_cases(64, 4, SamplePoints::BucketUpper), [1, 32, 48, 64]);
 /// ```
 pub fn sample_cases(p: usize, s: usize, strategy: SamplePoints) -> Vec<usize> {
-    assert!(s >= 1 && s <= p && p.is_multiple_of(s), "need s | p (s = {s}, p = {p})");
+    assert!(
+        s >= 1 && s <= p && p.is_multiple_of(s),
+        "need s | p (s = {s}, p = {p})"
+    );
     if s == 1 {
         return vec![1];
     }
@@ -117,7 +121,10 @@ mod tests {
 
     #[test]
     fn eq8_sample_points() {
-        assert_eq!(sample_cases(64, 4, SamplePoints::PaperEq8), vec![1, 16, 32, 64]);
+        assert_eq!(
+            sample_cases(64, 4, SamplePoints::PaperEq8),
+            vec![1, 16, 32, 64]
+        );
         assert_eq!(
             sample_cases(64, 8, SamplePoints::PaperEq8),
             vec![1, 8, 16, 24, 32, 40, 48, 64]
@@ -126,13 +133,19 @@ mod tests {
 
     #[test]
     fn mid_sample_points() {
-        assert_eq!(sample_cases(64, 4, SamplePoints::BucketMid), vec![1, 24, 40, 56]);
+        assert_eq!(
+            sample_cases(64, 4, SamplePoints::BucketMid),
+            vec![1, 24, 40, 56]
+        );
     }
 
     #[test]
     fn degenerate_cases() {
         assert_eq!(sample_cases(64, 1, SamplePoints::BucketUpper), vec![1]);
-        assert_eq!(sample_cases(4, 4, SamplePoints::BucketUpper), vec![1, 2, 3, 4]);
+        assert_eq!(
+            sample_cases(4, 4, SamplePoints::BucketUpper),
+            vec![1, 2, 3, 4]
+        );
         for x in 1..=4 {
             assert_eq!(bucket_of(x, 4, 4), x);
         }
@@ -163,7 +176,10 @@ mod tests {
                 let cases = sample_cases(64, s, strategy);
                 assert_eq!(cases.len(), s, "{strategy:?} s={s}");
                 assert_eq!(cases[0], 1);
-                assert!(cases.windows(2).all(|w| w[0] < w[1]), "{strategy:?} {cases:?}");
+                assert!(
+                    cases.windows(2).all(|w| w[0] < w[1]),
+                    "{strategy:?} {cases:?}"
+                );
                 assert!(*cases.last().unwrap() <= 64);
                 if !matches!(strategy, SamplePoints::BucketMid) {
                     assert_eq!(*cases.last().unwrap(), 64);

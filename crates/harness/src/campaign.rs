@@ -17,8 +17,9 @@ use rand::{Rng, SeedableRng};
 use resilim_apps::ProblemSpec;
 use resilim_core::{FiResult, PropagationProfile};
 use resilim_inject::{
-    FailureKind, InjectionPlan, OpMask, Operand, RankCtx, Region, Target, TestOutcome,
+    FailureKind, InjectionPlan, OpMask, Operand, OutcomeKind, RankCtx, Region, Target, TestOutcome,
 };
+use resilim_obs as obs;
 use resilim_simmpi::{PanicKind, World};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -115,8 +116,13 @@ pub struct CampaignResult {
     /// Contaminated-rank histogram over all tests.
     pub prop: PropagationProfile,
     /// Results conditioned on contamination count: `by_contam[x-1]`
-    /// summarizes the tests that contaminated exactly `x` ranks.
+    /// summarizes the tests that contaminated exactly `x ∈ [1, procs]`
+    /// ranks.
     pub by_contam: Vec<FiResult>,
+    /// Tests that contaminated *no* rank (a planned fault never reached
+    /// its target op). Kept out of `by_contam` so the x=1 bucket is not
+    /// polluted by tests where nothing happened.
+    pub uncontaminated: FiResult,
     /// Raw per-test outcomes (test `i` used seed `hash(seed, i)`).
     pub outcomes: Vec<TestOutcome>,
     /// Wall-clock time of the whole campaign (the paper's "fault
@@ -124,6 +130,10 @@ pub struct CampaignResult {
     pub wall: Duration,
     /// The golden run the campaign classified against.
     pub golden: Arc<GoldenRun>,
+    /// Observability counters/histograms accumulated while this campaign
+    /// ran (all zeros unless the recorder was enabled). Snapshot deltas:
+    /// exact when campaigns don't run concurrently in one process.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 impl CampaignResult {
@@ -180,8 +190,18 @@ impl CampaignRunner {
     pub fn run(&self, spec: &CampaignSpec) -> Arc<CampaignResult> {
         let key = spec.cache_key();
         if let Some(hit) = self.cache.lock().get(&key) {
+            obs::count(obs::Counter::CampaignCacheHits, 1);
+            obs::emit(&obs::Event::CacheLookup {
+                cache: "campaign",
+                hit: true,
+            });
             return Arc::clone(hit);
         }
+        obs::count(obs::Counter::CampaignCacheMisses, 1);
+        obs::emit(&obs::Event::CacheLookup {
+            cache: "campaign",
+            hit: false,
+        });
         let result = Arc::new(self.run_uncached(spec));
         self.cache.lock().insert(key, Arc::clone(&result));
         result
@@ -193,57 +213,117 @@ impl CampaignRunner {
         if let ErrorSpec::SerialErrors(_) = spec.errors {
             assert_eq!(spec.procs, 1, "SerialErrors campaigns run serially");
         }
+        let metrics_before = obs::MetricsSnapshot::capture();
+        let campaign_id = obs::next_campaign_id();
+        if obs::enabled() {
+            obs::emit(&obs::Event::CampaignStart {
+                campaign: campaign_id,
+                app: spec.spec.app().name().to_string(),
+                procs: spec.procs,
+                tests: spec.tests,
+                errors: format!("{:?}", spec.errors),
+            });
+        }
         let golden = self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask);
         let op_cap = golden.op_cap();
 
         let start = Instant::now();
         let outcomes: Vec<TestOutcome> = if self.test_parallelism <= 1 {
             (0..spec.tests)
-                .map(|test| self.run_test(spec, &golden, op_cap, test))
+                .map(|test| self.run_observed_test(spec, &golden, op_cap, test, campaign_id))
                 .collect()
         } else {
             // Workers pull test indices from a shared counter; results are
             // stored by index, so aggregation order (and therefore every
             // statistic) matches the sequential run exactly.
+            let workers = self.test_parallelism.min(spec.tests.max(1));
             let next = std::sync::atomic::AtomicUsize::new(0);
             let slots: Vec<Mutex<Option<TestOutcome>>> =
                 (0..spec.tests).map(|_| Mutex::new(None)).collect();
             std::thread::scope(|scope| {
-                for _ in 0..self.test_parallelism.min(spec.tests.max(1)) {
+                for _ in 0..workers {
                     scope.spawn(|| loop {
                         let test = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if test >= spec.tests {
                             break;
                         }
-                        let outcome = self.run_test(spec, &golden, op_cap, test);
+                        let busy = obs::timer();
+                        let outcome =
+                            self.run_observed_test(spec, &golden, op_cap, test, campaign_id);
+                        if let Some(busy) = busy {
+                            obs::count(
+                                obs::Counter::WorkerBusyNanos,
+                                busy.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                            );
+                        }
                         *slots[test].lock() = Some(outcome);
                     });
                 }
             });
+            obs::count(
+                obs::Counter::WorkerWallNanos,
+                (start.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                    .saturating_mul(workers as u64),
+            );
             slots
                 .into_iter()
                 .map(|slot| slot.into_inner().expect("every test ran"))
                 .collect()
         };
+        let wall = start.elapsed();
 
-        let mut fi = FiResult::new();
-        let mut prop = PropagationProfile::new(spec.procs);
-        let mut by_contam = vec![FiResult::new(); spec.procs];
-        for outcome in &outcomes {
-            fi.record(outcome);
-            prop.record(outcome);
-            let x = outcome.contaminated_ranks.clamp(1, spec.procs);
-            by_contam[x - 1].record(outcome);
+        if obs::enabled() {
+            obs::emit(&obs::Event::CampaignEnd {
+                campaign: campaign_id,
+                wall_us: obs::as_micros(wall),
+                trials: outcomes.len(),
+            });
         }
+        let (fi, prop, by_contam, uncontaminated) = aggregate(spec.procs, &outcomes);
         CampaignResult {
             procs: spec.procs,
             fi,
             prop,
             by_contam,
+            uncontaminated,
             outcomes,
-            wall: start.elapsed(),
+            wall,
             golden,
+            metrics: obs::MetricsSnapshot::capture().delta(&metrics_before),
         }
+    }
+
+    /// Run one test under the trial span: latency histogram, trial
+    /// counter, and the structured trial event.
+    fn run_observed_test(
+        &self,
+        spec: &CampaignSpec,
+        golden: &GoldenRun,
+        op_cap: u64,
+        test: usize,
+        campaign_id: u64,
+    ) -> TestOutcome {
+        let t = obs::timer();
+        let outcome = self.run_test(spec, golden, op_cap, test);
+        obs::count(obs::Counter::TrialsRun, 1);
+        if let Some(t) = t {
+            let latency_us = obs::as_micros(t.elapsed());
+            obs::observe(obs::Hist::TrialLatencyUs, latency_us);
+            obs::emit(&obs::Event::Trial {
+                campaign: campaign_id,
+                test,
+                kind: match outcome.kind {
+                    OutcomeKind::Success => "success",
+                    OutcomeKind::Sdc => "sdc",
+                    OutcomeKind::Failure => "failure",
+                },
+                masked: outcome.masked,
+                contaminated: outcome.contaminated_ranks,
+                fired: outcome.injections_fired,
+                latency_us,
+            });
+        }
+        outcome
     }
 
     /// Plan and execute a single fault-injection test.
@@ -311,8 +391,9 @@ impl CampaignRunner {
                 }
             }
         }
-        let contaminated = contaminated.max(1);
-
+        // `contaminated` may legitimately be 0: a planned fault whose
+        // target op was never reached fires nothing and taints nothing.
+        // Such tests are aggregated into `uncontaminated`, not `by_contam`.
         if let Some(kind) = failure {
             return TestOutcome::failure(kind, contaminated, fired);
         }
@@ -325,6 +406,33 @@ impl CampaignRunner {
             TestOutcome::sdc(contaminated, fired)
         }
     }
+}
+
+/// Aggregate per-test outcomes into the campaign statistics.
+///
+/// `by_contam[x-1]` summarizes the tests that contaminated exactly
+/// `x ∈ [1, procs]` ranks (counts above `procs` clamp down). Tests with
+/// `contaminated_ranks == 0` are returned separately: folding them into
+/// the x=1 bucket (as this code once did via `clamp(1, procs)`) skews the
+/// conditional success rate the model conditions on, because a test where
+/// the fault never materialized is always a masked success.
+fn aggregate(
+    procs: usize,
+    outcomes: &[TestOutcome],
+) -> (FiResult, PropagationProfile, Vec<FiResult>, FiResult) {
+    let mut fi = FiResult::new();
+    let mut prop = PropagationProfile::new(procs);
+    let mut by_contam = vec![FiResult::new(); procs];
+    let mut uncontaminated = FiResult::new();
+    for outcome in outcomes {
+        fi.record(outcome);
+        prop.record(outcome);
+        match outcome.contaminated_ranks {
+            0 => uncontaminated.record(outcome),
+            x => by_contam[x.min(procs) - 1].record(outcome),
+        }
+    }
+    (fi, prop, by_contam, uncontaminated)
 }
 
 /// Draw the injection plan(s) for one test: a map rank → plan.
@@ -546,7 +654,9 @@ mod tests {
         assert_eq!(result.fi.total(), 15);
         // The golden profile used for the index space was mask-specific:
         // far fewer divisions than adds/muls in CG.
-        let div_golden = runner.golden().get_masked(&App::Cg.default_spec(), 1, OpMask::DIV);
+        let div_golden = runner
+            .golden()
+            .get_masked(&App::Cg.default_spec(), 1, OpMask::DIV);
         let default_golden = runner.golden().get(&App::Cg.default_spec(), 1);
         assert!(div_golden.injectable_total() * 10 < default_golden.injectable_total());
         assert!(div_golden.injectable_total() > 0);
@@ -557,12 +667,36 @@ mod tests {
         let runner = CampaignRunner::new();
         let result = runner.run(&campaign(App::Cg, 4, ErrorSpec::OneParallel, 30));
         let total: u64 = result.by_contam.iter().map(|fi| fi.total()).sum();
-        assert_eq!(total, result.fi.total());
+        assert_eq!(total + result.uncontaminated.total(), result.fi.total());
         let success: u64 = result
             .by_contam
             .iter()
+            .chain(std::iter::once(&result.uncontaminated))
             .map(|fi| fi.counts[OutcomeKind::Success.index()])
             .sum();
         assert_eq!(success, result.fi.counts[OutcomeKind::Success.index()]);
+    }
+
+    #[test]
+    fn uncontaminated_tests_stay_out_of_by_contam() {
+        // Regression: contaminated_ranks == 0 used to be folded into the
+        // x=1 bucket by `clamp(1, procs)`, skewing its conditional rates.
+        let outcomes = vec![
+            TestOutcome::success(true, 0, 0), // fault never fired
+            TestOutcome::success(true, 1, 1), // absorbed on one rank
+            TestOutcome::sdc(1, 1),           // corrupted one rank
+            TestOutcome::sdc(4, 1),           // spread to all ranks
+            TestOutcome::sdc(9, 1),           // over-count clamps to procs
+        ];
+        let (fi, prop, by_contam, uncontaminated) = aggregate(4, &outcomes);
+        assert_eq!(fi.total(), 5);
+        assert_eq!(uncontaminated.total(), 1);
+        assert_eq!(uncontaminated.counts[OutcomeKind::Success.index()], 1);
+        // x=1 bucket holds only the genuinely single-rank tests.
+        assert_eq!(by_contam[0].total(), 2);
+        assert_eq!(by_contam[3].total(), 2);
+        assert_eq!(by_contam[1].total() + by_contam[2].total(), 0);
+        // The propagation histogram keeps its historical 1..=p clamp.
+        assert_eq!(prop.counts.iter().sum::<u64>(), 5);
     }
 }

@@ -31,12 +31,7 @@ pub struct Fig3 {
 }
 
 /// Regenerate Figure 3 for the given apps at the given parallel scale.
-pub fn fig3(
-    runner: &CampaignRunner,
-    cfg: &ExperimentConfig,
-    apps: &[App],
-    procs: usize,
-) -> Fig3 {
+pub fn fig3(runner: &CampaignRunner, cfg: &ExperimentConfig, apps: &[App], procs: usize) -> Fig3 {
     let mut panels = Vec::new();
     for &app in apps {
         // Serial multi-error campaigns, x = 1..=procs.
@@ -150,7 +145,11 @@ mod tests {
     #[test]
     fn fig3_wiring_small() {
         let runner = CampaignRunner::new();
-        let cfg = ExperimentConfig { tests: 15, seed: 5, ..Default::default() };
+        let cfg = ExperimentConfig {
+            tests: 15,
+            seed: 5,
+            ..Default::default()
+        };
         let fig = fig3(&runner, &cfg, &[App::Cg], 2);
         assert_eq!(fig.apps.len(), 1);
         let panel = &fig.apps[0];

@@ -98,7 +98,11 @@ impl Fig8 {
                 "Figure 8: accuracy vs fault-injection time (predicting {} ranks)",
                 self.p
             ),
-            &["small scale", "RMSE (success rate)", "FI time (normalized to serial)"],
+            &[
+                "small scale",
+                "RMSE (success rate)",
+                "FI time (normalized to serial)",
+            ],
         );
         for pt in &self.points {
             t.row(vec![
@@ -117,7 +121,10 @@ impl Fig8 {
         use crate::plot::{stack_svgs, LineChart};
         let labels: Vec<String> = self.points.iter().map(|p| p.s.to_string()).collect();
         let rmse = LineChart {
-            title: format!("Figure 8a: prediction RMSE vs small scale (target {})", self.p),
+            title: format!(
+                "Figure 8a: prediction RMSE vs small scale (target {})",
+                self.p
+            ),
             y_label: "RMSE (success rate)".into(),
             x_labels: labels.clone(),
             series: vec![("RMSE".into(), self.points.iter().map(|p| p.rmse).collect())],
@@ -144,8 +151,16 @@ mod tests {
         let fig = Fig8 {
             p: 64,
             points: vec![
-                Fig8Point { s: 4, rmse: 0.08, fi_time_normalized: 1.5 },
-                Fig8Point { s: 8, rmse: 0.05, fi_time_normalized: 2.3 },
+                Fig8Point {
+                    s: 4,
+                    rmse: 0.08,
+                    fi_time_normalized: 1.5,
+                },
+                Fig8Point {
+                    s: 8,
+                    rmse: 0.05,
+                    fi_time_normalized: 2.3,
+                },
             ],
         };
         let text = fig.render();

@@ -84,8 +84,17 @@ impl Motivation {
     /// Render as text.
     pub fn render(&self) -> String {
         let mut t = Table::new(
-            format!("Motivation: cost growth from serial to {} ranks", self.procs),
-            &["benchmark", "ops serial", "ops parallel", "op growth", "FI time growth"],
+            format!(
+                "Motivation: cost growth from serial to {} ranks",
+                self.procs
+            ),
+            &[
+                "benchmark",
+                "ops serial",
+                "ops parallel",
+                "op growth",
+                "FI time growth",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -107,7 +116,11 @@ mod tests {
     #[test]
     fn motivation_measures_growth() {
         let runner = CampaignRunner::new();
-        let cfg = ExperimentConfig { tests: 5, seed: 1, ..Default::default() };
+        let cfg = ExperimentConfig {
+            tests: 5,
+            seed: 1,
+            ..Default::default()
+        };
         let m = motivation(&runner, &cfg, 2);
         assert_eq!(m.rows.len(), App::ALL.len());
         for row in &m.rows {

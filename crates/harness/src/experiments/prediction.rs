@@ -169,12 +169,14 @@ pub fn build_inputs_spec(
     // given input from an execution-time model), FI_par_unique from a
     // region-targeted small-scale campaign.
     let unique_share = runner.golden().get(problem, p).unique_share();
-    let (unique_share, fi_unique): (f64, Option<FiResult>) =
-        if unique_share > UNIQUE_SHARE_CUTOFF {
-            (unique_share, Some(campaign(s, ErrorSpec::OneParallelUnique).fi))
-        } else {
-            (0.0, None)
-        };
+    let (unique_share, fi_unique): (f64, Option<FiResult>) = if unique_share > UNIQUE_SHARE_CUTOFF {
+        (
+            unique_share,
+            Some(campaign(s, ErrorSpec::OneParallelUnique).fi),
+        )
+    } else {
+        (0.0, None)
+    };
 
     ModelInputs {
         p,
@@ -268,15 +270,12 @@ mod tests {
         // Reduced scales so the unit test stays fast: predict p = 4 from
         // s = 2 for one app.
         let runner = CampaignRunner::new();
-        let cfg = ExperimentConfig { tests: 30, seed: 11, ..Default::default() };
-        let report = prediction(
-            &runner,
-            &cfg,
-            &[App::Lu],
-            4,
-            2,
-            SamplePoints::BucketUpper,
-        );
+        let cfg = ExperimentConfig {
+            tests: 30,
+            seed: 11,
+            ..Default::default()
+        };
+        let report = prediction(&runner, &cfg, &[App::Lu], 4, 2, SamplePoints::BucketUpper);
         assert_eq!(report.rows.len(), 1);
         let row = &report.rows[0];
         for k in 0..3 {
@@ -293,7 +292,11 @@ mod tests {
     #[test]
     fn ft_prediction_includes_unique_term() {
         let runner = CampaignRunner::new();
-        let cfg = ExperimentConfig { tests: 20, seed: 11, ..Default::default() };
+        let cfg = ExperimentConfig {
+            tests: 20,
+            seed: 11,
+            ..Default::default()
+        };
         let inputs = build_inputs(&runner, &cfg, App::Ft, 4, 2, SamplePoints::BucketUpper);
         assert!(inputs.unique_share > UNIQUE_SHARE_CUTOFF);
         assert!(inputs.fi_unique.is_some());

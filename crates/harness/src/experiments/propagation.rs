@@ -71,7 +71,10 @@ impl PropagationFigure {
         out.push_str(&a.render());
 
         let mut b = Table::new(
-            format!("(b) {} propagation, {} ranks (non-zero bins)", self.app, self.large.p),
+            format!(
+                "(b) {} propagation, {} ranks (non-zero bins)",
+                self.app, self.large.p
+            ),
             &["contaminated ranks", "fraction of tests"],
         );
         for (i, r) in self.large.r_vec().iter().enumerate() {
@@ -126,7 +129,10 @@ impl PropagationFigure {
             categories: (1..=self.small.p).map(|x| x.to_string()).collect(),
             series: vec![
                 (format!("{} ranks", self.small.p), self.small.r_vec()),
-                (format!("{} ranks grouped", self.large.p), self.grouped.clone()),
+                (
+                    format!("{} ranks grouped", self.large.p),
+                    self.grouped.clone(),
+                ),
             ],
             y_max: 1.0,
         };
@@ -141,7 +147,11 @@ mod tests {
     #[test]
     fn figure_wiring_small_scales() {
         let runner = CampaignRunner::new();
-        let cfg = ExperimentConfig { tests: 20, seed: 3, ..Default::default() };
+        let cfg = ExperimentConfig {
+            tests: 20,
+            seed: 3,
+            ..Default::default()
+        };
         let fig = fig_propagation(&runner, &cfg, App::Cg, 2, 8);
         assert_eq!(fig.small.p, 2);
         assert_eq!(fig.large.p, 8);

@@ -47,10 +47,7 @@ pub fn table2(runner: &CampaignRunner, cfg: &ExperimentConfig) -> Table2 {
         let large = campaign_at(LARGE_SCALE);
         for small_scale in [4usize, 8] {
             let small = campaign_at(small_scale);
-            let similarity = cosine_similarity(
-                &small.prop.r_vec(),
-                &large.prop.group(small_scale),
-            );
+            let similarity = cosine_similarity(&small.prop.r_vec(), &large.prop.group(small_scale));
             rows.push(Table2Row {
                 app: app.name().to_string(),
                 small: small_scale,

@@ -62,8 +62,7 @@ pub fn weak_scaling(
                 cfg.tests,
                 cfg.seed,
             ));
-            let inputs =
-                build_inputs_spec(runner, cfg, &problem, p, s, SamplePoints::default());
+            let inputs = build_inputs_spec(runner, cfg, &problem, p, s, SamplePoints::default());
             let pred = Predictor::new(inputs).predict();
             let m = measured.fi.rates();
             rows.push(WeakRow {

@@ -5,6 +5,7 @@
 use parking_lot::Mutex;
 use resilim_apps::{AppOutput, ProblemSpec};
 use resilim_inject::{OpMask, OpProfile, RankCtx, Region};
+use resilim_obs as obs;
 use resilim_simmpi::World;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -125,8 +126,18 @@ impl GoldenStore {
     pub fn get_masked(&self, spec: &ProblemSpec, procs: usize, mask: OpMask) -> Arc<GoldenRun> {
         let key = (spec.cache_key(), procs, mask);
         if let Some(hit) = self.cache.lock().get(&key) {
+            obs::count(obs::Counter::GoldenCacheHits, 1);
+            obs::emit(&obs::Event::CacheLookup {
+                cache: "golden",
+                hit: true,
+            });
             return Arc::clone(hit);
         }
+        obs::count(obs::Counter::GoldenCacheMisses, 1);
+        obs::emit(&obs::Event::CacheLookup {
+            cache: "golden",
+            hit: false,
+        });
         // Measure outside the lock (single-threaded campaigns anyway).
         let run = Arc::new(GoldenRun::measure_masked(spec, procs, mask));
         self.cache.lock().insert(key, Arc::clone(&run));
@@ -162,7 +173,11 @@ mod tests {
     fn profiles_cover_all_ranks_and_ops() {
         let run = GoldenRun::measure(&App::Cg.default_spec(), 4);
         assert_eq!(run.profiles.len(), 4);
-        assert!(run.injectable_total() > 10_000, "{}", run.injectable_total());
+        assert!(
+            run.injectable_total() > 10_000,
+            "{}",
+            run.injectable_total()
+        );
         // CG's recursive-doubling combines are a small parallel-unique part.
         let share = run.unique_share();
         assert!(share > 0.0 && share < 0.05, "share = {share}");

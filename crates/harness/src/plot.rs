@@ -53,7 +53,9 @@ const MARGIN_B: f64 = 46.0;
 const PALETTE: [&str; 4] = ["#4878a8", "#e49444", "#5ba053", "#b04f4f"];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn frame(title: &str, y_label: &str, body: &str) -> String {
@@ -237,7 +239,11 @@ pub fn stack_svgs(svgs: &[String]) -> String {
         // Strip the outer <svg> wrapper and re-embed with an offset.
         let inner = svg
             .split_once('>')
-            .map(|(_, rest)| rest.rsplit_once("</svg>").map(|(body, _)| body).unwrap_or(rest))
+            .map(|(_, rest)| {
+                rest.rsplit_once("</svg>")
+                    .map(|(body, _)| body)
+                    .unwrap_or(rest)
+            })
             .unwrap_or(svg);
         out.push_str(&format!(
             r#"<g transform="translate(0 {})">{inner}</g>

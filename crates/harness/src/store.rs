@@ -33,6 +33,10 @@ pub struct CampaignSummary {
     pub prop: PropagationProfile,
     /// Outcome statistics conditioned on contamination count.
     pub by_contam: Vec<FiResult>,
+    /// Statistics over tests that contaminated no rank (the planned fault
+    /// never fired); kept out of `by_contam` so x=1 stays conditional on
+    /// genuine single-rank contamination.
+    pub uncontaminated: FiResult,
     /// Campaign wall-clock seconds.
     pub wall_secs: f64,
 }
@@ -50,6 +54,7 @@ impl CampaignSummary {
             fi: result.fi,
             prop: result.prop.clone(),
             by_contam: result.by_contam.clone(),
+            uncontaminated: result.uncontaminated,
             wall_secs: result.wall.as_secs_f64(),
         }
     }
@@ -166,14 +171,18 @@ pub fn model_inputs_from_store(
     let small = all
         .iter()
         .find(|sum| sum.app == app && sum.procs == s && sum.errors == ErrorSpec::OneParallel)
-        .ok_or(format!("store is missing the {s}-rank 1-error campaign for {app}"))?;
+        .ok_or(format!(
+            "store is missing the {s}-rank 1-error campaign for {app}"
+        ))?;
     let fi_unique = all
         .iter()
-        .find(|sum| {
-            sum.app == app && sum.procs == s && sum.errors == ErrorSpec::OneParallelUnique
-        })
+        .find(|sum| sum.app == app && sum.procs == s && sum.errors == ErrorSpec::OneParallelUnique)
         .map(|sum| sum.fi);
-    let unique_share = if fi_unique.is_some() { unique_share } else { 0.0 };
+    let unique_share = if fi_unique.is_some() {
+        unique_share
+    } else {
+        0.0
+    };
     Ok(resilim_core::ModelInputs {
         p,
         s,
@@ -194,7 +203,8 @@ mod tests {
     use resilim_apps::App;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("resilim-store-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("resilim-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -202,13 +212,7 @@ mod tests {
     #[test]
     fn summary_roundtrips_through_disk() {
         let runner = CampaignRunner::new();
-        let spec = CampaignSpec::new(
-            App::Lu.default_spec(),
-            2,
-            ErrorSpec::OneParallel,
-            10,
-            5,
-        );
+        let spec = CampaignSpec::new(App::Lu.default_spec(), 2, ErrorSpec::OneParallel, 10, 5);
         let result = runner.run(&spec);
         let summary = CampaignSummary::of(&spec, &result);
 
@@ -225,13 +229,8 @@ mod tests {
         let runner = CampaignRunner::new();
         let store = ResultStore::open(temp_dir("all")).unwrap();
         for x in [1usize, 2] {
-            let spec = CampaignSpec::new(
-                App::Lu.default_spec(),
-                1,
-                ErrorSpec::SerialErrors(x),
-                8,
-                5,
-            );
+            let spec =
+                CampaignSpec::new(App::Lu.default_spec(), 1, ErrorSpec::SerialErrors(x), 8, 5);
             let result = runner.run(&spec);
             store.save(&CampaignSummary::of(&spec, &result)).unwrap();
         }
@@ -253,13 +252,8 @@ mod tests {
         cases.sort_unstable();
         cases.dedup();
         for x in cases {
-            let spec = CampaignSpec::new(
-                App::Lu.default_spec(),
-                1,
-                ErrorSpec::SerialErrors(x),
-                12,
-                3,
-            );
+            let spec =
+                CampaignSpec::new(App::Lu.default_spec(), 1, ErrorSpec::SerialErrors(x), 12, 3);
             let result = runner.run(&spec);
             store.save(&CampaignSummary::of(&spec, &result)).unwrap();
         }
@@ -307,6 +301,7 @@ mod tests {
             fi: FiResult::new(),
             prop: PropagationProfile::new(4),
             by_contam: vec![],
+            uncontaminated: FiResult::new(),
             wall_secs: 0.0,
         };
         let names: Vec<String> = [

@@ -1,0 +1,134 @@
+//! The observability layer must be a pure observer: enabling tracing may
+//! not change any campaign statistic, and the trace must reconcile with
+//! the statistics it narrates.
+//!
+//! Single `#[test]` on purpose: the recorder and sink registry are
+//! process-global, so concurrent tests would see each other's events.
+
+use resilim_apps::App;
+use resilim_harness::{CampaignRunner, CampaignSpec, ErrorSpec};
+use resilim_obs as obs;
+use std::sync::Arc;
+
+#[test]
+fn tracing_is_deterministic_and_reconciles() {
+    let spec = CampaignSpec::new(App::Lu.default_spec(), 2, ErrorSpec::OneParallel, 12, 4242);
+
+    // Baseline: recorder off.
+    obs::set_enabled(false);
+    let baseline = CampaignRunner::new().run_uncached(&spec);
+
+    // Same deployment with tracing on, into a memory sink.
+    let sink = Arc::new(obs::MemorySink::new());
+    obs::clear_sinks();
+    obs::add_sink(sink.clone());
+    obs::set_enabled(true);
+    let traced = CampaignRunner::new().run_uncached(&spec);
+    obs::set_enabled(false);
+    obs::clear_sinks();
+
+    // Determinism: every statistic is bitwise identical.
+    assert_eq!(baseline.outcomes, traced.outcomes);
+    assert_eq!(baseline.fi, traced.fi);
+    assert_eq!(baseline.prop.counts, traced.prop.counts);
+    assert_eq!(baseline.by_contam, traced.by_contam);
+    assert_eq!(baseline.uncontaminated, traced.uncontaminated);
+
+    // The baseline run observed nothing.
+    assert_eq!(
+        baseline.metrics.counter(obs::Counter::TrialsRun),
+        0,
+        "disabled recorder must stay silent"
+    );
+
+    // Reconciliation: the trace retells exactly the campaign that ran.
+    let events = sink.events();
+    let campaign_id = events
+        .iter()
+        .find_map(|e| match e {
+            obs::Event::CampaignStart {
+                campaign,
+                app,
+                procs,
+                tests,
+                ..
+            } => {
+                assert_eq!(app, "lu");
+                assert_eq!(*procs, spec.procs);
+                assert_eq!(*tests, spec.tests);
+                Some(*campaign)
+            }
+            _ => None,
+        })
+        .expect("exactly one campaign started while tracing");
+
+    let mut trials = 0usize;
+    let mut fired_in_trials = 0usize;
+    let mut contaminated_in_trials = 0usize;
+    let mut injection_events = 0usize;
+    let mut taint_events = 0usize;
+    let mut ended = false;
+    for e in &events {
+        match e {
+            obs::Event::Trial {
+                campaign,
+                fired,
+                contaminated,
+                ..
+            } => {
+                assert_eq!(*campaign, campaign_id);
+                trials += 1;
+                fired_in_trials += fired;
+                contaminated_in_trials += contaminated;
+            }
+            obs::Event::InjectionFired { .. } => injection_events += 1,
+            obs::Event::TaintBorn { .. } => taint_events += 1,
+            obs::Event::CampaignEnd {
+                campaign, trials, ..
+            } => {
+                assert_eq!(*campaign, campaign_id);
+                assert_eq!(*trials, spec.tests);
+                ended = true;
+            }
+            _ => {}
+        }
+    }
+    assert!(ended, "campaign_end event missing");
+    assert_eq!(trials, spec.tests, "one trial event per test");
+
+    let fired_in_outcomes: usize = traced.outcomes.iter().map(|o| o.injections_fired).sum();
+    let contam_in_outcomes: usize = traced.outcomes.iter().map(|o| o.contaminated_ranks).sum();
+    assert_eq!(fired_in_trials, fired_in_outcomes);
+    assert_eq!(
+        injection_events, fired_in_outcomes,
+        "one event per fired fault"
+    );
+    assert_eq!(contaminated_in_trials, contam_in_outcomes);
+    // Each rank transitions to contaminated at most once per trial, so
+    // taint-born events equal the summed contaminated-rank counts.
+    assert_eq!(taint_events, contam_in_outcomes);
+
+    // The campaign's metrics delta tells the same story as the events.
+    assert_eq!(
+        traced.metrics.counter(obs::Counter::TrialsRun),
+        spec.tests as u64
+    );
+    assert_eq!(
+        traced.metrics.counter(obs::Counter::InjectionsFired),
+        fired_in_outcomes as u64
+    );
+    assert_eq!(
+        traced.metrics.counter(obs::Counter::TaintBorn),
+        contam_in_outcomes as u64
+    );
+    assert_eq!(
+        traced.metrics.hist_total(obs::Hist::TrialLatencyUs),
+        spec.tests as u64
+    );
+    assert!(traced.metrics.counter(obs::Counter::MsgsSent) > 0);
+    assert_eq!(
+        traced.metrics.counter(obs::Counter::MsgsSent),
+        traced.metrics.counter(obs::Counter::MsgsRecvd),
+        "every sent message was received (clean fabric)"
+    );
+}

@@ -11,8 +11,19 @@ use crate::plan::{InjectionPlan, Operand, Target};
 use crate::profile::{OpKind, OpProfile};
 use crate::region::{Region, RegionGuard};
 use crate::tf64::Tf64;
+#[cfg(feature = "obs")]
+use resilim_obs as obs;
 use std::cell::RefCell;
 use std::collections::VecDeque;
+
+/// Trace name for a region (`"common"` / `"parallel_unique"`).
+#[cfg(feature = "obs")]
+fn region_trace_name(r: Region) -> &'static str {
+    match r {
+        Region::Common => "common",
+        Region::ParallelUnique => "parallel_unique",
+    }
+}
 
 /// A fault that actually fired during execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,7 +173,7 @@ impl RankCtx {
     #[inline]
     pub fn observe(&mut self, value: Tf64) {
         if significant_divergence(value.value(), value.shadow(), self.taint_threshold) {
-            self.contaminated = true;
+            self.mark_contaminated();
         }
     }
 
@@ -173,9 +184,24 @@ impl RankCtx {
 
     /// Extract the final report.
     pub fn into_report(self) -> CtxReport {
+        let profile = self.profile();
+        // Ops are aggregated by the per-region counters and flushed once
+        // per rank here — never evented per-op.
+        #[cfg(feature = "obs")]
+        if obs::enabled() {
+            obs::count(
+                obs::Counter::OpsCommon,
+                profile.region(Region::Common).total(),
+            );
+            obs::count(
+                obs::Counter::OpsParallelUnique,
+                profile.region(Region::ParallelUnique).total(),
+            );
+            obs::observe(obs::Hist::OpsPerRank, profile.total());
+        }
         CtxReport {
             rank: self.rank,
-            profile: self.profile(),
+            profile,
             fired: self.fired,
             planned: self.planned,
             contaminated: self.contaminated,
@@ -203,7 +229,29 @@ impl RankCtx {
     /// incoming messages).
     #[inline]
     pub fn mark_contaminated(&mut self) {
-        self.contaminated = true;
+        if !self.contaminated {
+            self.contaminated = true;
+            #[cfg(feature = "obs")]
+            if obs::enabled() {
+                obs::count(obs::Counter::TaintBorn, 1);
+                obs::emit(&obs::Event::TaintBorn { rank: self.rank });
+            }
+        }
+    }
+
+    /// Record a fired fault and its observability event.
+    fn record_fired(&mut self, rec: FiredRecord) {
+        #[cfg(feature = "obs")]
+        if obs::enabled() {
+            obs::count(obs::Counter::InjectionsFired, 1);
+            obs::emit(&obs::Event::InjectionFired {
+                rank: self.rank,
+                region: region_trace_name(rec.target.region),
+                op_index: rec.target.op_index,
+                bit: rec.target.bit,
+            });
+        }
+        self.fired.push(rec);
     }
 
     #[inline]
@@ -214,6 +262,11 @@ impl RankCtx {
         if let Some(cap) = self.op_cap {
             if self.total_ops > cap {
                 self.hang_guard_tripped = true;
+                #[cfg(feature = "obs")]
+                if obs::enabled() {
+                    obs::count(obs::Counter::HangGuardTrips, 1);
+                    obs::emit(&obs::Event::HangGuardTrip { rank: self.rank });
+                }
                 panic!("{HANG_GUARD_MSG}");
             }
         }
@@ -368,7 +421,7 @@ pub fn hook_binop(kind: OpKind, mut a: Tf64, mut b: Tf64, f: fn(f64, f64) -> f64
         CTX.with(|c| {
             if let Some(ctx) = c.borrow_mut().as_mut() {
                 for (t, before, after) in records {
-                    ctx.fired.push(FiredRecord {
+                    ctx.record_fired(FiredRecord {
                         target: t,
                         kind,
                         before,
@@ -426,7 +479,7 @@ pub fn hook_unop(kind: OpKind, mut a: Tf64, f: fn(f64) -> f64) -> Tf64 {
         CTX.with(|c| {
             if let Some(ctx) = c.borrow_mut().as_mut() {
                 for (t, before, after) in records {
-                    ctx.fired.push(FiredRecord {
+                    ctx.record_fired(FiredRecord {
                         target: t,
                         kind,
                         before,
@@ -451,7 +504,7 @@ pub fn hook_unop(kind: OpKind, mut a: Tf64, f: fn(f64) -> f64) -> Tf64 {
         CTX.with(|c| {
             if let Some(ctx) = c.borrow_mut().as_mut() {
                 for (t, before, after) in records {
-                    ctx.fired.push(FiredRecord {
+                    ctx.record_fired(FiredRecord {
                         target: t,
                         kind,
                         before,
@@ -650,17 +703,14 @@ mod tests {
         use crate::mask::OpMask;
         // Under OpMask::DIV, only divisions advance the index space.
         let plan = InjectionPlan::single(target(Region::Common, 0, 55, Operand::B));
-        let (_, report) = with_clean_ctx(
-            RankCtx::new(0, plan).with_op_mask(OpMask::DIV),
-            || {
-                let a = Tf64::new(6.0);
-                let b = Tf64::new(2.0);
-                let c = a + b; // add: not a target under DIV mask
-                assert!(!c.is_tainted());
-                let d = a / b; // div idx 0: fires on operand B
-                assert!(d.is_tainted());
-            },
-        );
+        let (_, report) = with_clean_ctx(RankCtx::new(0, plan).with_op_mask(OpMask::DIV), || {
+            let a = Tf64::new(6.0);
+            let b = Tf64::new(2.0);
+            let c = a + b; // add: not a target under DIV mask
+            assert!(!c.is_tainted());
+            let d = a / b; // div idx 0: fires on operand B
+            assert!(d.is_tainted());
+        });
         assert_eq!(report.fired.len(), 1);
         assert_eq!(report.fired[0].kind, OpKind::Div);
         // The injectable index space counted only the division.

@@ -134,7 +134,10 @@ mod tests {
         assert_eq!(OpMask::FP_ARITH.to_string(), "fp-arith");
         assert_eq!(OpMask::ALL.to_string(), "all");
         assert_eq!(OpMask::DIV.to_string(), "div");
-        assert_eq!(OpMask::of(&[OpKind::Add, OpKind::Other]).to_string(), "add+other");
+        assert_eq!(
+            OpMask::of(&[OpKind::Add, OpKind::Other]).to_string(),
+            "add+other"
+        );
     }
 
     #[test]

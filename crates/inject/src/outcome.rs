@@ -33,7 +33,8 @@ pub enum OutcomeKind {
 
 impl OutcomeKind {
     /// All outcome kinds, index-aligned with [`OutcomeKind::index`].
-    pub const ALL: [OutcomeKind; 3] = [OutcomeKind::Success, OutcomeKind::Sdc, OutcomeKind::Failure];
+    pub const ALL: [OutcomeKind; 3] =
+        [OutcomeKind::Success, OutcomeKind::Sdc, OutcomeKind::Failure];
 
     /// Stable array index.
     #[inline]

@@ -178,7 +178,11 @@ mod tests {
             mk(Region::Common, 9),
             mk(Region::Common, 2),
         ]);
-        let idx: Vec<_> = plan.targets().iter().map(|t| (t.region, t.op_index)).collect();
+        let idx: Vec<_> = plan
+            .targets()
+            .iter()
+            .map(|t| (t.region, t.op_index))
+            .collect();
         assert_eq!(
             idx,
             vec![

@@ -46,7 +46,10 @@ impl Tf64 {
     /// injection hook and by message deserialization).
     #[inline]
     pub const fn from_parts(value: f64, shadow: f64) -> Tf64 {
-        Tf64 { v: value, sh: shadow }
+        Tf64 {
+            v: value,
+            sh: shadow,
+        }
     }
 
     /// The corrupted-world value (what the run actually computes).

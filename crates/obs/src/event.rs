@@ -1,0 +1,256 @@
+//! Structured trace events and their JSONL encoding.
+//!
+//! Events are hand-encoded (this crate depends on nothing) as one JSON
+//! object per line with a `"ev"` discriminator — the format `resilim
+//! metrics` reads back and anything downstream (jq, pandas) can consume.
+
+use std::time::Duration;
+
+/// One structured observation from the campaign pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A campaign began executing (cache misses only).
+    CampaignStart {
+        /// Process-unique campaign sequence number (joins trial events).
+        campaign: u64,
+        /// Application name.
+        app: String,
+        /// Rank count.
+        procs: usize,
+        /// Number of trials the campaign will run.
+        tests: usize,
+        /// Debug rendering of the fault pattern.
+        errors: String,
+    },
+    /// One fault-injection trial finished.
+    Trial {
+        /// Owning campaign.
+        campaign: u64,
+        /// Trial index within the campaign.
+        test: usize,
+        /// Outcome class: `"success"`, `"sdc"`, or `"failure"`.
+        kind: &'static str,
+        /// Whether the output was bitwise identical to the golden run.
+        masked: bool,
+        /// Contaminated ranks at end of run.
+        contaminated: usize,
+        /// Planned faults that actually fired.
+        fired: usize,
+        /// Wall-clock latency of the trial, microseconds.
+        latency_us: u64,
+    },
+    /// A planned fault reached its target dynamic operation.
+    InjectionFired {
+        /// Rank that executed the faulted op.
+        rank: usize,
+        /// Region name (`"common"` / `"parallel_unique"`).
+        region: &'static str,
+        /// Dynamic op index within the region.
+        op_index: u64,
+        /// Bit flipped.
+        bit: u8,
+    },
+    /// A rank transitioned to contaminated for the first time.
+    TaintBorn {
+        /// The newly-contaminated rank.
+        rank: usize,
+    },
+    /// The injection hang guard tripped (op budget exceeded).
+    HangGuardTrip {
+        /// Rank whose budget ran out.
+        rank: usize,
+    },
+    /// A golden-run or campaign cache lookup.
+    CacheLookup {
+        /// Which cache: `"golden"` or `"campaign"`.
+        cache: &'static str,
+        /// Whether the lookup hit.
+        hit: bool,
+    },
+    /// A campaign finished.
+    CampaignEnd {
+        /// Owning campaign.
+        campaign: u64,
+        /// Total wall clock, microseconds.
+        wall_us: u64,
+        /// Trials executed.
+        trials: usize,
+    },
+}
+
+impl Event {
+    /// The `"ev"` discriminator.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::CampaignStart { .. } => "campaign_start",
+            Event::Trial { .. } => "trial",
+            Event::InjectionFired { .. } => "injection_fired",
+            Event::TaintBorn { .. } => "taint_born",
+            Event::HangGuardTrip { .. } => "hang_guard_trip",
+            Event::CacheLookup { .. } => "cache_lookup",
+            Event::CampaignEnd { .. } => "campaign_end",
+        }
+    }
+
+    /// Encode as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut line = JsonLine::new(self.name());
+        match self {
+            Event::CampaignStart {
+                campaign,
+                app,
+                procs,
+                tests,
+                errors,
+            } => {
+                line.num("campaign", *campaign);
+                line.str("app", app);
+                line.num("procs", *procs as u64);
+                line.num("tests", *tests as u64);
+                line.str("errors", errors);
+            }
+            Event::Trial {
+                campaign,
+                test,
+                kind,
+                masked,
+                contaminated,
+                fired,
+                latency_us,
+            } => {
+                line.num("campaign", *campaign);
+                line.num("test", *test as u64);
+                line.str("kind", kind);
+                line.bool("masked", *masked);
+                line.num("contaminated", *contaminated as u64);
+                line.num("fired", *fired as u64);
+                line.num("latency_us", *latency_us);
+            }
+            Event::InjectionFired {
+                rank,
+                region,
+                op_index,
+                bit,
+            } => {
+                line.num("rank", *rank as u64);
+                line.str("region", region);
+                line.num("op_index", *op_index);
+                line.num("bit", *bit as u64);
+            }
+            Event::TaintBorn { rank } | Event::HangGuardTrip { rank } => {
+                line.num("rank", *rank as u64);
+            }
+            Event::CacheLookup { cache, hit } => {
+                line.str("cache", cache);
+                line.bool("hit", *hit);
+            }
+            Event::CampaignEnd {
+                campaign,
+                wall_us,
+                trials,
+            } => {
+                line.num("campaign", *campaign);
+                line.num("wall_us", *wall_us);
+                line.num("trials", *trials as u64);
+            }
+        }
+        line.finish()
+    }
+}
+
+/// Microseconds helper for event fields.
+pub fn as_micros(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+struct JsonLine {
+    buf: String,
+}
+
+impl JsonLine {
+    fn new(ev: &str) -> JsonLine {
+        let mut line = JsonLine {
+            buf: String::with_capacity(96),
+        };
+        line.buf.push_str("{\"ev\":");
+        push_json_string(&mut line.buf, ev);
+        line
+    }
+
+    fn num(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+    }
+
+    fn bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    fn str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        push_json_string(&mut self.buf, value);
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push(',');
+        push_json_string(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn push_json_string(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => buf.push_str(&format!("\\u{:04x}", c as u32)),
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_event_encodes_all_fields() {
+        let e = Event::Trial {
+            campaign: 7,
+            test: 12,
+            kind: "sdc",
+            masked: false,
+            contaminated: 3,
+            fired: 1,
+            latency_us: 420,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"ev\":\"trial\",\"campaign\":7,\"test\":12,\"kind\":\"sdc\",\
+             \"masked\":false,\"contaminated\":3,\"fired\":1,\"latency_us\":420}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::CampaignStart {
+            campaign: 1,
+            app: "cg\"x\\y\n".to_string(),
+            procs: 4,
+            tests: 10,
+            errors: "OneParallel".to_string(),
+        };
+        assert!(e.to_json().contains("cg\\\"x\\\\y\\n"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Event sinks: where structured events go when the recorder is on.
+//!
+//! Sinks are process-global. Emission walks the registry under a mutex,
+//! which is fine at trial granularity (events are per-trial/per-fire,
+//! never per-FP-op).
+
+use crate::event::Event;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A consumer of structured events. Implementations must tolerate
+/// concurrent calls (rank threads and campaign workers emit in parallel).
+pub trait EventSink: Send + Sync {
+    /// Observe one event.
+    fn event(&self, event: &Event);
+    /// Flush buffered output (end of a CLI run).
+    fn flush(&self) {}
+}
+
+static SINKS: Mutex<Vec<Arc<dyn EventSink>>> = Mutex::new(Vec::new());
+
+/// Register a sink. Sinks only see events while [`crate::enabled`].
+pub fn add_sink(sink: Arc<dyn EventSink>) {
+    SINKS.lock().expect("sink registry").push(sink);
+}
+
+/// Remove every registered sink (tests; CLI shutdown).
+pub fn clear_sinks() {
+    SINKS.lock().expect("sink registry").clear();
+}
+
+/// Flush every registered sink.
+pub fn flush_sinks() {
+    for sink in SINKS.lock().expect("sink registry").iter() {
+        sink.flush();
+    }
+}
+
+/// Deliver an event to every sink. No-op while the recorder is disabled.
+pub fn emit(event: &Event) {
+    if !crate::enabled() {
+        return;
+    }
+    for sink in SINKS.lock().expect("sink registry").iter() {
+        sink.event(event);
+    }
+}
+
+/// Writes one JSON object per line to a file (the `--trace` sink).
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create/truncate the trace file.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn event(&self, event: &Event) {
+        let mut out = self.out.lock().expect("trace writer");
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("trace writer").flush();
+    }
+}
+
+/// Keeps every event in memory (tests; reconciliation checks).
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Copy of everything seen so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink").clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn event(&self, event: &Event) {
+        self.events.lock().expect("memory sink").push(event.clone());
+    }
+}
+
+/// Live one-line progress display on stderr: trial counts per running
+/// campaign, rewritten in place with `\r`.
+#[derive(Default)]
+pub struct ProgressSink {
+    state: Mutex<HashMap<u64, Progress>>,
+}
+
+struct Progress {
+    app: String,
+    tests: usize,
+    done: usize,
+}
+
+impl ProgressSink {
+    /// New progress display.
+    pub fn new() -> ProgressSink {
+        ProgressSink::default()
+    }
+
+    fn redraw(state: &HashMap<u64, Progress>, newline: bool) {
+        let mut parts: Vec<String> = state
+            .values()
+            .map(|p| format!("{} {}/{}", p.app, p.done, p.tests))
+            .collect();
+        parts.sort();
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r\x1b[2K[campaign] {}", parts.join("  "));
+        if newline {
+            let _ = writeln!(err);
+        }
+        let _ = err.flush();
+    }
+}
+
+impl EventSink for ProgressSink {
+    fn event(&self, event: &Event) {
+        let mut state = self.state.lock().expect("progress state");
+        match event {
+            Event::CampaignStart {
+                campaign,
+                app,
+                tests,
+                ..
+            } => {
+                state.insert(
+                    *campaign,
+                    Progress {
+                        app: app.clone(),
+                        tests: *tests,
+                        done: 0,
+                    },
+                );
+                Self::redraw(&state, false);
+            }
+            Event::Trial { campaign, .. } => {
+                if let Some(p) = state.get_mut(campaign) {
+                    p.done += 1;
+                    // Redraw at ~1% granularity to keep stderr cheap.
+                    let stride = (p.tests / 100).max(1);
+                    if p.done % stride == 0 || p.done == p.tests {
+                        Self::redraw(&state, false);
+                    }
+                }
+            }
+            Event::CampaignEnd { campaign, .. }
+                if state.remove(campaign).is_some() && state.is_empty() =>
+            {
+                Self::redraw(&state, true);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_respects_enabled_flag_and_fans_out() {
+        let _guard = crate::test_lock();
+        clear_sinks();
+        let sink = Arc::new(MemorySink::new());
+        add_sink(sink.clone());
+
+        crate::set_enabled(false);
+        emit(&Event::TaintBorn { rank: 0 });
+        assert!(sink.events().is_empty());
+
+        crate::set_enabled(true);
+        emit(&Event::TaintBorn { rank: 3 });
+        emit(&Event::HangGuardTrip { rank: 1 });
+        crate::set_enabled(false);
+        clear_sinks();
+
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], Event::TaintBorn { rank: 3 });
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let _guard = crate::test_lock();
+        let dir = std::env::temp_dir().join("resilim-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+
+        clear_sinks();
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        add_sink(sink);
+        crate::set_enabled(true);
+        emit(&Event::CampaignEnd {
+            campaign: 1,
+            wall_us: 99,
+            trials: 4,
+        });
+        crate::set_enabled(false);
+        flush_sinks();
+        clear_sinks();
+
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            raw,
+            "{\"ev\":\"campaign_end\",\"campaign\":1,\"wall_us\":99,\"trials\":4}\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

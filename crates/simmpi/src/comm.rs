@@ -27,6 +27,8 @@ use crate::error::MpiError;
 use crate::fabric::Fabric;
 use crate::payload::Payload;
 use resilim_inject::{ctx, Tf64};
+#[cfg(feature = "obs")]
+use resilim_obs as obs;
 use std::cell::Cell;
 
 /// Reduction operators for [`Comm::reduce`]/[`Comm::allreduce`].
@@ -150,6 +152,8 @@ impl<'a> Comm<'a> {
     /// Combined send-to-`dst` + receive-from-`src` (halo-exchange staple;
     /// deadlock-free because sends never block).
     pub fn sendrecv(&self, dst: usize, src: usize, tag: u64, data: &[Tf64]) -> Vec<Tf64> {
+        #[cfg(feature = "obs")]
+        let _span = obs::span(obs::Hist::SendrecvNs);
         self.send(dst, tag, data);
         self.recv(src, tag)
     }
@@ -160,6 +164,8 @@ impl<'a> Comm<'a> {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
+        #[cfg(feature = "obs")]
+        let _span = obs::span(obs::Hist::BarrierNs);
         let tag = self.next_coll_tag();
         if self.size == 1 {
             return;
@@ -169,16 +175,24 @@ impl<'a> Comm<'a> {
                 let _ = Self::chk(self.fabric.recv(self.rank, src, tag));
             }
             for dst in 1..self.size {
-                Self::chk(self.fabric.send(self.rank, dst, tag, Payload::Bytes(Vec::new())));
+                Self::chk(
+                    self.fabric
+                        .send(self.rank, dst, tag, Payload::Bytes(Vec::new())),
+                );
             }
         } else {
-            Self::chk(self.fabric.send(self.rank, 0, tag, Payload::Bytes(Vec::new())));
+            Self::chk(
+                self.fabric
+                    .send(self.rank, 0, tag, Payload::Bytes(Vec::new())),
+            );
             let _ = Self::chk(self.fabric.recv(self.rank, 0, tag));
         }
     }
 
     /// Broadcast `data` from `root`; non-root buffers are overwritten.
     pub fn bcast(&self, root: usize, data: &mut Vec<Tf64>) {
+        #[cfg(feature = "obs")]
+        let _span = obs::span(obs::Hist::BcastNs);
         let tag = self.next_coll_tag();
         if self.size == 1 {
             return;
@@ -186,7 +200,10 @@ impl<'a> Comm<'a> {
         if self.rank == root {
             for dst in 0..self.size {
                 if dst != root {
-                    Self::chk(self.fabric.send(self.rank, dst, tag, data.as_slice().into()));
+                    Self::chk(
+                        self.fabric
+                            .send(self.rank, dst, tag, data.as_slice().into()),
+                    );
                 }
             }
         } else {
@@ -199,6 +216,8 @@ impl<'a> Comm<'a> {
     /// Reduce `data` elementwise onto `root`; returns `Some(result)` at the
     /// root and `None` elsewhere. Contributions fold in rank order.
     pub fn reduce(&self, root: usize, op: ReduceOp, data: &[Tf64]) -> Option<Vec<Tf64>> {
+        #[cfg(feature = "obs")]
+        let _span = obs::span(obs::Hist::ReduceNs);
         let tag = self.next_coll_tag();
         if self.size == 1 {
             return Some(data.to_vec());
@@ -218,7 +237,11 @@ impl<'a> Comm<'a> {
             let mut iter = parts.into_iter().map(|p| p.expect("all parts gathered"));
             let mut acc = iter.next().expect("size >= 1");
             for part in iter {
-                assert_eq!(part.len(), acc.len(), "reduce: length mismatch across ranks");
+                assert_eq!(
+                    part.len(),
+                    acc.len(),
+                    "reduce: length mismatch across ranks"
+                );
                 for (a, b) in acc.iter_mut().zip(part) {
                     *a = op.combine(*a, b);
                 }
@@ -232,6 +255,8 @@ impl<'a> Comm<'a> {
 
     /// Allreduce: reduce onto rank 0, then broadcast the result.
     pub fn allreduce(&self, op: ReduceOp, data: &[Tf64]) -> Vec<Tf64> {
+        #[cfg(feature = "obs")]
+        let _span = obs::span(obs::Hist::AllreduceNs);
         let reduced = self.reduce(0, op, data);
         let mut buf = reduced.unwrap_or_default();
         self.bcast(0, &mut buf);
@@ -245,6 +270,8 @@ impl<'a> Comm<'a> {
 
     /// Gather every rank's buffer at `root` (rank-indexed).
     pub fn gather(&self, root: usize, data: &[Tf64]) -> Option<Vec<Vec<Tf64>>> {
+        #[cfg(feature = "obs")]
+        let _span = obs::span(obs::Hist::GatherNs);
         let tag = self.next_coll_tag();
         if self.size == 1 {
             return Some(vec![data.to_vec()]);
@@ -269,6 +296,8 @@ impl<'a> Comm<'a> {
     /// Allgather: every rank receives every rank's buffer (rank-indexed).
     /// Buffers may have different lengths (allgatherv semantics).
     pub fn allgather(&self, data: &[Tf64]) -> Vec<Vec<Tf64>> {
+        #[cfg(feature = "obs")]
+        let _span = obs::span(obs::Hist::AllgatherNs);
         let gathered = self.gather(0, data);
         if self.size == 1 {
             return gathered.expect("serial gather");
@@ -283,8 +312,14 @@ impl<'a> Comm<'a> {
                 flat.extend_from_slice(p);
             }
             for dst in 1..self.size {
-                Self::chk(self.fabric.send(self.rank, dst, tag, lens.as_slice().into()));
-                Self::chk(self.fabric.send(self.rank, dst, tag, flat.as_slice().into()));
+                Self::chk(
+                    self.fabric
+                        .send(self.rank, dst, tag, lens.as_slice().into()),
+                );
+                Self::chk(
+                    self.fabric
+                        .send(self.rank, dst, tag, flat.as_slice().into()),
+                );
             }
             parts
         } else {
@@ -308,7 +343,13 @@ impl<'a> Comm<'a> {
     /// `d`; returns `incoming[s]` from each rank `s`. (The FT transpose
     /// backbone.)
     pub fn alltoallv(&self, outgoing: Vec<Vec<Tf64>>) -> Vec<Vec<Tf64>> {
-        assert_eq!(outgoing.len(), self.size, "alltoallv: need one buffer per rank");
+        #[cfg(feature = "obs")]
+        let _span = obs::span(obs::Hist::AlltoallvNs);
+        assert_eq!(
+            outgoing.len(),
+            self.size,
+            "alltoallv: need one buffer per rank"
+        );
         let tag = self.next_coll_tag();
         let mut incoming: Vec<Vec<Tf64>> = vec![Vec::new(); self.size];
         for (dst, buf) in outgoing.into_iter().enumerate() {
@@ -330,13 +371,18 @@ impl<'a> Comm<'a> {
 
     /// Scatter `chunks` (one per rank, provided at `root`) to all ranks.
     pub fn scatter(&self, root: usize, chunks: Option<&[Vec<Tf64>]>) -> Vec<Tf64> {
+        #[cfg(feature = "obs")]
+        let _span = obs::span(obs::Hist::ScatterNs);
         let tag = self.next_coll_tag();
         if self.rank == root {
             let chunks = chunks.expect("root must provide chunks");
             assert_eq!(chunks.len(), self.size, "scatter: need one chunk per rank");
             for (dst, chunk) in chunks.iter().enumerate() {
                 if dst != root {
-                    Self::chk(self.fabric.send(self.rank, dst, tag, chunk.as_slice().into()));
+                    Self::chk(
+                        self.fabric
+                            .send(self.rank, dst, tag, chunk.as_slice().into()),
+                    );
                 }
             }
             chunks[root].clone()
@@ -463,7 +509,10 @@ mod tests {
                 .map(|dst| vec![Tf64::new((me * 10 + dst) as f64)])
                 .collect();
             let incoming = comm.alltoallv(outgoing);
-            incoming.iter().map(|b| b[0].value() as usize).collect::<Vec<_>>()
+            incoming
+                .iter()
+                .map(|b| b[0].value() as usize)
+                .collect::<Vec<_>>()
         });
         for (rank, r) in results.into_iter().enumerate() {
             let inc = r.result.unwrap();
@@ -476,9 +525,8 @@ mod tests {
     fn scatter_chunks() {
         let world = World::new(3);
         let results = world.run(|comm| {
-            let chunks: Option<Vec<Vec<Tf64>>> = (comm.rank() == 0).then(|| {
-                (0..3).map(|i| vec![Tf64::new(i as f64 * 2.0)]).collect()
-            });
+            let chunks: Option<Vec<Vec<Tf64>>> = (comm.rank() == 0)
+                .then(|| (0..3).map(|i| vec![Tf64::new(i as f64 * 2.0)]).collect());
             comm.scatter(0, chunks.as_deref())[0].value()
         });
         for (rank, r) in results.into_iter().enumerate() {
@@ -524,7 +572,10 @@ mod tests {
                 let x = [Tf64::new(0.1 * (comm.rank() as f64 + 1.0))];
                 comm.allreduce(ReduceOp::Sum, &x)[0].value().to_bits()
             });
-            results.into_iter().map(|r| r.result.unwrap()).collect::<Vec<u64>>()
+            results
+                .into_iter()
+                .map(|r| r.result.unwrap())
+                .collect::<Vec<u64>>()
         };
         assert_eq!(run_once(), run_once());
     }

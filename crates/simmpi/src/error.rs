@@ -146,12 +146,19 @@ mod tests {
     #[test]
     fn static_str_payload() {
         let boxed: Box<dyn std::any::Any + Send> = Box::new("plain crash");
-        assert_eq!(RankPanic::from_payload(boxed.as_ref()).kind, PanicKind::Crash);
+        assert_eq!(
+            RankPanic::from_payload(boxed.as_ref()).kind,
+            PanicKind::Crash
+        );
     }
 
     #[test]
     fn error_display() {
-        let e = MpiError::RecvTimeout { rank: 1, src: 0, tag: 42 };
+        let e = MpiError::RecvTimeout {
+            rank: 1,
+            src: 0,
+            tag: 42,
+        };
         assert!(e.to_string().contains("rank 1"));
         assert!(MpiError::FabricDead.to_string().contains("fabric dead"));
     }

@@ -13,9 +13,24 @@
 use crate::error::MpiError;
 use crate::payload::Payload;
 use parking_lot::{Condvar, Mutex};
+#[cfg(feature = "obs")]
+use resilim_obs as obs;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Count a delivered (matched) message. Taint scanning only happens with
+/// the recorder on, so the disabled path never touches the payload.
+#[cfg(feature = "obs")]
+fn note_recv(payload: &Payload) {
+    if obs::enabled() {
+        obs::count(obs::Counter::MsgsRecvd, 1);
+        obs::count(
+            obs::Counter::TaintedElemsRecvd,
+            payload.tainted_elems() as u64,
+        );
+    }
+}
 
 /// A message in flight.
 #[derive(Debug)]
@@ -82,10 +97,15 @@ impl Fabric {
         if self.is_dead() {
             return Err(MpiError::FabricDead);
         }
-        let mb = self
-            .boxes
-            .get(dst)
-            .ok_or(MpiError::InvalidRank { rank: dst, size: self.size() })?;
+        let mb = self.boxes.get(dst).ok_or(MpiError::InvalidRank {
+            rank: dst,
+            size: self.size(),
+        })?;
+        #[cfg(feature = "obs")]
+        if obs::enabled() {
+            obs::count(obs::Counter::MsgsSent, 1);
+            obs::count(obs::Counter::BytesSent, payload.wire_bytes() as u64);
+        }
         let mut q = mb.queue.lock();
         q.push_back(Envelope { src, tag, payload });
         mb.arrived.notify_all();
@@ -95,15 +115,18 @@ impl Fabric {
     /// Blocking receive of the first message matching `(src, tag)` in
     /// `me`'s mailbox. Non-matching messages stay buffered.
     pub fn recv(&self, me: usize, src: usize, tag: u64) -> Result<Payload, MpiError> {
-        let mb = self
-            .boxes
-            .get(me)
-            .ok_or(MpiError::InvalidRank { rank: me, size: self.size() })?;
+        let mb = self.boxes.get(me).ok_or(MpiError::InvalidRank {
+            rank: me,
+            size: self.size(),
+        })?;
         let deadline = Instant::now() + self.timeout;
         let mut q = mb.queue.lock();
         loop {
             if let Some(pos) = q.iter().position(|e| e.src == src && e.tag == tag) {
-                return Ok(q.remove(pos).expect("position just found").payload);
+                let payload = q.remove(pos).expect("position just found").payload;
+                #[cfg(feature = "obs")]
+                note_recv(&payload);
+                return Ok(payload);
             }
             if self.is_dead() {
                 return Err(MpiError::FabricDead);
@@ -112,11 +135,7 @@ impl Fabric {
             if now >= deadline {
                 return Err(MpiError::RecvTimeout { rank: me, src, tag });
             }
-            if mb
-                .arrived
-                .wait_until(&mut q, deadline)
-                .timed_out()
-            {
+            if mb.arrived.wait_until(&mut q, deadline).timed_out() {
                 // Loop once more: the message may have raced the timeout.
                 if let Some(pos) = q.iter().position(|e| e.src == src && e.tag == tag) {
                     return Ok(q.remove(pos).expect("position just found").payload);
@@ -180,7 +199,14 @@ mod tests {
     fn recv_timeout() {
         let f = Arc::new(Fabric::new(2, Duration::from_millis(30)));
         let err = f.recv(0, 1, 0).unwrap_err();
-        assert!(matches!(err, MpiError::RecvTimeout { rank: 0, src: 1, tag: 0 }));
+        assert!(matches!(
+            err,
+            MpiError::RecvTimeout {
+                rank: 0,
+                src: 1,
+                tag: 0
+            }
+        ));
     }
 
     #[test]
@@ -200,7 +226,10 @@ mod tests {
         let h = std::thread::spawn(move || f2.recv(1, 0, 5));
         std::thread::sleep(Duration::from_millis(20));
         f.poison();
-        assert!(matches!(h.join().unwrap().unwrap_err(), MpiError::FabricDead));
+        assert!(matches!(
+            h.join().unwrap().unwrap_err(),
+            MpiError::FabricDead
+        ));
         assert!(f.send(0, 1, 5, Payload::Bytes(vec![])).is_err());
     }
 

@@ -38,6 +38,24 @@ impl Payload {
         self.len() == 0
     }
 
+    /// Approximate on-the-wire size in bytes (8 per tracked f64 — the
+    /// width a real MPI transfer would move; taint shadows are simulation
+    /// overhead, not payload).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Payload::F64(v) => v.len() * 8,
+            Payload::Bytes(v) => v.len(),
+        }
+    }
+
+    /// Number of tainted elements in a numeric payload.
+    pub fn tainted_elems(&self) -> usize {
+        match self {
+            Payload::F64(v) => v.iter().filter(|x| x.is_tainted()).count(),
+            Payload::Bytes(_) => 0,
+        }
+    }
+
     /// Extract a numeric payload.
     pub fn into_f64(self) -> Result<Vec<Tf64>, crate::error::MpiError> {
         match self {
@@ -106,5 +124,15 @@ mod tests {
         assert_eq!(Payload::F64(vec![]).len(), 0);
         assert!(Payload::F64(vec![]).is_empty());
         assert_eq!(Payload::Bytes(vec![0; 5]).len(), 5);
+    }
+
+    #[test]
+    fn wire_accounting() {
+        let p = Payload::F64(vec![Tf64::new(1.0), Tf64::from_parts(2.0, 3.0)]);
+        assert_eq!(p.wire_bytes(), 16);
+        assert_eq!(p.tainted_elems(), 1);
+        let b = Payload::Bytes(vec![0; 7]);
+        assert_eq!(b.wire_bytes(), 7);
+        assert_eq!(b.tainted_elems(), 0);
     }
 }

@@ -201,7 +201,10 @@ mod tests {
         assert_eq!(kinds[2], Some(PanicKind::Crash));
         for rank in [0usize, 1, 3] {
             assert!(
-                matches!(kinds[rank], Some(PanicKind::FabricDead) | Some(PanicKind::RecvTimeout)),
+                matches!(
+                    kinds[rank],
+                    Some(PanicKind::FabricDead) | Some(PanicKind::RecvTimeout)
+                ),
                 "rank {rank} got {:?}",
                 kinds[rank]
             );
@@ -271,7 +274,10 @@ mod tests {
             },
         );
         for r in &results {
-            assert!(r.result.as_ref().unwrap(), "allreduce result must be tainted");
+            assert!(
+                r.result.as_ref().unwrap(),
+                "allreduce result must be tainted"
+            );
             assert!(r.ctx_report.as_ref().unwrap().contaminated);
         }
     }

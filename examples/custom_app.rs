@@ -56,10 +56,7 @@ fn rank_body(comm: &resilim::simmpi::Comm) -> f64 {
 fn main() {
     // 1. Fault-free profiling run: how many injectable FP ops per rank?
     let world = World::new(RANKS);
-    let clean = world.run_with_ctx(
-        |rank| Some(RankCtx::profiling(rank)),
-        rank_body,
-    );
+    let clean = world.run_with_ctx(|rank| Some(RankCtx::profiling(rank)), rank_body);
     let golden = *clean[0].result.as_ref().unwrap();
     let ops = clean[0]
         .ctx_report
@@ -78,7 +75,11 @@ fn main() {
     });
     let faulty = world.run_with_ctx(
         move |rank| {
-            let p = if rank == 3 { plan.clone() } else { InjectionPlan::none() };
+            let p = if rank == 3 {
+                plan.clone()
+            } else {
+                InjectionPlan::none()
+            };
             Some(RankCtx::new(rank, p))
         },
         rank_body,
@@ -108,7 +109,11 @@ fn main() {
     });
     let subtle = world.run_with_ctx(
         move |rank| {
-            let p = if rank == 3 { plan.clone() } else { InjectionPlan::none() };
+            let p = if rank == 3 {
+                plan.clone()
+            } else {
+                InjectionPlan::none()
+            };
             Some(RankCtx::new(rank, p).with_taint_threshold(1e-9))
         },
         rank_body,

@@ -53,10 +53,10 @@ fn main() {
     let mut small_prop = PropagationProfile::new(4);
     small_prop.counts = vec![3080, 40, 20, 860]; // 77 % stay local (Fig. 1a)
     let small_by_contam = vec![
-        Some(fi(2980, 80, 20)),  // 1 contaminated: 96.8 % success
-        Some(fi(30, 10, 0)),     // 2 contaminated
-        Some(fi(12, 8, 0)),      // 3 contaminated
-        Some(fi(560, 280, 20)),  // 4 contaminated: 65.1 %
+        Some(fi(2980, 80, 20)), // 1 contaminated: 96.8 % success
+        Some(fi(30, 10, 0)),    // 2 contaminated
+        Some(fi(12, 8, 0)),     // 3 contaminated
+        Some(fi(560, 280, 20)), // 4 contaminated: 65.1 %
     ];
 
     // --- the model -------------------------------------------------------

@@ -1,0 +1,374 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! With no access to crates.io there is no `syn`/`quote`, so this crate
+//! parses the derive input straight from the `proc_macro` token stream.
+//! That is tractable because the workspace only derives three shapes:
+//! named-field structs, tuple structs, and enums whose variants are unit
+//! or tuple (externally tagged, like real serde). Anything fancier —
+//! generics, struct variants, `#[serde(...)]` attributes — is rejected
+//! with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (the shim's `from_value` form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// `struct Foo;`
+    UnitStruct,
+    /// `struct Foo { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct Foo(A, B);` — field count.
+    TupleStruct(usize),
+    /// `enum Foo { Unit, Newtype(T), Tuple(A, B) }`.
+    Enum(Vec<(String, usize)>),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn ident(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advance past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // '#' + bracketed group
+            continue;
+        }
+        if i < toks.len() && ident(&toks[i]).as_deref() == Some("pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        return i;
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kw = ident(&toks[i]).expect("serde_derive: expected `struct` or `enum`");
+    i += 1;
+    let name = ident(&toks[i]).expect("serde_derive: expected type name");
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde_derive shim: generic types are not supported (derive on `{name}`)");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Names of the fields in a `{ a: A, b: B }` body. Field types are
+/// skipped (the generated code never needs them), tracking `<...>` depth
+/// so commas inside generic arguments don't split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let fname = ident(&toks[i]).expect("serde_derive: expected field name");
+        i += 1;
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde_derive: expected `:` after field `{fname}`"
+        );
+        i += 1;
+        fields.push(fname);
+        let mut angle = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                angle += 1;
+            } else if is_punct(&toks[i], '>') {
+                angle -= 1;
+            } else if is_punct(&toks[i], ',') && angle == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `(A, B, C)` body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &toks {
+        if is_punct(t, '<') {
+            angle += 1;
+            trailing_comma = false;
+        } else if is_punct(t, '>') {
+            angle -= 1;
+            trailing_comma = false;
+        } else if is_punct(t, ',') && angle == 0 {
+            count += 1;
+            trailing_comma = true;
+        } else {
+            trailing_comma = false;
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Variants of an enum body: `(name, payload_field_count)`; 0 = unit.
+fn parse_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let vname = ident(&toks[i]).expect("serde_derive: expected variant name");
+        i += 1;
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_tuple_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive shim: struct enum variants are not supported (`{vname}`)")
+                }
+                _ => {}
+            }
+        }
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1; // discriminants etc.
+        }
+        i += 1;
+        variants.push((vname, arity));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen (string-built, then re-parsed)
+// ---------------------------------------------------------------------
+
+const HEADER: &str = "#[automatically_derived]\n#[allow(unused_variables, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "{HEADER}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(v, \"{f}\"))?")
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = v.as_array()\
+                 .ok_or_else(|| ::serde::Error::new(\"expected array for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "{HEADER}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, usize)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, a)| *a == 0)
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, a)| *a > 0)
+        .map(|(v, arity)| {
+            if *arity == 1 {
+                format!(
+                    "\"{v}\" => ::std::result::Result::Ok(\
+                     {name}::{v}(::serde::Deserialize::from_value(val)?)),"
+                )
+            } else {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(\
+                             items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                     let items = val.as_array()\
+                     .ok_or_else(|| ::serde::Error::new(\"expected payload array for {name}::{v}\"))?;\n\
+                     ::std::result::Result::Ok({name}::{v}({}))\n}},",
+                    inits.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+         ::serde::Value::Str(s) => match s.as_str() {{\n{units}\n\
+         other => ::std::result::Result::Err(::serde::Error::new(\
+         ::std::format!(\"unknown {name} variant {{other}}\"))),\n}},\n\
+         ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+         let (tag, val) = &pairs[0];\n\
+         match tag.as_str() {{\n{tagged}\n\
+         other => ::std::result::Result::Err(::serde::Error::new(\
+         ::std::format!(\"unknown {name} variant {{other}}\"))),\n}}\n}},\n\
+         _ => ::std::result::Result::Err(::serde::Error::new(\"expected {name} value\")),\n}}",
+        units = unit_arms.join("\n"),
+        tagged = tagged_arms.join("\n"),
+    )
+}

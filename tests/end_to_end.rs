@@ -28,13 +28,12 @@ fn every_app_survives_a_small_campaign() {
         ));
         assert_eq!(result.fi.total(), 12, "{app}");
         // Single-bit FP flips must not kill every run of any app.
-        assert!(
-            result.fi.success_rate() > 0.0,
-            "{app}: {:?}",
-            result.fi
-        );
+        assert!(result.fi.success_rate() > 0.0, "{app}: {:?}", result.fi);
         // Each test fired exactly one fault.
-        assert!(result.outcomes.iter().all(|o| o.injections_fired == 1), "{app}");
+        assert!(
+            result.outcomes.iter().all(|o| o.injections_fired == 1),
+            "{app}"
+        );
     }
 }
 
@@ -149,13 +148,7 @@ fn masked_tests_are_bitwise_identical_successes() {
 #[test]
 fn campaign_results_identical_across_runners() {
     // Same seeds, fresh runner: bitwise identical statistics.
-    let spec = CampaignSpec::new(
-        App::Ft.default_spec(),
-        4,
-        ErrorSpec::OneParallel,
-        15,
-        123,
-    );
+    let spec = CampaignSpec::new(App::Ft.default_spec(), 4, ErrorSpec::OneParallel, 15, 123);
     let a = CampaignRunner::new().run_uncached(&spec);
     let b = CampaignRunner::new().run_uncached(&spec);
     assert_eq!(a.outcomes, b.outcomes);

@@ -22,7 +22,11 @@ fn parallel_unique_targets_fire_in_the_right_region() {
     });
     let results = world.run_with_ctx(
         move |rank| {
-            let p = if rank == 2 { plan.clone() } else { InjectionPlan::none() };
+            let p = if rank == 2 {
+                plan.clone()
+            } else {
+                InjectionPlan::none()
+            };
             Some(RankCtx::new(rank, p))
         },
         move |comm| ft::run(&prob, comm),
@@ -54,7 +58,11 @@ fn golden_profile_bounds_the_index_space() {
         });
         let results = world.run_with_ctx(
             move |rank| {
-                let p = if rank == 1 { plan.clone() } else { InjectionPlan::none() };
+                let p = if rank == 1 {
+                    plan.clone()
+                } else {
+                    InjectionPlan::none()
+                };
                 Some(RankCtx::new(rank, p))
             },
             move |comm| spec.run_rank(comm),
@@ -128,7 +136,11 @@ fn corrupted_runs_are_reproducible() {
         });
         let results = world.run_with_ctx(
             move |rank| {
-                let p = if rank == 3 { plan.clone() } else { InjectionPlan::none() };
+                let p = if rank == 3 {
+                    plan.clone()
+                } else {
+                    InjectionPlan::none()
+                };
                 Some(RankCtx::new(rank, p))
             },
             move |comm| spec.run_rank(comm),

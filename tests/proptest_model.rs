@@ -18,7 +18,11 @@ fn arbitrary_fi() -> impl Strategy<Value = FiResult> {
             fi.record(&TestOutcome::sdc(1, 1));
         }
         for _ in 0..f {
-            fi.record(&TestOutcome::failure(resilim::core::FailureKind::Crash, 1, 1));
+            fi.record(&TestOutcome::failure(
+                resilim::core::FailureKind::Crash,
+                1,
+                1,
+            ));
         }
         fi
     })
