@@ -2,8 +2,9 @@
 //! tracked arithmetic, fabric point-to-point latency, collective cost vs
 //! rank count, and single fault-free runs of every application.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use resilim_apps::App;
+use resilim_harness::{CampaignRunner, CampaignSpec, ErrorSpec};
 use resilim_inject::{ctx, InjectionPlan, RankCtx, Tf64};
 use resilim_simmpi::{ReduceOp, World};
 use std::time::Duration;
@@ -99,6 +100,7 @@ fn bench_simmpi(c: &mut Criterion) {
     group.sample_size(20);
 
     for p in [2usize, 8, 32, 64] {
+        // Pooled (the default path: workers reused across iterations)…
         group.bench_with_input(BenchmarkId::new("spawn_barrier", p), &p, |b, &p| {
             let world = World::new(p);
             b.iter(|| {
@@ -108,6 +110,23 @@ fn bench_simmpi(c: &mut Criterion) {
                 })
             })
         });
+        // …vs spawning p fresh OS threads per trial (the old engine).
+        group.bench_with_input(
+            BenchmarkId::new("spawn_barrier_unpooled", p),
+            &p,
+            |b, &p| {
+                let world = World::new(p);
+                b.iter(|| {
+                    world.run_spawned(
+                        |_| None,
+                        |comm| {
+                            comm.barrier();
+                            comm.rank()
+                        },
+                    )
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("allreduce_100x", p), &p, |b, &p| {
             let world = World::new(p);
             b.iter(|| {
@@ -152,5 +171,43 @@ fn bench_apps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tf64, bench_simmpi, bench_apps);
+/// End-to-end trial throughput (trials/sec) of the execution engine: a
+/// fixed CG p=4 deployment over a pre-warmed golden store, jobs=1 vs
+/// jobs=auto. The CI bench-smoke step runs this once per build.
+fn bench_trial_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+
+    let tests = 16usize;
+    group.throughput(Throughput::Elements(tests as u64));
+    for (label, auto) in [("cg_p4_jobs1", false), ("cg_p4_jobs_auto", true)] {
+        let runner = if auto {
+            CampaignRunner::new().with_auto_parallelism()
+        } else {
+            CampaignRunner::new()
+        };
+        let spec = CampaignSpec::new(
+            App::Cg.default_spec(),
+            4,
+            ErrorSpec::OneParallel,
+            tests,
+            2018,
+        );
+        // Profile outside the timed region: the bench measures trial
+        // execution, not golden measurement.
+        runner.golden().get(&spec.spec, spec.procs);
+        group.bench_function(label, |b| b.iter(|| runner.run_uncached(&spec)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tf64,
+    bench_simmpi,
+    bench_apps,
+    bench_trial_throughput
+);
 criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Trial-throughput snapshot: runs a fixed CG p=4 deployment at `jobs=1`
+//! and `jobs=auto` and writes the trials/sec numbers as JSON
+//! (`BENCH_campaign.json` at the repo root seeds the perf trajectory;
+//! the CI bench-smoke step regenerates one per build).
+//!
+//! The two runs are also asserted bitwise identical, so every snapshot
+//! doubles as a determinism check of the parallel execution engine.
+//!
+//! ```text
+//! campaign_snapshot [--tests N] [--out FILE]
+//! ```
+
+use resilim_apps::App;
+use resilim_harness::{CampaignResult, CampaignRunner, CampaignSpec, ErrorSpec};
+use std::time::Instant;
+
+fn measure(runner: &CampaignRunner, spec: &CampaignSpec) -> (f64, CampaignResult) {
+    // Warm the golden store first: the snapshot times trial execution,
+    // not the one-off profiling run.
+    runner.golden().get(&spec.spec, spec.procs);
+    let start = Instant::now();
+    let result = runner.run_uncached(spec);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (spec.tests as f64 / secs, result)
+}
+
+fn main() {
+    let mut tests = 200usize;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--tests" => tests = value("--tests").parse().expect("--tests: integer"),
+            "--out" => out = Some(value("--out")),
+            other => panic!("unknown flag '{other}' (campaign_snapshot [--tests N] [--out FILE])"),
+        }
+    }
+
+    let procs = 4usize;
+    let spec = CampaignSpec::new(
+        App::Cg.default_spec(),
+        procs,
+        ErrorSpec::OneParallel,
+        tests,
+        2018,
+    );
+    let sequential = CampaignRunner::new();
+    let auto = CampaignRunner::new().with_auto_parallelism();
+    let jobs_auto = auto.effective_parallelism(procs);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("campaign_snapshot: cg p={procs} tests={tests} (host cores: {host_cores})");
+    let (tps_jobs1, r1) = measure(&sequential, &spec);
+    eprintln!("  jobs=1:    {tps_jobs1:.2} trials/sec");
+    let (tps_auto, r2) = measure(&auto, &spec);
+    eprintln!("  jobs=auto ({jobs_auto}): {tps_auto:.2} trials/sec");
+
+    assert_eq!(
+        r1.outcomes, r2.outcomes,
+        "jobs=auto diverged from jobs=1 — determinism bug"
+    );
+
+    let snapshot = serde_json::json!({
+        "bench": "campaign_throughput",
+        "app": "cg",
+        "procs": procs,
+        "tests": tests,
+        "errors": "OneParallel",
+        "seed": 2018,
+        "host_cores": host_cores,
+        "jobs_auto_resolved": jobs_auto,
+        "trials_per_sec_jobs1": tps_jobs1,
+        "trials_per_sec_jobs_auto": tps_auto,
+        "speedup_auto_vs_jobs1": tps_auto / tps_jobs1.max(1e-9),
+    });
+    let body = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, format!("{body}\n")).expect("write snapshot");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{body}"),
+    }
+}

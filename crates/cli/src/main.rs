@@ -49,7 +49,9 @@ struct Options {
     errors: Option<String>,
     store: Option<String>,
     svg: Option<String>,
-    jobs: usize,
+    /// Concurrent fault-injection tests; `None` = auto
+    /// (`available_parallelism() / procs`, the default).
+    jobs: Option<usize>,
     trace: Option<String>,
     metrics: bool,
 }
@@ -58,7 +60,7 @@ fn usage() -> &'static str {
     "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|metrics|all>\n\
      \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
      \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
-     \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K]\n\
+     \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K|auto]\n\
      \u{20}       [--trace FILE] [--metrics]"
 }
 
@@ -75,7 +77,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         errors: None,
         store: None,
         svg: None,
-        jobs: 1,
+        jobs: None,
         trace: None,
         metrics: false,
     };
@@ -121,9 +123,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--store" => opts.store = Some(value("--store")?),
             "--svg" => opts.svg = Some(value("--svg")?),
             "--jobs" => {
-                opts.jobs = value("--jobs")?
-                    .parse()
-                    .map_err(|e| format!("--jobs: {e}"))?
+                let v = value("--jobs")?;
+                opts.jobs = if v == "auto" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|e| format!("--jobs: {e}"))?)
+                }
             }
             "--trace" => opts.trace = Some(value("--trace")?),
             "--metrics" => opts.metrics = true,
@@ -397,7 +402,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let metrics_before = resilim_obs::MetricsSnapshot::capture();
-    let runner = CampaignRunner::new().with_test_parallelism(opts.jobs);
+    let mut runner = match opts.jobs {
+        None => CampaignRunner::new().with_auto_parallelism(),
+        Some(k) => CampaignRunner::new().with_test_parallelism(k),
+    };
+    if let Some(dir) = &opts.store {
+        // Persist golden profiling runs alongside the campaign summaries:
+        // repeated invocations with the same --store skip re-profiling.
+        runner = runner.with_golden_dir(std::path::Path::new(dir).join("golden"));
+    }
     let outcome = run_command(&opts, &runner, &opts.command.clone());
     resilim_obs::flush_sinks();
     if opts.metrics && opts.command != "metrics" {
@@ -458,6 +471,14 @@ mod tests {
     #[test]
     fn rejects_missing_value() {
         assert!(parse(&["fig5", "--tests"]).is_err());
+    }
+
+    #[test]
+    fn jobs_defaults_to_auto() {
+        assert_eq!(parse(&["fig5"]).unwrap().jobs, None);
+        assert_eq!(parse(&["fig5", "--jobs", "auto"]).unwrap().jobs, None);
+        assert_eq!(parse(&["fig5", "--jobs", "3"]).unwrap().jobs, Some(3));
+        assert!(parse(&["fig5", "--jobs", "many"]).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! into an [`InjectionPlan`], so campaigns are reproducible and
 //! individual tests can be replayed.
 
-use crate::golden::{GoldenRun, GoldenStore};
+use crate::golden::{Flights, GoldenRun, GoldenStore};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -147,13 +147,26 @@ impl CampaignResult {
     }
 }
 
+/// How many fault-injection tests a runner executes concurrently.
+#[derive(Debug, Clone, Copy)]
+enum Parallelism {
+    /// Exactly `k` worker threads (1 = sequential).
+    Fixed(usize),
+    /// `available_parallelism() / procs`, floored at 1, resolved per
+    /// campaign (a p=64 deployment needs fewer test workers than p=1).
+    Auto,
+}
+
 /// Runs campaigns, caching both golden runs and whole campaign results
 /// (experiment pipelines share many deployments — e.g. every Figure 8
 /// sweep reuses the serial sample campaigns it has in common).
 pub struct CampaignRunner {
     golden: GoldenStore,
     cache: Mutex<HashMap<String, Arc<CampaignResult>>>,
-    test_parallelism: usize,
+    /// In-flight campaigns, single-flight per key (see
+    /// [`GoldenStore::get_masked`] for the pattern).
+    flights: Flights<String, CampaignResult>,
+    parallelism: Parallelism,
 }
 
 impl Default for CampaignRunner {
@@ -168,17 +181,45 @@ impl CampaignRunner {
         CampaignRunner {
             golden: GoldenStore::new(),
             cache: Mutex::new(HashMap::new()),
-            test_parallelism: 1,
+            flights: Mutex::new(HashMap::new()),
+            parallelism: Parallelism::Fixed(1),
         }
     }
 
     /// Run up to `k` fault-injection tests concurrently (each test already
-    /// spawns `procs` rank threads, so a sensible `k` is
+    /// runs `procs` rank threads, so a sensible `k` is
     /// `cores / procs`, floored at 1). Results are bitwise identical to a
     /// sequential run: every test's randomness is derived from its index.
     pub fn with_test_parallelism(mut self, k: usize) -> CampaignRunner {
-        self.test_parallelism = k.max(1);
+        self.parallelism = Parallelism::Fixed(k.max(1));
         self
+    }
+
+    /// Scale test parallelism to the host automatically:
+    /// `available_parallelism() / procs`, floored at 1, per campaign.
+    /// Same bitwise-determinism guarantee as
+    /// [`CampaignRunner::with_test_parallelism`].
+    pub fn with_auto_parallelism(mut self) -> CampaignRunner {
+        self.parallelism = Parallelism::Auto;
+        self
+    }
+
+    /// Persist golden runs under `dir` so later processes skip
+    /// re-profiling (the CLI wires `--store DIR` to `DIR/golden`).
+    pub fn with_golden_dir(mut self, dir: impl Into<std::path::PathBuf>) -> CampaignRunner {
+        self.golden = std::mem::take(&mut self.golden).with_disk_dir(dir);
+        self
+    }
+
+    /// The worker count a campaign at `procs` ranks would use.
+    pub fn effective_parallelism(&self, procs: usize) -> usize {
+        match self.parallelism {
+            Parallelism::Fixed(k) => k,
+            Parallelism::Auto => {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                (cores / procs.max(1)).max(1)
+            }
+        }
     }
 
     /// The golden-run store.
@@ -186,24 +227,32 @@ impl CampaignRunner {
         &self.golden
     }
 
-    /// Run (or fetch from cache) a campaign.
+    /// Run (or fetch from cache) a campaign. Concurrent callers with the
+    /// same spec are deduplicated: one runs the campaign, the rest wait
+    /// for its result (fig8/table2 fan-out shares serial sub-campaigns).
     pub fn run(&self, spec: &CampaignSpec) -> Arc<CampaignResult> {
         let key = spec.cache_key();
         if let Some(hit) = self.cache.lock().get(&key) {
-            obs::count(obs::Counter::CampaignCacheHits, 1);
-            obs::emit(&obs::Event::CacheLookup {
-                cache: "campaign",
-                hit: true,
-            });
+            note_campaign_lookup(true);
             return Arc::clone(hit);
         }
-        obs::count(obs::Counter::CampaignCacheMisses, 1);
-        obs::emit(&obs::Event::CacheLookup {
-            cache: "campaign",
-            hit: false,
-        });
+        let flight = Arc::clone(self.flights.lock().entry(key.clone()).or_default());
+        let mut slot = flight.lock();
+        if let Some(result) = slot.as_ref() {
+            note_campaign_lookup(true);
+            return Arc::clone(result);
+        }
+        if let Some(hit) = self.cache.lock().get(&key) {
+            // Published between our cache miss and flight acquisition.
+            note_campaign_lookup(true);
+            return Arc::clone(hit);
+        }
+        note_campaign_lookup(false);
         let result = Arc::new(self.run_uncached(spec));
-        self.cache.lock().insert(key, Arc::clone(&result));
+        self.cache.lock().insert(key.clone(), Arc::clone(&result));
+        *slot = Some(Arc::clone(&result));
+        drop(slot);
+        self.flights.lock().remove(&key);
         result
     }
 
@@ -228,15 +277,26 @@ impl CampaignRunner {
         let op_cap = golden.op_cap();
 
         let start = Instant::now();
-        let outcomes: Vec<TestOutcome> = if self.test_parallelism <= 1 {
+        let workers = self
+            .effective_parallelism(spec.procs)
+            .min(spec.tests.max(1));
+        // Worker-region timer: spans exactly the trial-execution region
+        // (not golden profiling, not aggregation below), so
+        // `WorkerBusyNanos / WorkerWallNanos` is a true utilization.
+        let worker_region = Instant::now();
+        let outcomes: Vec<TestOutcome> = if workers <= 1 {
             (0..spec.tests)
-                .map(|test| self.run_observed_test(spec, &golden, op_cap, test, campaign_id))
+                .map(|test| {
+                    let busy = obs::timer();
+                    let outcome = self.run_observed_test(spec, &golden, op_cap, test, campaign_id);
+                    note_worker_busy(busy);
+                    outcome
+                })
                 .collect()
         } else {
             // Workers pull test indices from a shared counter; results are
             // stored by index, so aggregation order (and therefore every
             // statistic) matches the sequential run exactly.
-            let workers = self.test_parallelism.min(spec.tests.max(1));
             let next = std::sync::atomic::AtomicUsize::new(0);
             let slots: Vec<Mutex<Option<TestOutcome>>> =
                 (0..spec.tests).map(|_| Mutex::new(None)).collect();
@@ -250,26 +310,23 @@ impl CampaignRunner {
                         let busy = obs::timer();
                         let outcome =
                             self.run_observed_test(spec, &golden, op_cap, test, campaign_id);
-                        if let Some(busy) = busy {
-                            obs::count(
-                                obs::Counter::WorkerBusyNanos,
-                                busy.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-                            );
-                        }
+                        note_worker_busy(busy);
                         *slots[test].lock() = Some(outcome);
                     });
                 }
             });
-            obs::count(
-                obs::Counter::WorkerWallNanos,
-                (start.elapsed().as_nanos().min(u64::MAX as u128) as u64)
-                    .saturating_mul(workers as u64),
-            );
             slots
                 .into_iter()
                 .map(|slot| slot.into_inner().expect("every test ran"))
                 .collect()
         };
+        if obs::enabled() {
+            obs::count(
+                obs::Counter::WorkerWallNanos,
+                (worker_region.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                    .saturating_mul(workers as u64),
+            );
+        }
         let wall = start.elapsed();
 
         if obs::enabled() {
@@ -405,6 +462,32 @@ impl CampaignRunner {
         } else {
             TestOutcome::sdc(contaminated, fired)
         }
+    }
+}
+
+/// Record a campaign-cache lookup (hit = an Arc'd result was reused).
+fn note_campaign_lookup(hit: bool) {
+    obs::count(
+        if hit {
+            obs::Counter::CampaignCacheHits
+        } else {
+            obs::Counter::CampaignCacheMisses
+        },
+        1,
+    );
+    obs::emit(&obs::Event::CacheLookup {
+        cache: "campaign",
+        hit,
+    });
+}
+
+/// Add one trial's execution time to `WorkerBusyNanos`.
+fn note_worker_busy(busy: Option<Instant>) {
+    if let Some(busy) = busy {
+        obs::count(
+            obs::Counter::WorkerBusyNanos,
+            busy.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
     }
 }
 

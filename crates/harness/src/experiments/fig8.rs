@@ -33,10 +33,14 @@ pub struct Fig8 {
 
 /// Regenerate Figure 8: predictions for `p = 64` using small scales
 /// `scales` (paper: 4, 8, 16, 32), over all apps.
+///
+/// The scale points fan out onto scoped threads: the campaigns they need
+/// are disjoint except for the shared serial sub-campaigns, which the
+/// runner's single-flight cache runs exactly once. Points are collected
+/// in input order, so the output is identical to the sequential sweep.
 pub fn fig8(runner: &CampaignRunner, cfg: &ExperimentConfig, scales: &[usize]) -> Fig8 {
     let apps: Vec<App> = App::ALL.to_vec();
-    let mut points = Vec::new();
-    for &s in scales {
+    let point_for = |s: usize| -> Fig8Point {
         let report = prediction(
             runner,
             cfg,
@@ -78,12 +82,23 @@ pub fn fig8(runner: &CampaignRunner, cfg: &ExperimentConfig, scales: &[usize]) -
         }
         let fi_time_normalized = ratios.iter().sum::<f64>() / ratios.len() as f64;
 
-        points.push(Fig8Point {
+        Fig8Point {
             s,
             rmse: rmse(&pairs),
             fi_time_normalized,
-        });
-    }
+        }
+    };
+    let points: Vec<Fig8Point> = std::thread::scope(|scope| {
+        let point_for = &point_for;
+        let handles: Vec<_> = scales
+            .iter()
+            .map(|&s| scope.spawn(move || point_for(s)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fig8 scale-point worker"))
+            .collect()
+    });
     Fig8 {
         p: LARGE_SCALE,
         points,

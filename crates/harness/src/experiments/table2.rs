@@ -30,9 +30,12 @@ pub struct Table2 {
 }
 
 /// Regenerate Table 2 from 1-error campaigns at 4, 8 and 64 ranks.
+///
+/// The apps fan out onto scoped threads (their campaigns are disjoint);
+/// rows are joined in `App::ALL` order, so the table is identical to the
+/// sequential sweep.
 pub fn table2(runner: &CampaignRunner, cfg: &ExperimentConfig) -> Table2 {
-    let mut rows = Vec::new();
-    for app in App::ALL {
+    let rows_for = |app: App| -> Vec<Table2Row> {
         let campaign_at = |procs: usize| {
             runner.run(&CampaignSpec {
                 spec: app.default_spec(),
@@ -45,6 +48,7 @@ pub fn table2(runner: &CampaignRunner, cfg: &ExperimentConfig) -> Table2 {
             })
         };
         let large = campaign_at(LARGE_SCALE);
+        let mut rows = Vec::with_capacity(2);
         for small_scale in [4usize, 8] {
             let small = campaign_at(small_scale);
             let similarity = cosine_similarity(&small.prop.r_vec(), &large.prop.group(small_scale));
@@ -55,7 +59,19 @@ pub fn table2(runner: &CampaignRunner, cfg: &ExperimentConfig) -> Table2 {
                 similarity,
             });
         }
-    }
+        rows
+    };
+    let rows: Vec<Table2Row> = std::thread::scope(|scope| {
+        let rows_for = &rows_for;
+        let handles: Vec<_> = App::ALL
+            .into_iter()
+            .map(|app| scope.spawn(move || rows_for(app)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("table2 app worker"))
+            .collect()
+    });
     Table2 { rows }
 }
 

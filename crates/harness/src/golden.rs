@@ -7,9 +7,16 @@ use resilim_apps::{AppOutput, ProblemSpec};
 use resilim_inject::{OpMask, OpProfile, RankCtx, Region};
 use resilim_obs as obs;
 use resilim_simmpi::World;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Version stamp of the on-disk golden-run record. Bump whenever the
+/// record layout *or the semantics of what a profile counts* changes;
+/// stale-version files are ignored and re-measured, never migrated.
+pub const GOLDEN_CACHE_VERSION: u32 = 1;
 
 /// A fault-free run of one `(problem, scale, mask)` deployment.
 #[derive(Debug, Clone)]
@@ -100,19 +107,85 @@ impl GoldenRun {
     }
 }
 
-/// Process-wide cache of golden runs, keyed by `(problem, scale)`.
+/// The serialized form of a [`GoldenRun`]. `ProblemSpec` itself is not
+/// serializable, so the record carries the spec's `cache_key()` and the
+/// caller's spec is re-attached on load — a full key match is required,
+/// so a record can never be applied to a different problem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GoldenRecord {
+    version: u32,
+    key: String,
+    procs: usize,
+    op_mask: OpMask,
+    output: AppOutput,
+    profiles: Vec<OpProfile>,
+    wall_secs: f64,
+}
+
+type Key = (String, usize, OpMask);
+
+/// Single-flight registry: one slot per in-flight key. The measuring
+/// caller holds the slot's lock until the value is published; same-key
+/// callers block on the slot and share the leader's `Arc`.
+pub(crate) type Flights<K, V> = Mutex<HashMap<K, Arc<Mutex<Option<Arc<V>>>>>>;
+
+/// FNV-1a over the composite key: a *deterministic* file name (std's
+/// `DefaultHasher` is randomly keyed per process, which would defeat a
+/// cross-process cache).
+fn key_file_hash(key: &Key) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(key.0.as_bytes());
+    eat(&(key.1 as u64).to_le_bytes());
+    eat(&[key.2.bits()]);
+    h
+}
+
+/// File name of a deployment's golden-cache entry inside the cache
+/// directory (exposed so tests and operators can locate entries).
+pub fn golden_cache_file_name(spec: &ProblemSpec, procs: usize, mask: OpMask) -> String {
+    let key = (spec.cache_key(), procs, mask);
+    format!("golden-{:016x}.json", key_file_hash(&key))
+}
+
+/// Process-wide cache of golden runs, keyed by `(problem, scale, mask)`,
+/// with an optional persistent layer on disk.
 ///
 /// Campaigns re-classify thousands of tests against the same golden run;
-/// measuring it once per deployment keeps the harness O(tests).
+/// measuring it once per deployment keeps the harness O(tests), and the
+/// disk layer (wired to the CLI's `--store DIR`) extends that across
+/// process invocations. Lookups are *single-flight*: concurrent callers
+/// of the same key agree on one measurer and wait for it instead of
+/// profiling the deployment once each.
 #[derive(Debug, Default)]
 pub struct GoldenStore {
-    cache: Mutex<HashMap<(String, usize, OpMask), Arc<GoldenRun>>>,
+    cache: Mutex<HashMap<Key, Arc<GoldenRun>>>,
+    /// In-flight measurements: one slot per key; the measuring caller
+    /// holds the slot's lock until the run is published.
+    flights: Flights<Key, GoldenRun>,
+    disk: Option<PathBuf>,
 }
 
 impl GoldenStore {
-    /// Empty store.
+    /// Empty store (memory-only).
     pub fn new() -> GoldenStore {
         GoldenStore::default()
+    }
+
+    /// Add a persistent cache layer under `dir` (created on first save).
+    pub fn with_disk_dir(mut self, dir: impl Into<PathBuf>) -> GoldenStore {
+        self.disk = Some(dir.into());
+        self
+    }
+
+    /// The persistent cache directory, when one is configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
     }
 
     /// Fetch (measuring on first use) the golden run for a deployment,
@@ -123,28 +196,113 @@ impl GoldenStore {
 
     /// Fetch (measuring on first use) the golden run for a deployment
     /// under an explicit injectable mask.
+    ///
+    /// Obs accounting: `GoldenCacheHits` counts every avoided profiling
+    /// run (memory or disk layer); `GoldenCacheMisses` counts only actual
+    /// measurements — so a fully warm store reports zero misses.
     pub fn get_masked(&self, spec: &ProblemSpec, procs: usize, mask: OpMask) -> Arc<GoldenRun> {
         let key = (spec.cache_key(), procs, mask);
         if let Some(hit) = self.cache.lock().get(&key) {
-            obs::count(obs::Counter::GoldenCacheHits, 1);
-            obs::emit(&obs::Event::CacheLookup {
-                cache: "golden",
-                hit: true,
-            });
+            note_lookup(true);
             return Arc::clone(hit);
         }
-        obs::count(obs::Counter::GoldenCacheMisses, 1);
-        obs::emit(&obs::Event::CacheLookup {
-            cache: "golden",
-            hit: false,
-        });
-        // Measure outside the lock (single-threaded campaigns anyway).
-        let run = Arc::new(GoldenRun::measure_masked(spec, procs, mask));
-        self.cache.lock().insert(key, Arc::clone(&run));
+        let flight = Arc::clone(self.flights.lock().entry(key.clone()).or_default());
+        let mut slot = flight.lock();
+        if let Some(run) = slot.as_ref() {
+            // The in-flight measurer finished while we waited.
+            note_lookup(true);
+            return Arc::clone(run);
+        }
+        // The flight entry may be fresh even though the run was already
+        // published (measurer removes its entry after filling the memory
+        // cache); re-check before measuring.
+        if let Some(hit) = self.cache.lock().get(&key) {
+            note_lookup(true);
+            return Arc::clone(hit);
+        }
+        let run = match self.load_disk(&key, spec) {
+            Some(run) => {
+                note_lookup(true);
+                obs::emit(&obs::Event::CacheLookup {
+                    cache: "golden-disk",
+                    hit: true,
+                });
+                Arc::new(run)
+            }
+            None => {
+                note_lookup(false);
+                let run = Arc::new(GoldenRun::measure_masked(spec, procs, mask));
+                self.save_disk(&key, &run);
+                run
+            }
+        };
+        self.cache.lock().insert(key.clone(), Arc::clone(&run));
+        *slot = Some(Arc::clone(&run));
+        drop(slot);
+        self.flights.lock().remove(&key);
         run
     }
 
-    /// Number of cached runs.
+    /// Load and validate a disk record. Any failure — unreadable file,
+    /// malformed JSON, stale version, key/shape mismatch — degrades to
+    /// `None` (re-measure); a corrupt cache must never break a campaign.
+    fn load_disk(&self, key: &Key, spec: &ProblemSpec) -> Option<GoldenRun> {
+        let dir = self.disk.as_ref()?;
+        let path = dir.join(format!("golden-{:016x}.json", key_file_hash(key)));
+        let raw = std::fs::read_to_string(path).ok()?;
+        let rec: GoldenRecord = serde_json::from_str(&raw).ok()?;
+        if rec.version != GOLDEN_CACHE_VERSION
+            || rec.key != key.0
+            || rec.procs != key.1
+            || rec.op_mask != key.2
+            || rec.profiles.len() != key.1
+        {
+            return None;
+        }
+        Some(GoldenRun {
+            spec: spec.clone(),
+            procs: rec.procs,
+            op_mask: rec.op_mask,
+            output: rec.output,
+            profiles: rec.profiles,
+            wall: Duration::from_secs_f64(rec.wall_secs.max(0.0)),
+        })
+    }
+
+    /// Persist a record, best-effort: write-to-temp + rename so readers
+    /// never observe a half-written file; IO errors are swallowed (the
+    /// cache is an optimization, not a durability contract).
+    fn save_disk(&self, key: &Key, run: &GoldenRun) {
+        let Some(dir) = self.disk.as_ref() else {
+            return;
+        };
+        let rec = GoldenRecord {
+            version: GOLDEN_CACHE_VERSION,
+            key: key.0.clone(),
+            procs: run.procs,
+            op_mask: run.op_mask,
+            output: run.output.clone(),
+            profiles: run.profiles.clone(),
+            wall_secs: run.wall.as_secs_f64(),
+        };
+        let Ok(json) = serde_json::to_string(&rec) else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("golden-{:016x}.json", key_file_hash(key)));
+        let tmp = dir.join(format!(
+            "golden-{:016x}.json.tmp.{}",
+            key_file_hash(key),
+            std::process::id()
+        ));
+        if std::fs::write(&tmp, json).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    /// Number of cached runs (memory layer).
     pub fn len(&self) -> usize {
         self.cache.lock().len()
     }
@@ -153,6 +311,22 @@ impl GoldenStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Record a golden-cache lookup: hit = a profiling run was avoided.
+fn note_lookup(hit: bool) {
+    obs::count(
+        if hit {
+            obs::Counter::GoldenCacheHits
+        } else {
+            obs::Counter::GoldenCacheMisses
+        },
+        1,
+    );
+    obs::emit(&obs::Event::CacheLookup {
+        cache: "golden",
+        hit,
+    });
 }
 
 #[cfg(test)]

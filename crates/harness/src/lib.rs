@@ -29,5 +29,5 @@ pub mod report;
 pub mod store;
 
 pub use campaign::{CampaignResult, CampaignRunner, CampaignSpec, ErrorSpec};
-pub use golden::{GoldenRun, GoldenStore};
+pub use golden::{golden_cache_file_name, GoldenRun, GoldenStore, GOLDEN_CACHE_VERSION};
 pub use store::{CampaignSummary, ResultStore};

@@ -131,4 +131,31 @@ fn tracing_is_deterministic_and_reconciles() {
         traced.metrics.counter(obs::Counter::MsgsRecvd),
         "every sent message was received (clean fabric)"
     );
+
+    // Worker utilization: busy time is the per-trial sum, wall is the
+    // worker region × worker count — busy can never exceed wall, and a
+    // sequential run keeps both meaningful (workers = 1).
+    let busy = traced.metrics.counter(obs::Counter::WorkerBusyNanos);
+    let wall = traced.metrics.counter(obs::Counter::WorkerWallNanos);
+    assert!(busy > 0, "sequential run records worker busy time");
+    assert!(
+        busy <= wall,
+        "utilization must be ≤ 100% (busy {busy} vs wall {wall})"
+    );
+
+    // Same invariants under parallel workers, which must also stay
+    // bitwise deterministic with the recorder on (no sinks attached).
+    obs::set_enabled(true);
+    let parallel = CampaignRunner::new()
+        .with_test_parallelism(3)
+        .run_uncached(&spec);
+    obs::set_enabled(false);
+    assert_eq!(baseline.outcomes, parallel.outcomes);
+    let busy = parallel.metrics.counter(obs::Counter::WorkerBusyNanos);
+    let wall = parallel.metrics.counter(obs::Counter::WorkerWallNanos);
+    assert!(busy > 0);
+    assert!(
+        busy <= wall,
+        "parallel utilization must be ≤ 100% (busy {busy} vs wall {wall})"
+    );
 }

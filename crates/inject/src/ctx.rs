@@ -74,6 +74,10 @@ pub struct RankCtx {
     per_kind: [[u64; 5]; 2],
     /// Pending targets per region, ascending op_index.
     queues: [VecDeque<Target>; 2],
+    /// Op-index of the front pending target per region (`u64::MAX` when
+    /// the queue is empty). The per-op hot path is a single compare
+    /// against this; the queue is only touched when an injection is due.
+    next_pending: [u64; 2],
     fired: Vec<FiredRecord>,
     planned: usize,
     contaminated: bool,
@@ -114,12 +118,18 @@ impl RankCtx {
     /// New context for `rank` with an injection plan.
     pub fn new(rank: usize, plan: InjectionPlan) -> Self {
         let planned = plan.len();
+        let queues = plan.into_queues();
+        let next_pending = [
+            queues[0].front().map_or(u64::MAX, |t| t.op_index),
+            queues[1].front().map_or(u64::MAX, |t| t.op_index),
+        ];
         RankCtx {
             rank,
             region: Region::Common,
             injectable: [0; 2],
             per_kind: [[0; 5]; 2],
-            queues: plan.into_queues(),
+            queues,
+            next_pending,
             fired: Vec::new(),
             planned,
             contaminated: false,
@@ -274,15 +284,35 @@ impl RankCtx {
 
     /// Count an injectable op; fire *every* target whose index matches
     /// (multi-bit patterns plan several flips on the same dynamic op).
+    ///
+    /// Hot path: when no injection is due at this index — the
+    /// overwhelmingly common case in profiling runs and in the long tail
+    /// of injection trials — this is one counter increment plus one
+    /// compare against the precomputed front-of-queue index; the queue
+    /// itself is untouched and nothing allocates (`Vec::new` is free).
     #[inline]
     fn advance_injectable(&mut self) -> Vec<Target> {
         let i = self.region.index();
         let idx = self.injectable[i];
         self.injectable[i] += 1;
+        if idx != self.next_pending[i] {
+            return Vec::new();
+        }
+        self.pop_due(i, idx)
+    }
+
+    /// Slow path of [`RankCtx::advance_injectable`]: pop every target
+    /// planned for dynamic op `idx` and recompute the next pending index.
+    /// Queues are sorted ascending by op_index (see
+    /// [`InjectionPlan::into_queues`]), so the front is always the
+    /// minimum.
+    #[cold]
+    fn pop_due(&mut self, i: usize, idx: u64) -> Vec<Target> {
         let mut fired = Vec::new();
         while matches!(self.queues[i].front(), Some(t) if t.op_index == idx) {
             fired.push(self.queues[i].pop_front().expect("front just matched"));
         }
+        self.next_pending[i] = self.queues[i].front().map_or(u64::MAX, |t| t.op_index);
         fired
     }
 }

@@ -51,6 +51,11 @@ impl OpMask {
         OpMask(self.0 | other.0)
     }
 
+    /// The raw bit pattern (stable across processes; cache keys hash it).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
     /// The kinds in this mask.
     pub fn kinds(self) -> Vec<OpKind> {
         OpKind::ALL

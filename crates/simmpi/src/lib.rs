@@ -36,9 +36,11 @@ pub mod comm;
 pub mod error;
 pub mod fabric;
 pub mod payload;
+pub mod pool;
 pub mod world;
 
 pub use comm::{Comm, ReduceOp};
 pub use error::{MpiError, PanicKind, RankPanic};
 pub use payload::Payload;
+pub use pool::WorldPool;
 pub use world::{RankOutcome, World, WorldConfig};

@@ -1,10 +1,16 @@
-//! The world runner: spawns one thread per rank, wires them to a shared
-//! fabric, installs injection contexts, and collects results, panics, and
-//! contamination reports.
+//! The world runner: runs one worker thread per rank, wires them to a
+//! shared fabric, installs injection contexts, and collects results,
+//! panics, and contamination reports.
+//!
+//! Rank workers come from a persistent [`WorldPool`] by default (threads
+//! are reused across trials); [`World::run_spawned`] keeps the original
+//! spawn-per-trial path for comparison and as the determinism oracle.
 
 use crate::comm::Comm;
 use crate::error::RankPanic;
 use crate::fabric::Fabric;
+use crate::pool::WorldPool;
+use parking_lot::Mutex;
 use resilim_inject::{ctx, CtxReport, RankCtx};
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
@@ -45,14 +51,14 @@ pub struct World {
 }
 
 thread_local! {
-    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+    pub(crate) static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Install (once per process) a panic hook that silences panics on rank
 /// threads — fault-injection campaigns deliberately panic thousands of
 /// times, and the default hook would flood stderr. Panics on all other
 /// threads keep the previous behaviour.
-fn install_quiet_hook() {
+pub(crate) fn install_quiet_hook() {
     static INIT: Once = Once::new();
     INIT.call_once(|| {
         let prev = panic::take_hook();
@@ -97,7 +103,53 @@ impl World {
     /// If any rank panics the fabric is poisoned, so every other rank fails
     /// fast instead of hanging (MPI-abort semantics). Results come back in
     /// rank order.
+    ///
+    /// Ranks execute on the process-wide [`WorldPool`]; semantics are
+    /// identical to [`World::run_spawned`] (the original spawn-per-trial
+    /// path), which tests use as the oracle.
     pub fn run_with_ctx<T, F, M>(&self, mk_ctx: M, body: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Send + Sync,
+        M: Fn(usize) -> Option<RankCtx> + Send + Sync,
+    {
+        self.run_pooled(WorldPool::global(), mk_ctx, body)
+    }
+
+    /// [`World::run_with_ctx`] on an explicit pool (tests use private
+    /// pools to assert thread reuse).
+    pub fn run_pooled<T, F, M>(&self, pool: &WorldPool, mk_ctx: M, body: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Send + Sync,
+        M: Fn(usize) -> Option<RankCtx> + Send + Sync,
+    {
+        install_quiet_hook();
+        let fabric = Fabric::new(self.size, self.cfg.recv_timeout);
+        let slots: Vec<Mutex<Option<RankOutcome<T>>>> =
+            (0..self.size).map(|_| Mutex::new(None)).collect();
+
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(self.size);
+        for (rank, slot) in slots.iter().enumerate() {
+            let fabric = &fabric;
+            let body = &body;
+            let mk_ctx = &mk_ctx;
+            jobs.push(Box::new(move || {
+                *slot.lock() = Some(run_rank(rank, fabric, mk_ctx, body));
+            }));
+        }
+        pool.scope_run(jobs);
+
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every rank reported"))
+            .collect()
+    }
+
+    /// The original execution path: spawn `size` fresh scoped threads for
+    /// this run only. Kept as the reference implementation the pooled path
+    /// must match bitwise, and for measuring what pooling buys.
+    pub fn run_spawned<T, F, M>(&self, mk_ctx: M, body: F) -> Vec<RankOutcome<T>>
     where
         T: Send,
         F: Fn(&Comm) -> T + Send + Sync,
@@ -116,27 +168,7 @@ impl World {
                 let fabric = &fabric;
                 let body = &body;
                 let mk_ctx = &mk_ctx;
-                handles.push(scope.spawn(move || {
-                    QUIET_PANICS.with(|q| q.set(true));
-                    if let Some(c) = mk_ctx(rank) {
-                        ctx::install(c);
-                    }
-                    let comm = Comm::new(rank, fabric);
-                    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&comm)));
-                    let ctx_report = ctx::take().map(RankCtx::into_report);
-                    let result = match result {
-                        Ok(v) => Ok(v),
-                        Err(payload) => {
-                            fabric.poison();
-                            Err(RankPanic::from_payload(payload.as_ref()))
-                        }
-                    };
-                    RankOutcome {
-                        rank,
-                        result,
-                        ctx_report,
-                    }
-                }));
+                handles.push(scope.spawn(move || run_rank(rank, fabric, mk_ctx, body)));
             }
             for (rank, handle) in handles.into_iter().enumerate() {
                 let outcome = handle.join().expect("rank thread itself never panics");
@@ -148,6 +180,38 @@ impl World {
             .into_iter()
             .map(|o| o.expect("every rank reported"))
             .collect()
+    }
+}
+
+/// One rank's whole trial: context install, body under `catch_unwind`,
+/// context harvest, fabric poison on panic. Shared by the pooled and the
+/// spawn-per-trial paths so they cannot diverge.
+fn run_rank<T, F, M>(rank: usize, fabric: &Fabric, mk_ctx: &M, body: &F) -> RankOutcome<T>
+where
+    F: Fn(&Comm) -> T,
+    M: Fn(usize) -> Option<RankCtx>,
+{
+    QUIET_PANICS.with(|q| q.set(true));
+    // Pool hygiene: a reused worker must never start a trial with a stale
+    // context from an earlier trial that failed to harvest its own.
+    drop(ctx::take());
+    if let Some(c) = mk_ctx(rank) {
+        ctx::install(c);
+    }
+    let comm = Comm::new(rank, fabric);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&comm)));
+    let ctx_report = ctx::take().map(RankCtx::into_report);
+    let result = match result {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            fabric.poison();
+            Err(RankPanic::from_payload(payload.as_ref()))
+        }
+    };
+    RankOutcome {
+        rank,
+        result,
+        ctx_report,
     }
 }
 

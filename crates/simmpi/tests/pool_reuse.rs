@@ -1,0 +1,138 @@
+//! Pool robustness: trials that crash, trip the hang guard, or die on a
+//! poisoned fabric must leave the rank-thread pool reusable, and the
+//! pooled execution path must match the spawn-per-trial path bitwise.
+
+use resilim_inject::{InjectionPlan, Operand, RankCtx, Region, Target, Tf64};
+use resilim_simmpi::{PanicKind, ReduceOp, World, WorldConfig, WorldPool};
+use std::time::Duration;
+
+fn world(procs: usize) -> World {
+    World::with_config(
+        procs,
+        WorldConfig {
+            recv_timeout: Duration::from_secs(5),
+        },
+    )
+}
+
+#[test]
+fn pool_survives_crash_hang_and_poison_trials() {
+    let pool = WorldPool::new();
+    let procs = 4;
+
+    // Trial 1: rank 2 crashes; everyone else dies on the poisoned fabric.
+    let results = world(procs).run_pooled(
+        &pool,
+        |_| None,
+        |comm| {
+            if comm.rank() == 2 {
+                panic!("simulated application abort");
+            }
+            comm.barrier();
+        },
+    );
+    assert_eq!(
+        results[2].result.as_ref().unwrap_err().kind,
+        PanicKind::Crash
+    );
+    for rank in [0usize, 1, 3] {
+        assert!(matches!(
+            results[rank].result.as_ref().unwrap_err().kind,
+            PanicKind::FabricDead | PanicKind::RecvTimeout
+        ));
+    }
+
+    // Trial 2: every rank trips the hang guard.
+    let results = world(procs).run_pooled(
+        &pool,
+        |rank| Some(RankCtx::profiling(rank).with_op_cap(50)),
+        |_comm| {
+            let mut acc = Tf64::ZERO;
+            loop {
+                acc += 1.0;
+                if acc.value() < 0.0 {
+                    break;
+                }
+            }
+        },
+    );
+    for r in &results {
+        assert_eq!(r.result.as_ref().unwrap_err().kind, PanicKind::HangGuard);
+        assert!(r.ctx_report.as_ref().unwrap().hang_guard_tripped);
+    }
+
+    // Trial 3: a clean collective must still work on the same workers,
+    // with no stale contexts or taint leaking in from the failed trials.
+    let results = world(procs).run_pooled(
+        &pool,
+        |rank| Some(RankCtx::profiling(rank)),
+        |comm| {
+            let mine = [Tf64::new((comm.rank() + 1) as f64)];
+            comm.allreduce(ReduceOp::Sum, &mine)[0]
+        },
+    );
+    for r in &results {
+        let total = r.result.as_ref().unwrap();
+        assert_eq!(total.value(), 10.0);
+        assert!(!total.is_tainted());
+        assert!(!r.ctx_report.as_ref().unwrap().contaminated);
+    }
+
+    // All three trials ran on the same four workers.
+    assert_eq!(pool.threads_spawned(), procs);
+    assert_eq!(pool.idle_threads(), procs);
+    assert_eq!(pool.jobs_dispatched(), 3 * procs);
+}
+
+#[test]
+fn pooled_matches_spawned_bitwise() {
+    let procs = 4;
+    let mk_ctx = |rank: usize| {
+        let plan = if rank == 1 {
+            InjectionPlan::single(Target {
+                region: Region::Common,
+                op_index: 3,
+                bit: 55,
+                operand: Operand::A,
+            })
+        } else {
+            InjectionPlan::none()
+        };
+        Some(RankCtx::new(rank, plan))
+    };
+    let body = |comm: &resilim_simmpi::Comm| {
+        let mut acc = Tf64::new(1.0);
+        for i in 0..8 {
+            acc = acc * Tf64::new(1.0 + (comm.rank() + i) as f64 * 0.125) + Tf64::new(0.5);
+        }
+        let total = comm.allreduce_scalar(ReduceOp::Sum, acc);
+        (total.value().to_bits(), total.is_tainted())
+    };
+
+    let pooled = world(procs).run_pooled(&WorldPool::new(), mk_ctx, body);
+    let spawned = world(procs).run_spawned(mk_ctx, body);
+    for (a, b) in pooled.iter().zip(&spawned) {
+        assert_eq!(a.rank, b.rank);
+        assert_eq!(a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        let (ra, rb) = (
+            a.ctx_report.as_ref().unwrap(),
+            b.ctx_report.as_ref().unwrap(),
+        );
+        assert_eq!(ra.profile, rb.profile);
+        assert_eq!(ra.fired, rb.fired);
+        assert_eq!(ra.contaminated, rb.contaminated);
+    }
+}
+
+#[test]
+fn global_pool_reused_across_runs() {
+    let before = WorldPool::global().jobs_dispatched();
+    for _ in 0..3 {
+        let results = World::new(8).run(|comm| {
+            let x = [Tf64::new(1.0)];
+            comm.allreduce(ReduceOp::Sum, &x)[0].value()
+        });
+        assert!(results.iter().all(|r| *r.result.as_ref().unwrap() == 8.0));
+    }
+    assert_eq!(WorldPool::global().jobs_dispatched(), before + 24);
+}
