@@ -6,8 +6,13 @@
 //! The two runs are also asserted bitwise identical, so every snapshot
 //! doubles as a determinism check of the parallel execution engine.
 //!
+//! With `--baseline FILE` the snapshot doubles as a regression gate: it
+//! compares the fresh `jobs=1` throughput against the baseline's and
+//! exits non-zero when the fresh number falls more than `--tolerance`
+//! (default 0.35 — CI runners are noisy) below it.
+//!
 //! ```text
-//! campaign_snapshot [--tests N] [--out FILE]
+//! campaign_snapshot [--tests N] [--out FILE] [--baseline FILE] [--tolerance T]
 //! ```
 
 use resilim_apps::App;
@@ -24,9 +29,22 @@ fn measure(runner: &CampaignRunner, spec: &CampaignSpec) -> (f64, CampaignResult
     (spec.tests as f64 / secs, result)
 }
 
+/// The baseline's `trials_per_sec_jobs1`, read from a previous snapshot.
+fn baseline_tps(path: &str) -> f64 {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+    let snapshot: serde_json::Value =
+        serde_json::from_str(&raw).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+    snapshot
+        .get("trials_per_sec_jobs1")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("--baseline {path}: no trials_per_sec_jobs1 number"))
+}
+
 fn main() {
     let mut tests = 200usize;
     let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 0.35f64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -36,9 +54,18 @@ fn main() {
         match flag.as_str() {
             "--tests" => tests = value("--tests").parse().expect("--tests: integer"),
             "--out" => out = Some(value("--out")),
-            other => panic!("unknown flag '{other}' (campaign_snapshot [--tests N] [--out FILE])"),
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--tolerance" => tolerance = value("--tolerance").parse().expect("--tolerance: number"),
+            other => panic!(
+                "unknown flag '{other}' \
+                 (campaign_snapshot [--tests N] [--out FILE] [--baseline FILE] [--tolerance T])"
+            ),
         }
     }
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "--tolerance must be in [0, 1)"
+    );
 
     let procs = 4usize;
     let spec = CampaignSpec::new(
@@ -63,6 +90,22 @@ fn main() {
         r1.outcomes, r2.outcomes,
         "jobs=auto diverged from jobs=1 — determinism bug"
     );
+
+    if let Some(path) = &baseline {
+        let base = baseline_tps(path);
+        let floor = base * (1.0 - tolerance);
+        eprintln!(
+            "  baseline jobs=1: {base:.2} trials/sec (floor {floor:.2} at tolerance {tolerance})"
+        );
+        if tps_jobs1 < floor {
+            eprintln!(
+                "regression: fresh jobs=1 throughput {tps_jobs1:.2} < {floor:.2} \
+                 ({:.0}% below baseline {base:.2})",
+                100.0 * (1.0 - tps_jobs1 / base)
+            );
+            std::process::exit(1);
+        }
+    }
 
     let snapshot = serde_json::json!({
         "bench": "campaign_throughput",

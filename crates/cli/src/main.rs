@@ -18,6 +18,7 @@
 //!   apps                run each application fault-free and verify it
 //!   weak                weak-scaling extension study (not in the paper)
 //!   campaign            run one deployment; print or --store its summary
+//!   merge               aggregate a deployment's shard ledgers (--store)
 //!   model               predict from a --store directory (offline)
 //!   metrics             aggregate report from a --trace JSONL file
 //!   all                 every table/figure above, in order
@@ -27,6 +28,15 @@
 //! starts, trials, fired injections, cache lookups) as JSONL; `--metrics`
 //! prints the aggregate counter/histogram report to stderr after the run.
 //! Either flag also enables a live progress line on stderr.
+//!
+//! Durability: with `--store DIR`, every completed trial is appended to a
+//! crash-tolerant ledger under `DIR/ledger/`. `--resume` skips trials
+//! already ledgered (a killed campaign restarts where it stopped,
+//! bitwise-identically); `--shard i/N` runs only every N-th trial so N
+//! processes/machines can split one campaign, and `resilim merge`
+//! reassembles their ledgers into the whole-campaign result.
+//! `--trial-timeout SECS` arms a per-trial watchdog that kills and
+//! retries wedged trials (`--retries N` bounds the attempts).
 
 mod trace;
 
@@ -34,7 +44,7 @@ use resilim_apps::App;
 use resilim_core::SamplePoints;
 use resilim_harness::experiments::{self, ExperimentConfig, LARGE_SCALE, XLARGE_SCALE};
 use resilim_harness::store::{model_inputs_from_store, CampaignSummary, ResultStore};
-use resilim_harness::{CampaignRunner, CampaignSpec, ErrorSpec};
+use resilim_harness::{CampaignRunner, CampaignSpec, ErrorSpec, RetryPolicy, Shard};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -54,14 +64,23 @@ struct Options {
     jobs: Option<usize>,
     trace: Option<String>,
     metrics: bool,
+    /// Skip trials already in the ledger (`--resume`; needs `--store`).
+    resume: bool,
+    /// Deterministic trial partition (`--shard i/N`; needs `--store`).
+    shard: Option<Shard>,
+    /// Per-trial watchdog deadline in seconds (`--trial-timeout`).
+    trial_timeout: Option<f64>,
+    /// Watchdog retry budget (`--retries`; default 2).
+    retries: Option<u32>,
 }
 
 fn usage() -> &'static str {
-    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|metrics|all>\n\
+    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|campaign|merge|model|metrics|all>\n\
      \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
      \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
      \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K|auto]\n\
-     \u{20}       [--trace FILE] [--metrics]"
+     \u{20}       [--trace FILE] [--metrics]\n\
+     \u{20}       [--resume] [--shard i/N] [--trial-timeout SECS] [--retries N]"
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -80,6 +99,10 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         jobs: None,
         trace: None,
         metrics: false,
+        resume: false,
+        shard: None,
+        trial_timeout: None,
+        retries: None,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -132,8 +155,29 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             }
             "--trace" => opts.trace = Some(value("--trace")?),
             "--metrics" => opts.metrics = true,
+            "--resume" => opts.resume = true,
+            "--shard" => opts.shard = Some(Shard::parse(&value("--shard")?)?),
+            "--trial-timeout" => {
+                let secs: f64 = value("--trial-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--trial-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--trial-timeout must be a positive number of seconds".into());
+                }
+                opts.trial_timeout = Some(secs);
+            }
+            "--retries" => {
+                opts.retries = Some(
+                    value("--retries")?
+                        .parse()
+                        .map_err(|e| format!("--retries: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
+    }
+    if (opts.resume || opts.shard.is_some()) && opts.store.is_none() {
+        return Err("--resume/--shard need --store DIR (the ledger lives there)".into());
     }
     Ok(opts)
 }
@@ -171,6 +215,27 @@ fn parse_errors(spec: &str, procs: usize) -> Result<ErrorSpec, String> {
     Err(format!(
         "unknown --errors '{spec}' (par|ser:N|unique|multi:K)"
     ))
+}
+
+/// Resolve the single-deployment flags (`--apps`, `--scale`, `--errors`,
+/// `--tests`, `--seed`) shared by the `campaign` and `merge` commands.
+fn one_deployment(opts: &Options) -> Result<(CampaignSpec, App, usize, ErrorSpec), String> {
+    let app = *opts
+        .apps
+        .first()
+        .ok_or(format!("{} needs --apps <one app>", opts.command))?;
+    let procs = opts.scale.unwrap_or(1);
+    let errors = parse_errors(opts.errors.as_deref().unwrap_or("par"), procs)?;
+    let spec = CampaignSpec {
+        spec: app.default_spec(),
+        procs,
+        errors,
+        tests: opts.cfg.tests,
+        seed: opts.cfg.seed,
+        taint_threshold: opts.cfg.taint_threshold,
+        op_mask: Default::default(),
+    };
+    Ok((spec, app, procs, errors))
 }
 
 /// Emit one experiment's text and JSON forms.
@@ -292,19 +357,27 @@ fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result
             emit(opts, study.render(), &study)
         }
         "campaign" => {
-            let app = *opts.apps.first().ok_or("campaign needs --apps <one app>")?;
-            let procs = opts.scale.unwrap_or(1);
-            let errors = parse_errors(opts.errors.as_deref().unwrap_or("par"), procs)?;
-            let spec = CampaignSpec {
-                spec: app.default_spec(),
-                procs,
-                errors,
-                tests: opts.cfg.tests,
-                seed: opts.cfg.seed,
-                taint_threshold: opts.cfg.taint_threshold,
-                op_mask: Default::default(),
-            };
+            let (spec, app, procs, errors) = one_deployment(opts)?;
             let result = runner.run(&spec);
+            if let Some(shard) = runner.shard() {
+                // A shard's result is partial: it is ledgered for
+                // `resilim merge`, never stored as a campaign summary.
+                let text = format!(
+                    "{app} p={procs} {:?} shard {shard}: ran {} of {} trials \
+                     (ledgered; run `resilim merge` once every shard finished)\n",
+                    errors,
+                    result.outcomes.len(),
+                    spec.tests,
+                );
+                let value = serde_json::json!({
+                    "app": app.name(),
+                    "procs": procs,
+                    "shard": shard.to_string(),
+                    "trials_ran": result.outcomes.len(),
+                    "tests": spec.tests,
+                });
+                return emit(opts, text, &value);
+            }
             let summary = CampaignSummary::of(&spec, &result);
             if let Some(dir) = &opts.store {
                 let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
@@ -319,6 +392,28 @@ fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result
                 summary.fi.failure_rate() * 100.0,
                 summary.tests,
                 summary.wall_secs,
+            );
+            emit(opts, text, &summary)
+        }
+        "merge" => {
+            if opts.store.is_none() {
+                return Err("merge needs --store DIR (the shards' ledger directory)".into());
+            }
+            let (spec, app, procs, errors) = one_deployment(opts)?;
+            let result = runner.merged_from_ledger(&spec)?;
+            let summary = CampaignSummary::of(&spec, &result);
+            if let Some(dir) = &opts.store {
+                let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
+                let path = store.save(&summary).map_err(|e| e.to_string())?;
+                eprintln!("saved {}", path.display());
+            }
+            let text = format!(
+                "{app} p={procs} {:?} (merged from ledger): success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests)\n",
+                errors,
+                summary.fi.success_rate() * 100.0,
+                summary.fi.sdc_rate() * 100.0,
+                summary.fi.failure_rate() * 100.0,
+                summary.tests,
             );
             emit(opts, text, &summary)
         }
@@ -409,7 +504,21 @@ fn main() -> ExitCode {
     if let Some(dir) = &opts.store {
         // Persist golden profiling runs alongside the campaign summaries:
         // repeated invocations with the same --store skip re-profiling.
-        runner = runner.with_golden_dir(std::path::Path::new(dir).join("golden"));
+        // The trial ledger lives next to them; every completed trial is
+        // appended durably so `--resume`/`merge` can pick it up.
+        runner = runner
+            .with_golden_dir(std::path::Path::new(dir).join("golden"))
+            .with_ledger_dir(std::path::Path::new(dir).join("ledger"));
+    }
+    runner = runner.with_resume(opts.resume);
+    if let Some(shard) = opts.shard {
+        runner = runner.with_shard(shard);
+    }
+    if let Some(secs) = opts.trial_timeout {
+        runner = runner.with_trial_deadline(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(retries) = opts.retries {
+        runner = runner.with_retry_policy(RetryPolicy::default().with_max_retries(retries));
     }
     let outcome = run_command(&opts, &runner, &opts.command.clone());
     resilim_obs::flush_sinks();
@@ -479,6 +588,35 @@ mod tests {
         assert_eq!(parse(&["fig5", "--jobs", "auto"]).unwrap().jobs, None);
         assert_eq!(parse(&["fig5", "--jobs", "3"]).unwrap().jobs, Some(3));
         assert!(parse(&["fig5", "--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn parses_ledger_flags() {
+        let opts = parse(&[
+            "campaign",
+            "--store",
+            "st",
+            "--resume",
+            "--shard",
+            "1/3",
+            "--trial-timeout",
+            "2.5",
+            "--retries",
+            "4",
+        ])
+        .unwrap();
+        assert!(opts.resume);
+        assert_eq!(opts.shard, Some(Shard { index: 1, count: 3 }));
+        assert_eq!(opts.trial_timeout, Some(2.5));
+        assert_eq!(opts.retries, Some(4));
+    }
+
+    #[test]
+    fn ledger_flags_need_a_store() {
+        assert!(parse(&["campaign", "--resume"]).is_err());
+        assert!(parse(&["campaign", "--shard", "0/2"]).is_err());
+        assert!(parse(&["campaign", "--shard", "5/2", "--store", "st"]).is_err());
+        assert!(parse(&["campaign", "--trial-timeout", "-1", "--store", "st"]).is_err());
     }
 
     #[test]

@@ -58,6 +58,8 @@ pub struct TraceReport {
     pub taint_born: u64,
     /// `hang_guard_trip` events.
     pub hang_guard_trips: u64,
+    /// `trial_retry` events (watchdog-tripped trials re-run).
+    pub trial_retries: u64,
 }
 
 fn get_u64(obj: &Value, key: &str) -> u64 {
@@ -121,6 +123,7 @@ impl TraceReport {
                 "injection_fired" => report.injections_fired += 1,
                 "taint_born" => report.taint_born += 1,
                 "hang_guard_trip" => report.hang_guard_trips += 1,
+                "trial_retry" => report.trial_retries += 1,
                 _ => {}
             }
         }
@@ -175,8 +178,8 @@ impl TraceReport {
             }
         }
         out.push_str(&format!(
-            "  injections fired: {}  taint born: {}  hang-guard trips: {}\n",
-            self.injections_fired, self.taint_born, self.hang_guard_trips
+            "  injections fired: {}  taint born: {}  hang-guard trips: {}  trial retries: {}\n",
+            self.injections_fired, self.taint_born, self.hang_guard_trips, self.trial_retries
         ));
         out
     }
@@ -238,6 +241,7 @@ impl TraceReport {
             ("injections_fired".into(), Value::U64(self.injections_fired)),
             ("taint_born".into(), Value::U64(self.taint_born)),
             ("hang_guard_trips".into(), Value::U64(self.hang_guard_trips)),
+            ("trial_retries".into(), Value::U64(self.trial_retries)),
         ])
     }
 }

@@ -11,6 +11,7 @@
 //! individual tests can be replayed.
 
 use crate::golden::{Flights, GoldenRun, GoldenStore};
+use crate::ledger::{RetryPolicy, Shard, TrialLedger};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +24,7 @@ use resilim_obs as obs;
 use resilim_simmpi::{PanicKind, World};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -104,6 +106,23 @@ impl CampaignSpec {
             self.op_mask
         )
     }
+
+    /// The durable-ledger identity of this deployment: everything that
+    /// determines a trial's outcome *except* the trial count, so a
+    /// shard, a resumed run, and a differently-sized campaign of the
+    /// same deployment all share ledger records (trial `i` is fully
+    /// determined by `(spec, seed, i)`, never by `tests`).
+    pub fn ledger_key(&self) -> String {
+        format!(
+            "{}|p={}|{:?}|seed={}|theta={}|mask={}",
+            self.spec.cache_key(),
+            self.procs,
+            self.errors,
+            self.seed,
+            self.taint_threshold,
+            self.op_mask
+        )
+    }
 }
 
 /// A campaign's results.
@@ -167,6 +186,16 @@ pub struct CampaignRunner {
     /// [`GoldenStore::get_masked`] for the pattern).
     flights: Flights<String, CampaignResult>,
     parallelism: Parallelism,
+    /// Durable per-trial ledger directory (`--store DIR/ledger`).
+    ledger_dir: Option<PathBuf>,
+    /// Skip trials already present in the ledger (`--resume`).
+    resume: bool,
+    /// Deterministic trial partition this runner executes (`--shard`).
+    shard: Option<Shard>,
+    /// Wall-clock watchdog per trial; `None` disables the watchdog.
+    trial_deadline: Option<Duration>,
+    /// Retry budget/backoff for watchdog-tripped trials.
+    retry: RetryPolicy,
 }
 
 impl Default for CampaignRunner {
@@ -183,6 +212,11 @@ impl CampaignRunner {
             cache: Mutex::new(HashMap::new()),
             flights: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Fixed(1),
+            ledger_dir: None,
+            resume: false,
+            shard: None,
+            trial_deadline: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -211,6 +245,50 @@ impl CampaignRunner {
         self
     }
 
+    /// Record every completed trial durably under `dir` (the CLI wires
+    /// `--store DIR` to `DIR/ledger`). See [`crate::ledger`].
+    pub fn with_ledger_dir(mut self, dir: impl Into<PathBuf>) -> CampaignRunner {
+        self.ledger_dir = Some(dir.into());
+        self
+    }
+
+    /// Reload already-ledgered trials instead of re-running them.
+    /// Results are bitwise identical to an uninterrupted run.
+    pub fn with_resume(mut self, resume: bool) -> CampaignRunner {
+        self.resume = resume;
+        self
+    }
+
+    /// Run only the trials `shard` owns (`trial % N == i`). Shard
+    /// results are *partial*: they cover the owned trials only and are
+    /// never published in the whole-campaign cache; merge the shards'
+    /// ledgers with [`CampaignRunner::merged_from_ledger`].
+    pub fn with_shard(mut self, shard: Shard) -> CampaignRunner {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The shard this runner executes, when one is configured.
+    pub fn shard(&self) -> Option<Shard> {
+        self.shard
+    }
+
+    /// Arm the per-trial wall-clock watchdog: a trial still running
+    /// after `deadline` has its fabric poisoned and is retried under
+    /// the runner's [`RetryPolicy`]. Pick a deadline generously above
+    /// the slowest legitimate trial — a trip on a healthy trial would
+    /// (after retries) record a `Hang` a fresh run would not.
+    pub fn with_trial_deadline(mut self, deadline: Duration) -> CampaignRunner {
+        self.trial_deadline = Some(deadline);
+        self
+    }
+
+    /// Replace the watchdog retry policy (budget + backoff).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> CampaignRunner {
+        self.retry = retry;
+        self
+    }
+
     /// The worker count a campaign at `procs` ranks would use.
     pub fn effective_parallelism(&self, procs: usize) -> usize {
         match self.parallelism {
@@ -231,6 +309,12 @@ impl CampaignRunner {
     /// same spec are deduplicated: one runs the campaign, the rest wait
     /// for its result (fig8/table2 fan-out shares serial sub-campaigns).
     pub fn run(&self, spec: &CampaignSpec) -> Arc<CampaignResult> {
+        if self.shard.is_some() {
+            // A shard's result covers only its owned trials; publishing
+            // it under the whole-campaign key would poison the cache.
+            note_campaign_lookup(false);
+            return Arc::new(self.run_uncached(spec));
+        }
         let key = spec.cache_key();
         if let Some(hit) = self.cache.lock().get(&key) {
             note_campaign_lookup(true);
@@ -277,41 +361,90 @@ impl CampaignRunner {
         let op_cap = golden.op_cap();
 
         let start = Instant::now();
+        // The trials this process executes: the shard's slice of the
+        // index space (everything without a shard), minus whatever the
+        // ledger already holds when resuming. Outcomes are keyed by
+        // trial index throughout, so any partition/skip combination
+        // reaggregates bitwise identically.
+        let owned: Vec<usize> = (0..spec.tests)
+            .filter(|&t| self.shard.is_none_or(|s| s.owns(t)))
+            .collect();
+        if self.shard.is_some() {
+            obs::count(
+                obs::Counter::ShardTrialsSkipped,
+                (spec.tests - owned.len()) as u64,
+            );
+        }
+        let ledger_key = spec.ledger_key();
+        let ledger = self
+            .ledger_dir
+            .as_ref()
+            .and_then(|dir| TrialLedger::open(dir, &ledger_key, spec.seed).ok());
+        let mut resumed: HashMap<usize, TestOutcome> = match (&self.ledger_dir, self.resume) {
+            (Some(dir), true) => TrialLedger::load(dir, &ledger_key, spec.seed),
+            _ => HashMap::new(),
+        };
+        resumed.retain(|&t, _| t < spec.tests);
+        let pending: Vec<usize> = owned
+            .iter()
+            .copied()
+            .filter(|t| !resumed.contains_key(t))
+            .collect();
+        obs::count(
+            obs::Counter::TrialsResumed,
+            (owned.len() - pending.len()) as u64,
+        );
+
         let workers = self
             .effective_parallelism(spec.procs)
-            .min(spec.tests.max(1));
+            .min(pending.len().max(1));
         // Worker-region timer: spans exactly the trial-execution region
         // (not golden profiling, not aggregation below), so
         // `WorkerBusyNanos / WorkerWallNanos` is a true utilization.
         let worker_region = Instant::now();
-        let outcomes: Vec<TestOutcome> = if workers <= 1 {
-            (0..spec.tests)
-                .map(|test| {
+        let executed: Vec<TestOutcome> = if workers <= 1 {
+            pending
+                .iter()
+                .map(|&test| {
                     let busy = obs::timer();
-                    let outcome = self.run_observed_test(spec, &golden, op_cap, test, campaign_id);
+                    let outcome = self.run_trial_durable(
+                        spec,
+                        &golden,
+                        op_cap,
+                        test,
+                        campaign_id,
+                        ledger.as_ref(),
+                    );
                     note_worker_busy(busy);
                     outcome
                 })
                 .collect()
         } else {
-            // Workers pull test indices from a shared counter; results are
-            // stored by index, so aggregation order (and therefore every
-            // statistic) matches the sequential run exactly.
+            // Workers pull pending positions from a shared counter;
+            // results are stored by position, so aggregation order (and
+            // therefore every statistic) matches the sequential run
+            // exactly.
             let next = std::sync::atomic::AtomicUsize::new(0);
             let slots: Vec<Mutex<Option<TestOutcome>>> =
-                (0..spec.tests).map(|_| Mutex::new(None)).collect();
+                (0..pending.len()).map(|_| Mutex::new(None)).collect();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
-                        let test = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if test >= spec.tests {
+                        let pos = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if pos >= pending.len() {
                             break;
                         }
                         let busy = obs::timer();
-                        let outcome =
-                            self.run_observed_test(spec, &golden, op_cap, test, campaign_id);
+                        let outcome = self.run_trial_durable(
+                            spec,
+                            &golden,
+                            op_cap,
+                            pending[pos],
+                            campaign_id,
+                            ledger.as_ref(),
+                        );
                         note_worker_busy(busy);
-                        *slots[test].lock() = Some(outcome);
+                        *slots[pos].lock() = Some(outcome);
                     });
                 }
             });
@@ -320,6 +453,20 @@ impl CampaignRunner {
                 .map(|slot| slot.into_inner().expect("every test ran"))
                 .collect()
         };
+        if let Some(ledger) = &ledger {
+            ledger.sync();
+        }
+        let ran: HashMap<usize, TestOutcome> = pending.iter().copied().zip(executed).collect();
+        let outcomes: Vec<TestOutcome> = owned
+            .iter()
+            .map(|t| {
+                resumed
+                    .get(t)
+                    .or_else(|| ran.get(t))
+                    .copied()
+                    .expect("every owned trial resumed or ran")
+            })
+            .collect();
         if obs::enabled() {
             obs::count(
                 obs::Counter::WorkerWallNanos,
@@ -350,18 +497,54 @@ impl CampaignRunner {
         }
     }
 
-    /// Run one test under the trial span: latency histogram, trial
-    /// counter, and the structured trial event.
-    fn run_observed_test(
+    /// Run one test durably: the trial span (latency histogram, trial
+    /// counter, structured trial event), the watchdog retry loop, and
+    /// the ledger append.
+    ///
+    /// Only *watchdog* trips are retried: a deterministic in-simulation
+    /// crash or hang is the trial's real outcome and would reproduce
+    /// identically, so it is recorded first try. A trial that keeps
+    /// tripping the deadline after the retry budget is recorded as a
+    /// [`FailureKind::Hang`] rather than wedging the campaign.
+    fn run_trial_durable(
         &self,
         spec: &CampaignSpec,
         golden: &GoldenRun,
         op_cap: u64,
         test: usize,
         campaign_id: u64,
+        ledger: Option<&TrialLedger>,
     ) -> TestOutcome {
         let t = obs::timer();
-        let outcome = self.run_test(spec, golden, op_cap, test);
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            let (outcome, tripped) = self.run_test(spec, golden, op_cap, test);
+            if !tripped {
+                break outcome;
+            }
+            obs::count(obs::Counter::TrialDeadlineTrips, 1);
+            if attempt < self.retry.max_retries {
+                attempt += 1;
+                obs::count(obs::Counter::TrialRetries, 1);
+                obs::emit(&obs::Event::TrialRetry {
+                    campaign: campaign_id,
+                    test,
+                    attempt,
+                });
+                std::thread::sleep(self.retry.backoff(attempt - 1));
+                continue;
+            }
+            // Retry budget exhausted: record the wedge as a hang so the
+            // campaign terminates with a classified outcome.
+            break TestOutcome::failure(
+                FailureKind::Hang,
+                outcome.contaminated_ranks,
+                outcome.injections_fired,
+            );
+        };
+        if let Some(ledger) = ledger {
+            ledger.append(test, &outcome, attempt + 1);
+        }
         obs::count(obs::Counter::TrialsRun, 1);
         if let Some(t) = t {
             let latency_us = obs::as_micros(t.elapsed());
@@ -383,14 +566,17 @@ impl CampaignRunner {
         outcome
     }
 
-    /// Plan and execute a single fault-injection test.
+    /// Plan and execute a single fault-injection test. The second return
+    /// is whether the wall-clock watchdog tripped *and* the trial failed
+    /// because of it — a trial that completes despite a late trip is
+    /// classified normally.
     fn run_test(
         &self,
         spec: &CampaignSpec,
         golden: &GoldenRun,
         op_cap: u64,
         test: usize,
-    ) -> TestOutcome {
+    ) -> (TestOutcome, bool) {
         let mut rng = SmallRng::seed_from_u64(
             spec.seed ^ resilim_apps::util::splitmix64(test as u64 + 0x1000),
         );
@@ -399,7 +585,7 @@ impl CampaignRunner {
         let world = World::new(spec.procs);
         let app = spec.spec.clone();
         let plans_ref = &plans;
-        let results = world.run_with_ctx(
+        let (results, tripped) = world.run_with_ctx_deadline(
             move |rank| {
                 let plan = plans_ref
                     .get(&rank)
@@ -413,6 +599,7 @@ impl CampaignRunner {
                 )
             },
             move |comm| app.run_rank(comm),
+            self.trial_deadline,
         );
 
         // Harvest: contamination, fired count, failures, rank-0 output.
@@ -448,20 +635,69 @@ impl CampaignRunner {
                 }
             }
         }
+        // A watchdog trip only counts when it actually killed the trial:
+        // a run that completed before the poison landed has a legitimate
+        // outcome and must not be reclassified (or retried).
+        let tripped = tripped && failure.is_some();
         // `contaminated` may legitimately be 0: a planned fault whose
         // target op was never reached fires nothing and taints nothing.
         // Such tests are aggregated into `uncontaminated`, not `by_contam`.
         if let Some(kind) = failure {
-            return TestOutcome::failure(kind, contaminated, fired);
+            return (TestOutcome::failure(kind, contaminated, fired), tripped);
         }
         let output = output.expect("rank 0 finished without failure");
-        if output.identical(&golden.output) {
+        let outcome = if output.identical(&golden.output) {
             TestOutcome::success(true, contaminated, fired)
         } else if output.passes_checker(&golden.output, spec.spec.app().epsilon()) {
             TestOutcome::success(false, contaminated, fired)
         } else {
             TestOutcome::sdc(contaminated, fired)
+        };
+        (outcome, false)
+    }
+
+    /// Assemble a whole-campaign [`CampaignResult`] purely from the
+    /// ledger — the `resilim merge` path after N shards each ran their
+    /// partition into a shared (or artifact-collected) ledger directory.
+    ///
+    /// Fails if any trial index in `0..spec.tests` is missing; the
+    /// aggregation over the recorded outcomes is the same code the live
+    /// path uses, so a merged result is bitwise identical to a
+    /// single-process run of the same deployment.
+    pub fn merged_from_ledger(&self, spec: &CampaignSpec) -> Result<CampaignResult, String> {
+        let dir = self
+            .ledger_dir
+            .as_ref()
+            .ok_or("merge needs a ledger directory (--store DIR)")?;
+        let metrics_before = obs::MetricsSnapshot::capture();
+        let start = Instant::now();
+        let mut records = TrialLedger::load(dir, &spec.ledger_key(), spec.seed);
+        records.retain(|&t, _| t < spec.tests);
+        let missing: Vec<usize> = (0..spec.tests)
+            .filter(|t| !records.contains_key(t))
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "ledger incomplete: {}/{} trials missing (e.g. trial {})",
+                missing.len(),
+                spec.tests,
+                missing[0]
+            ));
         }
+        let golden = self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask);
+        let outcomes: Vec<TestOutcome> = (0..spec.tests).map(|t| records[&t]).collect();
+        let (fi, prop, by_contam, uncontaminated) = aggregate(spec.procs, &outcomes);
+        Ok(CampaignResult {
+            procs: spec.procs,
+            fi,
+            prop,
+            by_contam,
+            uncontaminated,
+            outcomes,
+            wall: start.elapsed(),
+            golden,
+            metrics: obs::MetricsSnapshot::capture().delta(&metrics_before),
+        })
     }
 }
 

@@ -2,7 +2,7 @@
 //! parallel executions: success rate of a serial run with `x` errors
 //! injected vs a parallel (8-rank) run with `x` ranks contaminated.
 
-use crate::campaign::{CampaignRunner, CampaignSpec, ErrorSpec};
+use crate::campaign::{CampaignRunner, ErrorSpec};
 use crate::experiments::ExperimentConfig;
 use crate::report::Table;
 use resilim_apps::App;
@@ -37,27 +37,12 @@ pub fn fig3(runner: &CampaignRunner, cfg: &ExperimentConfig, apps: &[App], procs
         // Serial multi-error campaigns, x = 1..=procs.
         let mut serial = Vec::with_capacity(procs);
         for x in 1..=procs {
-            let result = runner.run(&CampaignSpec {
-                spec: app.default_spec(),
-                procs: 1,
-                errors: ErrorSpec::SerialErrors(x),
-                tests: cfg.tests,
-                seed: cfg.seed,
-                taint_threshold: cfg.taint_threshold,
-                op_mask: Default::default(),
-            });
+            let result =
+                runner.run(&cfg.campaign(app.default_spec(), 1, ErrorSpec::SerialErrors(x)));
             serial.push(result.fi.success_rate());
         }
         // One parallel campaign, conditioned on contamination count.
-        let par = runner.run(&CampaignSpec {
-            spec: app.default_spec(),
-            procs,
-            errors: ErrorSpec::OneParallel,
-            tests: cfg.tests,
-            seed: cfg.seed,
-            taint_threshold: cfg.taint_threshold,
-            op_mask: Default::default(),
-        });
+        let par = runner.run(&cfg.campaign(app.default_spec(), procs, ErrorSpec::OneParallel));
         let parallel = par
             .by_contam
             .iter()

@@ -2,7 +2,7 @@
 //! the prediction across all benchmarks, and fault-injection execution
 //! time, as the small scale grows from 4 to 32 ranks.
 
-use crate::campaign::{CampaignRunner, CampaignSpec, ErrorSpec};
+use crate::campaign::{CampaignRunner, ErrorSpec};
 use crate::experiments::{prediction, ExperimentConfig, LARGE_SCALE};
 use crate::report::{num, Table};
 use resilim_apps::App;
@@ -59,24 +59,9 @@ pub fn fig8(runner: &CampaignRunner, cfg: &ExperimentConfig, scales: &[usize]) -
         // the serial 1-error campaign wall, averaged over apps.
         let mut ratios = Vec::with_capacity(apps.len());
         for &app in &apps {
-            let small = runner.run(&CampaignSpec {
-                spec: app.default_spec(),
-                procs: s,
-                errors: ErrorSpec::OneParallel,
-                tests: cfg.tests,
-                seed: cfg.seed,
-                taint_threshold: cfg.taint_threshold,
-                op_mask: Default::default(),
-            });
-            let serial = runner.run(&CampaignSpec {
-                spec: app.default_spec(),
-                procs: 1,
-                errors: ErrorSpec::SerialErrors(1),
-                tests: cfg.tests,
-                seed: cfg.seed,
-                taint_threshold: cfg.taint_threshold,
-                op_mask: Default::default(),
-            });
+            let small = runner.run(&cfg.campaign(app.default_spec(), s, ErrorSpec::OneParallel));
+            let serial =
+                runner.run(&cfg.campaign(app.default_spec(), 1, ErrorSpec::SerialErrors(1)));
             let denom = serial.wall.as_secs_f64().max(1e-9);
             ratios.push(small.wall.as_secs_f64() / denom);
         }

@@ -52,6 +52,30 @@ pub struct ExperimentConfig {
     pub taint_threshold: f64,
 }
 
+impl ExperimentConfig {
+    /// The campaign this config implies for one deployment. Experiment
+    /// pipelines share `tests`/`seed`/`taint_threshold` across every
+    /// campaign they run; only the workload, scale, and fault pattern
+    /// vary per call site — keeping the spec construction here means a
+    /// new knob (like the op mask) propagates to all of them at once.
+    pub fn campaign(
+        &self,
+        spec: resilim_apps::ProblemSpec,
+        procs: usize,
+        errors: crate::campaign::ErrorSpec,
+    ) -> crate::campaign::CampaignSpec {
+        crate::campaign::CampaignSpec {
+            spec,
+            procs,
+            errors,
+            tests: self.tests,
+            seed: self.seed,
+            taint_threshold: self.taint_threshold,
+            op_mask: Default::default(),
+        }
+    }
+}
+
 impl Default for ExperimentConfig {
     fn default() -> Self {
         ExperimentConfig {

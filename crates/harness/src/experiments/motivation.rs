@@ -4,7 +4,7 @@
 //! injection time grows 58 % — here we measure the tracked-op and
 //! campaign-wall-time growth of every app.
 
-use crate::campaign::{CampaignRunner, CampaignSpec, ErrorSpec};
+use crate::campaign::{CampaignRunner, ErrorSpec};
 use crate::experiments::ExperimentConfig;
 use crate::report::Table;
 use resilim_apps::App;
@@ -47,24 +47,9 @@ pub fn motivation(runner: &CampaignRunner, cfg: &ExperimentConfig, procs: usize)
         let serial_ops: u64 = serial_golden.profiles.iter().map(|p| p.total()).sum();
         let parallel_ops: u64 = par_golden.profiles.iter().map(|p| p.total()).sum();
 
-        let serial_fi = runner.run(&CampaignSpec {
-            spec: app.default_spec(),
-            procs: 1,
-            errors: ErrorSpec::SerialErrors(1),
-            tests: cfg.tests,
-            seed: cfg.seed,
-            taint_threshold: cfg.taint_threshold,
-            op_mask: Default::default(),
-        });
-        let par_fi = runner.run(&CampaignSpec {
-            spec: app.default_spec(),
-            procs,
-            errors: ErrorSpec::OneParallel,
-            tests: cfg.tests,
-            seed: cfg.seed,
-            taint_threshold: cfg.taint_threshold,
-            op_mask: Default::default(),
-        });
+        let serial_fi =
+            runner.run(&cfg.campaign(app.default_spec(), 1, ErrorSpec::SerialErrors(1)));
+        let par_fi = runner.run(&cfg.campaign(app.default_spec(), procs, ErrorSpec::OneParallel));
         let serial_fi_secs = serial_fi.wall.as_secs_f64();
         let parallel_fi_secs = par_fi.wall.as_secs_f64();
         rows.push(MotivationRow {

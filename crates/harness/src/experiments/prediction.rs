@@ -3,7 +3,7 @@
 //! small-scale measurements, and compare against the actually measured
 //! large-scale result.
 
-use crate::campaign::{CampaignRunner, CampaignSpec, ErrorSpec};
+use crate::campaign::{CampaignRunner, ErrorSpec};
 use crate::experiments::ExperimentConfig;
 use crate::report::{pct, Table};
 use resilim_apps::App;
@@ -77,15 +77,7 @@ pub fn prediction(
         let pred = Predictor::new(inputs).predict();
 
         // Validation: the actually measured large-scale campaign.
-        let measured = runner.run(&CampaignSpec {
-            spec: app.default_spec(),
-            procs: p,
-            errors: ErrorSpec::OneParallel,
-            tests: cfg.tests,
-            seed: cfg.seed,
-            taint_threshold: cfg.taint_threshold,
-            op_mask: Default::default(),
-        });
+        let measured = runner.run(&cfg.campaign(app.default_spec(), p, ErrorSpec::OneParallel));
 
         let m = measured.fi.rates();
         rows.push(PredictionRow {
@@ -137,17 +129,8 @@ pub fn build_inputs_spec(
     s: usize,
     strategy: SamplePoints,
 ) -> ModelInputs {
-    let campaign = |procs: usize, errors: ErrorSpec| {
-        runner.run(&CampaignSpec {
-            spec: problem.clone(),
-            procs,
-            errors,
-            tests: cfg.tests,
-            seed: cfg.seed,
-            taint_threshold: cfg.taint_threshold,
-            op_mask: Default::default(),
-        })
-    };
+    let campaign =
+        |procs: usize, errors: ErrorSpec| runner.run(&cfg.campaign(problem.clone(), procs, errors));
     // Serial multi-error campaigns at the S sample cases, plus FI_ser_x
     // for x = 1..=s so the α divergence check can compare against the
     // small-scale conditional results (paper §4.2).

@@ -2,7 +2,7 @@
 //! scale, plus the grouped large-scale histogram that Observation 3
 //! compares against the small one.
 
-use crate::campaign::{CampaignRunner, CampaignSpec, ErrorSpec};
+use crate::campaign::{CampaignRunner, ErrorSpec};
 use crate::experiments::ExperimentConfig;
 use crate::report::{pct, Table};
 use resilim_apps::App;
@@ -33,17 +33,8 @@ pub fn fig_propagation(
     small_scale: usize,
     large_scale: usize,
 ) -> PropagationFigure {
-    let campaign_at = |procs: usize| {
-        runner.run(&CampaignSpec {
-            spec: app.default_spec(),
-            procs,
-            errors: ErrorSpec::OneParallel,
-            tests: cfg.tests,
-            seed: cfg.seed,
-            taint_threshold: cfg.taint_threshold,
-            op_mask: Default::default(),
-        })
-    };
+    let campaign_at =
+        |procs: usize| runner.run(&cfg.campaign(app.default_spec(), procs, ErrorSpec::OneParallel));
     let small = campaign_at(small_scale).prop.clone();
     let large = campaign_at(large_scale).prop.clone();
     let grouped = large.group(small_scale);

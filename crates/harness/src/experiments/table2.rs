@@ -1,7 +1,7 @@
 //! Table 2 — cosine similarity of error propagation between small and
 //! large scales ("4V64", "8V64").
 
-use crate::campaign::{CampaignRunner, CampaignSpec, ErrorSpec};
+use crate::campaign::{CampaignRunner, ErrorSpec};
 use crate::experiments::{ExperimentConfig, LARGE_SCALE};
 use crate::report::{num, Table};
 use resilim_apps::App;
@@ -37,15 +37,7 @@ pub struct Table2 {
 pub fn table2(runner: &CampaignRunner, cfg: &ExperimentConfig) -> Table2 {
     let rows_for = |app: App| -> Vec<Table2Row> {
         let campaign_at = |procs: usize| {
-            runner.run(&CampaignSpec {
-                spec: app.default_spec(),
-                procs,
-                errors: ErrorSpec::OneParallel,
-                tests: cfg.tests,
-                seed: cfg.seed,
-                taint_threshold: cfg.taint_threshold,
-                op_mask: Default::default(),
-            })
+            runner.run(&cfg.campaign(app.default_spec(), procs, ErrorSpec::OneParallel))
         };
         let large = campaign_at(LARGE_SCALE);
         let mut rows = Vec::with_capacity(2);
@@ -109,24 +101,8 @@ mod tests {
         };
         // Compare 2 vs 8 for a single cheap app.
         let app = App::Lu;
-        let small = runner.run(&CampaignSpec {
-            spec: app.default_spec(),
-            procs: 2,
-            errors: ErrorSpec::OneParallel,
-            tests: cfg.tests,
-            seed: cfg.seed,
-            taint_threshold: cfg.taint_threshold,
-            op_mask: Default::default(),
-        });
-        let large = runner.run(&CampaignSpec {
-            spec: app.default_spec(),
-            procs: 8,
-            errors: ErrorSpec::OneParallel,
-            tests: cfg.tests,
-            seed: cfg.seed,
-            taint_threshold: cfg.taint_threshold,
-            op_mask: Default::default(),
-        });
+        let small = runner.run(&cfg.campaign(app.default_spec(), 2, ErrorSpec::OneParallel));
+        let large = runner.run(&cfg.campaign(app.default_spec(), 8, ErrorSpec::OneParallel));
         let sim = cosine_similarity(&small.prop.r_vec(), &large.prop.group(2));
         assert!((0.0..=1.0).contains(&sim));
         // LU's wavefront propagation is strongly bimodal at both scales,

@@ -129,21 +129,27 @@ type Key = (String, usize, OpMask);
 /// callers block on the slot and share the leader's `Arc`.
 pub(crate) type Flights<K, V> = Mutex<HashMap<K, Arc<Mutex<Option<Arc<V>>>>>>;
 
-/// FNV-1a over the composite key: a *deterministic* file name (std's
-/// `DefaultHasher` is randomly keyed per process, which would defeat a
-/// cross-process cache).
-fn key_file_hash(key: &Key) -> u64 {
+/// FNV-1a over a sequence of byte groups: a *deterministic* file-name
+/// hash (std's `DefaultHasher` is randomly keyed per process, which
+/// would defeat a cross-process cache). Shared by the golden cache and
+/// the trial ledger.
+pub(crate) fn fnv64(parts: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
+    for bytes in parts {
+        for &b in *bytes {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-    };
-    eat(key.0.as_bytes());
-    eat(&(key.1 as u64).to_le_bytes());
-    eat(&[key.2.bits()]);
+    }
     h
+}
+
+fn key_file_hash(key: &Key) -> u64 {
+    fnv64(&[
+        key.0.as_bytes(),
+        &(key.1 as u64).to_le_bytes(),
+        &[key.2.bits()],
+    ])
 }
 
 /// File name of a deployment's golden-cache entry inside the cache

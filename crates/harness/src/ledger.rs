@@ -1,0 +1,399 @@
+//! Durable per-trial campaign ledger: crash-tolerant resume, shardable
+//! execution, and bounded retry policy.
+//!
+//! A campaign of `n` trials used to be all-or-nothing: a crash, OOM
+//! kill, or CI timeout at trial `n-1` threw every result away. The
+//! ledger makes each completed trial durable the moment it finishes: an
+//! append-only JSONL file under `--store DIR/ledger/`, one record per
+//! trial keyed by `(campaign ledger key, seed, trial index)`, flushed
+//! per record and fsynced in batches.
+//!
+//! Three features ride on it:
+//!
+//! * **Resume** (`--resume`): already-ledgered trials are skipped and
+//!   their recorded outcomes re-aggregated — bitwise identical to an
+//!   uninterrupted run, because a trial is fully determined by
+//!   `(spec, seed, trial index)` and [`TestOutcome`] is integral data
+//!   (no floats to re-round).
+//! * **Sharding** (`--shard i/N`, [`Shard`]): a deterministic partition
+//!   of the trial index space (`trial % N == i`), so `N` independent
+//!   processes or CI jobs each run a disjoint slice. Their ledgers —
+//!   merged in one directory — reassemble into the complete campaign
+//!   via `resilim merge`.
+//! * **Retry** ([`RetryPolicy`]): a wedged trial (watchdog deadline
+//!   trip) is retried with exponential backoff; after the budget is
+//!   exhausted it is recorded as a `Hang` outcome instead of wedging
+//!   the campaign.
+//!
+//! Corruption tolerance mirrors the golden cache: every line is parsed
+//! independently, and a truncated tail, interleaved garbage, a
+//! stale-version record, or a record for a different campaign key all
+//! degrade to "that trial was never ledgered" — resume re-runs exactly
+//! the affected trials and the merged result still equals a fresh run.
+
+use parking_lot::Mutex;
+use resilim_inject::TestOutcome;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Version stamp of the on-disk trial record. Bump whenever the record
+/// layout *or trial semantics* change; stale-version records are
+/// skipped on load (the affected trials re-run), never migrated.
+pub const LEDGER_VERSION: u32 = 1;
+
+/// Records appended between fsyncs. Each append is flushed to the OS
+/// immediately (survives a process crash); the batch fsync bounds what
+/// a power loss can cost.
+const SYNC_BATCH: usize = 64;
+
+/// One durable trial record (one JSONL line).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TrialRecord {
+    /// Record-format version ([`LEDGER_VERSION`]).
+    v: u32,
+    /// The campaign's ledger key (deployment identity minus the trial
+    /// count, so shards and differently-sized runs share records).
+    key: String,
+    /// Campaign seed (also folded into `key`; kept explicit so records
+    /// are self-describing to external consumers).
+    seed: u64,
+    /// Trial index within the campaign.
+    trial: usize,
+    /// The trial's outcome.
+    outcome: TestOutcome,
+    /// Watchdog retries this trial needed (0 = first attempt stuck).
+    attempts: u32,
+}
+
+/// A deterministic `1/N` partition of the trial index space.
+///
+/// Shard `i/N` owns exactly the trials with `trial % N == i`: every
+/// trial belongs to exactly one shard, the partition is independent of
+/// execution order and machine, and N round-robin slices have near-equal
+/// size, so CI matrix jobs finish together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parse the CLI spelling `i/N`.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("--shard wants i/N, got '{s}'"))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|e| format!("--shard index: {e}"))?;
+        let count: usize = n
+            .trim()
+            .parse()
+            .map_err(|e| format!("--shard count: {e}"))?;
+        if count == 0 {
+            return Err("--shard count must be >= 1".into());
+        }
+        if index >= count {
+            return Err(format!("--shard index {index} out of range for /{count}"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard runs `trial`.
+    pub fn owns(&self, trial: usize) -> bool {
+        trial % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Bounded retry with exponential backoff for wedged (watchdog-tripped)
+/// trials.
+///
+/// Deterministic in-simulation crashes and hangs are *final* outcomes —
+/// re-running them would reproduce them bitwise — so the policy applies
+/// only to trials the wall-clock watchdog killed, which signal external
+/// interference (machine load, a wedged worker) rather than the fault
+/// under study. After `max_retries` the trial is recorded as a `Hang`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = record the trip directly).
+    pub max_retries: u32,
+    /// Backoff before retry 1; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Same backoff schedule, different retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> RetryPolicy {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Backoff before retry `attempt` (0-based): `base * 2^attempt`,
+    /// capped at [`RetryPolicy::max_backoff`].
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// Append-only, crash-tolerant per-trial ledger for one campaign.
+///
+/// Each process appends to its own file
+/// (`trials-<fnv64(key)>-<pid>.jsonl`) so concurrent shards sharing a
+/// store directory never interleave partial lines; loading scans every
+/// `*.jsonl` file in the directory and filters by `(version, key,
+/// seed)`, which is also exactly how shard ledgers merge.
+pub struct TrialLedger {
+    key: String,
+    seed: u64,
+    writer: Mutex<Writer>,
+}
+
+struct Writer {
+    file: BufWriter<File>,
+    /// Appends since the last fsync.
+    unsynced: usize,
+}
+
+impl TrialLedger {
+    /// Open (creating the directory and this process's append file if
+    /// needed) the ledger for one campaign key.
+    pub fn open(dir: impl AsRef<Path>, key: &str, seed: u64) -> std::io::Result<TrialLedger> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(Self::file_name(key)))?;
+        Ok(TrialLedger {
+            key: key.to_string(),
+            seed,
+            writer: Mutex::new(Writer {
+                file: BufWriter::new(file),
+                unsynced: 0,
+            }),
+        })
+    }
+
+    /// This process's append-file name for `key`.
+    pub fn file_name(key: &str) -> String {
+        format!(
+            "trials-{:016x}-{}.jsonl",
+            crate::golden::fnv64(&[key.as_bytes()]),
+            std::process::id()
+        )
+    }
+
+    /// Append one completed trial. Best-effort durability: the line is
+    /// flushed to the OS immediately (a crashed *process* loses
+    /// nothing) and fsynced every [`SYNC_BATCH`] appends (bounding what
+    /// a power loss can cost); IO errors are swallowed — a full disk
+    /// must not kill the campaign, it only degrades resumability.
+    pub fn append(&self, trial: usize, outcome: &TestOutcome, attempts: u32) {
+        let rec = TrialRecord {
+            v: LEDGER_VERSION,
+            key: self.key.clone(),
+            seed: self.seed,
+            trial,
+            outcome: *outcome,
+            attempts,
+        };
+        let Ok(mut line) = serde_json::to_string(&rec) else {
+            return;
+        };
+        line.push('\n');
+        let mut w = self.writer.lock();
+        if w.file.write_all(line.as_bytes()).is_err() {
+            return;
+        }
+        let _ = w.file.flush();
+        w.unsynced += 1;
+        if w.unsynced >= SYNC_BATCH {
+            let _ = w.file.get_ref().sync_data();
+            w.unsynced = 0;
+        }
+    }
+
+    /// Flush and fsync any pending batch (also done on drop).
+    pub fn sync(&self) {
+        let mut w = self.writer.lock();
+        let _ = w.file.flush();
+        if w.unsynced > 0 {
+            let _ = w.file.get_ref().sync_data();
+            w.unsynced = 0;
+        }
+    }
+
+    /// Load every valid record for `(key, seed)` from all ledger files
+    /// under `dir`: trial index → outcome. Tolerates a missing
+    /// directory, unreadable files, truncated/corrupt lines, stale
+    /// versions, and foreign-campaign records — each degrades to "not
+    /// ledgered". Files are scanned in name order and later records win
+    /// (re-runs of a trial are deterministic, so this is cosmetic).
+    pub fn load(dir: impl AsRef<Path>, key: &str, seed: u64) -> HashMap<usize, TestOutcome> {
+        let mut out = HashMap::new();
+        let Ok(entries) = std::fs::read_dir(dir.as_ref()) else {
+            return out;
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Ok(raw) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            for line in raw.lines() {
+                let Ok(rec) = serde_json::from_str::<TrialRecord>(line) else {
+                    continue; // truncated tail, garbage, or foreign format
+                };
+                if rec.v != LEDGER_VERSION || rec.key != key || rec.seed != seed {
+                    continue; // stale version or different campaign
+                }
+                out.insert(rec.trial, rec.outcome);
+            }
+        }
+        out
+    }
+}
+
+impl Drop for TrialLedger {
+    fn drop(&mut self) {
+        self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilim_inject::FailureKind;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("resilim-ledger-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn appends_roundtrip_and_filter_by_key() {
+        let dir = temp_dir("roundtrip");
+        let ledger = TrialLedger::open(&dir, "k1", 7).unwrap();
+        ledger.append(0, &TestOutcome::success(true, 1, 1), 0);
+        ledger.append(2, &TestOutcome::sdc(3, 1), 1);
+        ledger.sync();
+        let other = TrialLedger::open(&dir, "k2", 7).unwrap();
+        other.append(0, &TestOutcome::failure(FailureKind::Crash, 0, 0), 0);
+        other.sync();
+
+        let k1 = TrialLedger::load(&dir, "k1", 7);
+        assert_eq!(k1.len(), 2);
+        assert_eq!(k1[&0], TestOutcome::success(true, 1, 1));
+        assert_eq!(k1[&2], TestOutcome::sdc(3, 1));
+        // Different key and different seed see none of k1's records.
+        assert_eq!(TrialLedger::load(&dir, "k2", 7).len(), 1);
+        assert!(TrialLedger::load(&dir, "k1", 8).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_and_stale_versions_are_skipped() {
+        let dir = temp_dir("corrupt");
+        let ledger = TrialLedger::open(&dir, "k", 1).unwrap();
+        ledger.append(0, &TestOutcome::success(true, 1, 1), 0);
+        ledger.append(1, &TestOutcome::sdc(2, 1), 0);
+        drop(ledger);
+        // Interleave garbage, a stale-version record, and a truncated
+        // final line into a second ledger file.
+        std::fs::write(
+            dir.join("trials-zzz.jsonl"),
+            concat!(
+                "not json at all\n",
+                "{\"v\":999,\"key\":\"k\",\"seed\":1,\"trial\":5,\"outcome\":",
+                "{\"kind\":\"Sdc\",\"failure\":null,\"masked\":false,",
+                "\"contaminated_ranks\":1,\"injections_fired\":1},\"attempts\":0}\n",
+                "{\"v\":1,\"key\":\"k\",\"seed\":1,\"trial\":3,\"outc"
+            ),
+        )
+        .unwrap();
+        let map = TrialLedger::load(&dir, "k", 1);
+        assert_eq!(map.len(), 2, "{map:?}");
+        assert!(
+            !map.contains_key(&5),
+            "stale-version record must be ignored"
+        );
+        assert!(!map.contains_key(&3), "truncated record must be ignored");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_loads_empty() {
+        let dir = temp_dir("missing");
+        assert!(TrialLedger::load(&dir, "k", 0).is_empty());
+    }
+
+    #[test]
+    fn shard_partition_is_total_and_disjoint() {
+        for count in 1..=5usize {
+            for trial in 0..40usize {
+                let owners: Vec<usize> = (0..count)
+                    .filter(|&i| Shard { index: i, count }.owns(trial))
+                    .collect();
+                assert_eq!(owners.len(), 1, "trial {trial} of /{count}: {owners:?}");
+                assert_eq!(owners[0], trial % count);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_parses_and_rejects() {
+        assert_eq!(Shard::parse("0/3").unwrap(), Shard { index: 0, count: 3 });
+        assert_eq!(Shard::parse("2/3").unwrap().to_string(), "2/3");
+        assert!(Shard::parse("3/3").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("1").is_err());
+        assert!(Shard::parse("a/b").is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(300),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(50));
+        assert_eq!(p.backoff(1), Duration::from_millis(100));
+        assert_eq!(p.backoff(2), Duration::from_millis(200));
+        assert_eq!(p.backoff(3), Duration::from_millis(300), "capped");
+        assert_eq!(p.backoff(63), Duration::from_millis(300), "no overflow");
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`experiments`] — one entry point per paper artifact (Table 1/2,
 //!   Figures 1–3 and 5–8) returning typed, serializable results that the
 //!   CLI and benches render.
+//! * [`ledger`] — durable per-trial ledger (append-only JSONL): crash
+//!   recovery (`--resume`), deterministic sharding (`--shard i/N` +
+//!   `resilim merge`), and the watchdog retry policy.
 //! * [`report`] — plain-text table rendering.
 //! * [`store`] — JSON persistence of campaign summaries ("measure once,
 //!   model later").
@@ -24,10 +27,12 @@
 pub mod campaign;
 pub mod experiments;
 pub mod golden;
+pub mod ledger;
 pub mod plot;
 pub mod report;
 pub mod store;
 
 pub use campaign::{CampaignResult, CampaignRunner, CampaignSpec, ErrorSpec};
 pub use golden::{golden_cache_file_name, GoldenRun, GoldenStore, GOLDEN_CACHE_VERSION};
+pub use ledger::{RetryPolicy, Shard, TrialLedger, LEDGER_VERSION};
 pub use store::{CampaignSummary, ResultStore};

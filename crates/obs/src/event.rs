@@ -67,6 +67,15 @@ pub enum Event {
         /// Whether the lookup hit.
         hit: bool,
     },
+    /// A watchdog-tripped trial is being retried.
+    TrialRetry {
+        /// Owning campaign.
+        campaign: u64,
+        /// Trial index within the campaign.
+        test: usize,
+        /// Retry number (1 = first retry).
+        attempt: u32,
+    },
     /// A campaign finished.
     CampaignEnd {
         /// Owning campaign.
@@ -88,6 +97,7 @@ impl Event {
             Event::TaintBorn { .. } => "taint_born",
             Event::HangGuardTrip { .. } => "hang_guard_trip",
             Event::CacheLookup { .. } => "cache_lookup",
+            Event::TrialRetry { .. } => "trial_retry",
             Event::CampaignEnd { .. } => "campaign_end",
         }
     }
@@ -143,6 +153,15 @@ impl Event {
             Event::CacheLookup { cache, hit } => {
                 line.str("cache", cache);
                 line.bool("hit", *hit);
+            }
+            Event::TrialRetry {
+                campaign,
+                test,
+                attempt,
+            } => {
+                line.num("campaign", *campaign);
+                line.num("test", *test as u64);
+                line.num("attempt", *attempt as u64);
             }
             Event::CampaignEnd {
                 campaign,

@@ -45,11 +45,20 @@ pub enum Counter {
     /// Nanoseconds of wall-clock × worker-count while a parallel
     /// campaign section was open (busy/wall = utilization).
     WorkerWallNanos,
+    /// Trials skipped because their ledgered outcome was reloaded
+    /// (`--resume`).
+    TrialsResumed,
+    /// Watchdog-tripped trials that were retried.
+    TrialRetries,
+    /// Trial-watchdog deadline trips (wall clock exceeded).
+    TrialDeadlineTrips,
+    /// Trials excluded by the shard filter (`--shard i/N`).
+    ShardTrialsSkipped,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 20] = [
         Counter::InjectionsFired,
         Counter::TaintBorn,
         Counter::OpsCommon,
@@ -66,6 +75,10 @@ impl Counter {
         Counter::TrialsRun,
         Counter::WorkerBusyNanos,
         Counter::WorkerWallNanos,
+        Counter::TrialsResumed,
+        Counter::TrialRetries,
+        Counter::TrialDeadlineTrips,
+        Counter::ShardTrialsSkipped,
     ];
 
     /// Stable snake_case name (used in reports and traces).
@@ -87,6 +100,10 @@ impl Counter {
             Counter::TrialsRun => "trials_run",
             Counter::WorkerBusyNanos => "worker_busy_nanos",
             Counter::WorkerWallNanos => "worker_wall_nanos",
+            Counter::TrialsResumed => "trials_resumed",
+            Counter::TrialRetries => "trial_retries",
+            Counter::TrialDeadlineTrips => "trial_deadline_trips",
+            Counter::ShardTrialsSkipped => "shard_trials_skipped",
         }
     }
 }

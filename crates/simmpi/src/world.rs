@@ -10,12 +10,13 @@ use crate::comm::Comm;
 use crate::error::RankPanic;
 use crate::fabric::Fabric;
 use crate::pool::WorldPool;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use resilim_inject::{ctx, CtxReport, RankCtx};
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Once;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`World`].
 #[derive(Debug, Clone)]
@@ -116,9 +117,56 @@ impl World {
         self.run_pooled(WorldPool::global(), mk_ctx, body)
     }
 
+    /// [`World::run_with_ctx`] with an optional wall-clock deadline: the
+    /// trial-watchdog hook campaign runners use to survive wedged
+    /// trials. Returns the rank outcomes plus whether the deadline
+    /// tripped. See [`World::run_pooled_deadline`].
+    pub fn run_with_ctx_deadline<T, F, M>(
+        &self,
+        mk_ctx: M,
+        body: F,
+        deadline: Option<Duration>,
+    ) -> (Vec<RankOutcome<T>>, bool)
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Send + Sync,
+        M: Fn(usize) -> Option<RankCtx> + Send + Sync,
+    {
+        self.run_pooled_deadline(WorldPool::global(), mk_ctx, body, deadline)
+    }
+
     /// [`World::run_with_ctx`] on an explicit pool (tests use private
     /// pools to assert thread reuse).
     pub fn run_pooled<T, F, M>(&self, pool: &WorldPool, mk_ctx: M, body: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Send + Sync,
+        M: Fn(usize) -> Option<RankCtx> + Send + Sync,
+    {
+        self.run_pooled_deadline(pool, mk_ctx, body, None).0
+    }
+
+    /// [`World::run_pooled`] plus an optional wall-clock deadline.
+    ///
+    /// With `deadline: Some(d)` a watchdog waits alongside the rank
+    /// jobs; if they have not all finished after `d` it poisons the
+    /// fabric (MPI-abort semantics), which wakes every rank blocked in a
+    /// receive or collective, and the run winds down through the normal
+    /// panic-classification path. Ranks wedged in pure computation are
+    /// reaped by the injection hang guard's op budget instead — between
+    /// the two, every rank terminates and the pool's workers come back.
+    ///
+    /// Returns `(outcomes, tripped)`; `tripped` is true only when the
+    /// watchdog itself poisoned the fabric (never for an in-simulation
+    /// crash), so callers can distinguish "the trial misbehaved" from
+    /// "the trial ran out of wall clock" and retry the latter.
+    pub fn run_pooled_deadline<T, F, M>(
+        &self,
+        pool: &WorldPool,
+        mk_ctx: M,
+        body: F,
+        deadline: Option<Duration>,
+    ) -> (Vec<RankOutcome<T>>, bool)
     where
         T: Send,
         F: Fn(&Comm) -> T + Send + Sync,
@@ -138,12 +186,46 @@ impl World {
                 *slot.lock() = Some(run_rank(rank, fabric, mk_ctx, body));
             }));
         }
-        pool.scope_run(jobs);
 
-        slots
+        let tripped = AtomicBool::new(false);
+        match deadline {
+            None => pool.scope_run(jobs),
+            Some(d) => {
+                // The watchdog borrows the fabric, so it must be a scoped
+                // thread; it is signalled (not detached) so a fast trial
+                // never leaves a timer thread behind.
+                let finished = (Mutex::new(false), Condvar::new());
+                std::thread::scope(|scope| {
+                    let fabric = &fabric;
+                    let finished = &finished;
+                    let tripped = &tripped;
+                    scope.spawn(move || {
+                        let wake = Instant::now() + d;
+                        let (lock, cv) = finished;
+                        let mut done = lock.lock();
+                        while !*done {
+                            if cv.wait_until(&mut done, wake).timed_out() {
+                                if !*done {
+                                    tripped.store(true, Ordering::SeqCst);
+                                    fabric.poison();
+                                }
+                                break;
+                            }
+                        }
+                    });
+                    pool.scope_run(jobs);
+                    let (lock, cv) = finished;
+                    *lock.lock() = true;
+                    cv.notify_all();
+                });
+            }
+        }
+
+        let outcomes = slots
             .into_iter()
             .map(|s| s.into_inner().expect("every rank reported"))
-            .collect()
+            .collect();
+        (outcomes, tripped.load(Ordering::SeqCst))
     }
 
     /// The original execution path: spawn `size` fresh scoped threads for
@@ -395,6 +477,56 @@ mod tests {
         let err = results[0].result.as_ref().unwrap_err();
         assert_eq!(err.kind, PanicKind::HangGuard);
         assert!(results[0].ctx_report.as_ref().unwrap().hang_guard_tripped);
+    }
+
+    #[test]
+    fn deadline_reaps_a_wedged_world() {
+        // Both ranks block on receives that can never be satisfied; the
+        // long recv timeout would wedge the trial for 60s, but the
+        // watchdog poisons the fabric after 50ms and both ranks fail
+        // fast with FabricDead.
+        let world = World::with_config(
+            2,
+            WorldConfig {
+                recv_timeout: Duration::from_secs(60),
+            },
+        );
+        let start = Instant::now();
+        let (results, tripped) = world.run_with_ctx_deadline(
+            |_| None,
+            |comm| {
+                let _ = comm.recv(1 - comm.rank(), 0xdead);
+            },
+            Some(Duration::from_millis(50)),
+        );
+        assert!(tripped, "watchdog must have fired");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "deadline must beat the recv timeout"
+        );
+        for r in &results {
+            assert!(
+                matches!(
+                    r.result.as_ref().unwrap_err().kind,
+                    PanicKind::FabricDead | PanicKind::RecvTimeout
+                ),
+                "rank {}: {:?}",
+                r.rank,
+                r.result
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_untouched_run_reports_untripped() {
+        let world = World::new(2);
+        let (results, tripped) = world.run_with_ctx_deadline(
+            |_| None,
+            |comm| comm.allreduce_scalar(ReduceOp::Sum, Tf64::new(1.0)).value(),
+            Some(Duration::from_secs(30)),
+        );
+        assert!(!tripped);
+        assert!(results.iter().all(|r| *r.result.as_ref().unwrap() == 2.0));
     }
 
     #[test]
