@@ -1,0 +1,38 @@
+//! Cost of the differential-check oracles: what one `resilim check`
+//! case spends, split into the pure sampling-layer oracle (runs per
+//! shrink attempt — must stay microseconds), one full oracle suite on a
+//! smoke case (the unit of `--budget` spend), and a complete
+//! catch-and-shrink of the injected bucket bug (the failure path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resilim_check::{check_case, run_oracle, shrink, CaseSpec, CoreOps, OffByOneBucket, Oracle};
+use std::time::Duration;
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+
+    let case = CaseSpec::smoke_roster().remove(0);
+
+    group.bench_function("bucket_cover_oracle", |b| {
+        b.iter(|| run_oracle(&case, Oracle::BucketCover, &CoreOps).unwrap())
+    });
+
+    group.bench_function("full_case_smoke0", |b| {
+        b.iter(|| check_case(&case, &CoreOps).unwrap())
+    });
+
+    group.bench_function("catch_and_shrink_injected_bug", |b| {
+        b.iter(|| {
+            let violation = check_case(&case, &OffByOneBucket).unwrap_err();
+            shrink(&case, &violation, &OffByOneBucket)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

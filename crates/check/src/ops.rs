@@ -1,0 +1,106 @@
+//! The seam between the oracles and the sampling layer under test.
+//!
+//! Every oracle reaches `bucket_of` / `sample_cases` / `sample_for`
+//! through [`SamplingOps`] instead of calling `resilim_core` directly.
+//! In production ([`CoreOps`]) that is a zero-cost indirection; in the
+//! engine's own acceptance tests a deliberately broken implementation
+//! ([`OffByOneBucket`]) is swapped in to prove the oracles *detect* a
+//! model bug, the shrinker *minimizes* it, and `resilim check --replay`
+//! *reproduces* it deterministically.
+
+use resilim_core::SamplePoints;
+
+/// The sampling-layer operations the oracles exercise.
+pub trait SamplingOps: Sync {
+    /// Stable name for traces and repro records.
+    fn name(&self) -> &'static str;
+
+    /// The 1-based bucket index of `x` under an `s`-way split of `[1, p]`.
+    fn bucket_of(&self, x: usize, p: usize, s: usize) -> usize;
+
+    /// The `s` sample cases for predicting scale `p`.
+    fn sample_cases(&self, p: usize, s: usize, strategy: SamplePoints) -> Vec<usize>;
+
+    /// The sample case that stands in for `x`.
+    fn sample_for(&self, x: usize, p: usize, s: usize, strategy: SamplePoints) -> usize {
+        let cases = self.sample_cases(p, s, strategy);
+        cases[self.bucket_of(x, p, s) - 1]
+    }
+}
+
+/// The production sampling layer: delegates to `resilim_core`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreOps;
+
+impl SamplingOps for CoreOps {
+    fn name(&self) -> &'static str {
+        "core"
+    }
+
+    fn bucket_of(&self, x: usize, p: usize, s: usize) -> usize {
+        resilim_core::bucket_of(x, p, s)
+    }
+
+    fn sample_cases(&self, p: usize, s: usize, strategy: SamplePoints) -> Vec<usize> {
+        resilim_core::sample_cases(p, s, strategy)
+    }
+
+    fn sample_for(&self, x: usize, p: usize, s: usize, strategy: SamplePoints) -> usize {
+        resilim_core::sample_for(x, p, s, strategy)
+    }
+}
+
+/// A deliberately buggy bucket map: `x/width + 1` instead of
+/// `⌈x/width⌉`, which pushes every bucket's upper edge into the next
+/// bucket (e.g. `x = 16, p = 64, s = 4` lands in bucket 2 instead of 1).
+///
+/// Exists only so tests and `resilim check --inject-bug` can prove the
+/// pipeline catches a real modeling off-by-one — never use in analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OffByOneBucket;
+
+impl SamplingOps for OffByOneBucket {
+    fn name(&self) -> &'static str {
+        "bucket-off-by-one"
+    }
+
+    fn bucket_of(&self, x: usize, p: usize, s: usize) -> usize {
+        assert!(x >= 1 && x <= p, "x = {x} out of [1, {p}]");
+        assert!(
+            s >= 1 && p.is_multiple_of(s),
+            "need s | p (s = {s}, p = {p})"
+        );
+        (x / (p / s) + 1).min(s)
+    }
+
+    fn sample_cases(&self, p: usize, s: usize, strategy: SamplePoints) -> Vec<usize> {
+        resilim_core::sample_cases(p, s, strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_ops_agree_with_core() {
+        let ops = CoreOps;
+        assert_eq!(ops.bucket_of(16, 64, 4), 1);
+        assert_eq!(ops.bucket_of(17, 64, 4), 2);
+        assert_eq!(
+            ops.sample_cases(64, 4, SamplePoints::BucketUpper),
+            vec![1, 32, 48, 64]
+        );
+        assert_eq!(ops.sample_for(20, 64, 4, SamplePoints::BucketUpper), 32);
+    }
+
+    #[test]
+    fn off_by_one_misbuckets_upper_edges() {
+        let bug = OffByOneBucket;
+        // Correct: 16 is the top of bucket 1. Bug: lands in bucket 2.
+        assert_eq!(bug.bucket_of(16, 64, 4), 2);
+        assert_eq!(CoreOps.bucket_of(16, 64, 4), 1);
+        // Interior values agree, so the bug is a genuine edge case.
+        assert_eq!(bug.bucket_of(20, 64, 4), CoreOps.bucket_of(20, 64, 4));
+    }
+}

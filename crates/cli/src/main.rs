@@ -21,8 +21,18 @@
 //!   merge               aggregate a deployment's shard ledgers (--store)
 //!   model               predict from a --store directory (offline)
 //!   metrics             aggregate report from a --trace JSONL file
+//!   check               differential/metamorphic validation of the model
 //!   all                 every table/figure above, in order
 //! ```
+//!
+//! Validation: `resilim check` cross-validates the closed-form predictor
+//! and the campaign machinery against measured mini-campaigns.
+//! `--smoke` runs the fixed per-app roster (the PR gate), `--cases N`
+//! or `--budget SECS` run randomized cases, and a failing case is
+//! shrunk and written as a JSON repro record (`--repro-dir DIR`)
+//! replayable with `--replay FILE`. `--inject-bug bucket-off-by-one`
+//! swaps in a deliberately broken bucket map to demonstrate the
+//! pipeline end to end.
 //!
 //! Observability: `--trace FILE` streams structured events (campaign
 //! starts, trials, fired injections, cache lookups) as JSONL; `--metrics`
@@ -72,15 +82,29 @@ struct Options {
     trial_timeout: Option<f64>,
     /// Watchdog retry budget (`--retries`; default 2).
     retries: Option<u32>,
+    /// `check`: run the fixed smoke roster instead of randomized cases.
+    smoke: bool,
+    /// `check`: wall-clock fuzzing budget in seconds (`--budget 300s`).
+    budget: Option<f64>,
+    /// `check`: number of randomized cases (`--cases N`).
+    cases: Option<u64>,
+    /// `check`: replay a repro record instead of generating cases.
+    replay: Option<String>,
+    /// `check`: where to write repro records for failing cases.
+    repro_dir: Option<String>,
+    /// `check`: swap in a deliberately broken sampling layer by name.
+    inject_bug: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|campaign|merge|model|metrics|all>\n\
+    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|campaign|merge|model|metrics|check|all>\n\
      \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
      \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
      \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K|auto]\n\
      \u{20}       [--trace FILE] [--metrics]\n\
-     \u{20}       [--resume] [--shard i/N] [--trial-timeout SECS] [--retries N]"
+     \u{20}       [--resume] [--shard i/N] [--trial-timeout SECS] [--retries N]\n\
+     \u{20}       [--smoke] [--budget SECS] [--cases N] [--replay FILE] [--repro-dir DIR]\n\
+     \u{20}       [--inject-bug NAME]"
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -103,6 +127,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         shard: None,
         trial_timeout: None,
         retries: None,
+        smoke: false,
+        budget: None,
+        cases: None,
+        replay: None,
+        repro_dir: None,
+        inject_bug: None,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -173,6 +203,30 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                         .map_err(|e| format!("--retries: {e}"))?,
                 )
             }
+            "--smoke" => opts.smoke = true,
+            "--budget" => {
+                // Accept "300" and "300s" alike.
+                let v = value("--budget")?;
+                let secs: f64 = v
+                    .strip_suffix('s')
+                    .unwrap_or(&v)
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--budget must be a positive number of seconds".into());
+                }
+                opts.budget = Some(secs);
+            }
+            "--cases" => {
+                opts.cases = Some(
+                    value("--cases")?
+                        .parse()
+                        .map_err(|e| format!("--cases: {e}"))?,
+                )
+            }
+            "--replay" => opts.replay = Some(value("--replay")?),
+            "--repro-dir" => opts.repro_dir = Some(value("--repro-dir")?),
+            "--inject-bug" => opts.inject_bug = Some(value("--inject-bug")?),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -436,6 +490,7 @@ fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result
             );
             emit(opts, text, &pred)
         }
+        "check" => run_check_command(opts),
         "metrics" => {
             let path = opts
                 .trace
@@ -464,6 +519,81 @@ fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result
             Ok(())
         }
         other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+/// The sampling layer `check` validates: the real one, or a named
+/// deliberately broken variant (`--inject-bug`).
+fn check_ops(opts: &Options) -> Result<&'static dyn resilim_check::SamplingOps, String> {
+    match opts.inject_bug.as_deref() {
+        None => Ok(&resilim_check::CoreOps),
+        Some("bucket-off-by-one") => Ok(&resilim_check::OffByOneBucket),
+        Some(other) => Err(format!(
+            "unknown --inject-bug '{other}' (available: bucket-off-by-one)"
+        )),
+    }
+}
+
+/// The `check` command: replay a repro record, or run the oracle loop
+/// (smoke roster / counted / budgeted) and record the first violation.
+fn run_check_command(opts: &Options) -> Result<(), String> {
+    let ops = check_ops(opts)?;
+    if let Some(path) = &opts.replay {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let record: resilim_check::ReproRecord =
+            serde_json::from_str(&raw).map_err(|e| format!("{path}: {e}"))?;
+        return match resilim_check::replay(&record, ops)? {
+            Some(v) => Err(format!(
+                "repro {path} reproduces on case {} (seed {}): {v}",
+                record.case.id, record.case.seed
+            )),
+            None => {
+                println!(
+                    "repro {path}: case {} (seed {}) now passes oracle {}",
+                    record.case.id, record.case.seed, record.oracle
+                );
+                Ok(())
+            }
+        };
+    }
+    let mut cfg = resilim_check::CheckConfig {
+        smoke: opts.smoke,
+        master_seed: opts.cfg.seed,
+        budget: opts.budget.map(std::time::Duration::from_secs_f64),
+        repro_dir: opts.repro_dir.as_ref().map(std::path::PathBuf::from),
+        ..resilim_check::CheckConfig::default()
+    };
+    if let Some(n) = opts.cases {
+        cfg.cases = n;
+    }
+    let report = resilim_check::run_check(&cfg, ops);
+    match &report.violation {
+        None => {
+            println!(
+                "check: {} case(s), 0 oracle violations ({})",
+                report.cases_run,
+                if opts.smoke {
+                    "smoke roster"
+                } else {
+                    "randomized"
+                },
+            );
+            Ok(())
+        }
+        Some(record) => {
+            if let Some(path) = &report.repro_path {
+                eprintln!("wrote repro record {}", path.display());
+            }
+            Err(format!(
+                "oracle violation after {} case(s), minimized in {} shrink attempt(s):\n  \
+                 [{}] {}\n  minimal case: {}",
+                report.cases_run,
+                report.shrink_attempts,
+                record.oracle,
+                record.message,
+                serde_json::to_string(&record.case).map_err(|e| e.to_string())?,
+            ))
+        }
     }
 }
 
@@ -617,6 +747,43 @@ mod tests {
         assert!(parse(&["campaign", "--shard", "0/2"]).is_err());
         assert!(parse(&["campaign", "--shard", "5/2", "--store", "st"]).is_err());
         assert!(parse(&["campaign", "--trial-timeout", "-1", "--store", "st"]).is_err());
+    }
+
+    #[test]
+    fn parses_check_flags() {
+        let opts = parse(&[
+            "check",
+            "--smoke",
+            "--budget",
+            "300s",
+            "--cases",
+            "9",
+            "--repro-dir",
+            "repros",
+            "--inject-bug",
+            "bucket-off-by-one",
+        ])
+        .unwrap();
+        assert!(opts.smoke);
+        assert_eq!(opts.budget, Some(300.0));
+        assert_eq!(opts.cases, Some(9));
+        assert_eq!(opts.repro_dir.as_deref(), Some("repros"));
+        assert!(check_ops(&opts).is_ok());
+        assert_eq!(
+            parse(&["check", "--budget", "45"]).unwrap().budget,
+            Some(45.0)
+        );
+        assert_eq!(
+            parse(&["check", "--replay", "r.json"])
+                .unwrap()
+                .replay
+                .as_deref(),
+            Some("r.json")
+        );
+        assert!(parse(&["check", "--budget", "-3"]).is_err());
+        assert!(parse(&["check", "--budget", "soon"]).is_err());
+        let bogus = parse(&["check", "--inject-bug", "nope"]).unwrap();
+        assert!(check_ops(&bogus).is_err());
     }
 
     #[test]

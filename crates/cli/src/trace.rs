@@ -60,6 +60,12 @@ pub struct TraceReport {
     pub hang_guard_trips: u64,
     /// `trial_retry` events (watchdog-tripped trials re-run).
     pub trial_retries: u64,
+    /// `check_case` events (differential-check cases run).
+    pub check_cases: u64,
+    /// `check_case` events with `ok: false` (oracle violations).
+    pub check_violations: u64,
+    /// `check_shrink` events (minimization attempts).
+    pub check_shrinks: u64,
 }
 
 fn get_u64(obj: &Value, key: &str) -> u64 {
@@ -124,6 +130,13 @@ impl TraceReport {
                 "taint_born" => report.taint_born += 1,
                 "hang_guard_trip" => report.hang_guard_trips += 1,
                 "trial_retry" => report.trial_retries += 1,
+                "check_case" => {
+                    report.check_cases += 1;
+                    if !matches!(obj.get("ok"), Some(Value::Bool(true))) {
+                        report.check_violations += 1;
+                    }
+                }
+                "check_shrink" => report.check_shrinks += 1,
                 _ => {}
             }
         }
@@ -181,6 +194,12 @@ impl TraceReport {
             "  injections fired: {}  taint born: {}  hang-guard trips: {}  trial retries: {}\n",
             self.injections_fired, self.taint_born, self.hang_guard_trips, self.trial_retries
         ));
+        if self.check_cases > 0 {
+            out.push_str(&format!(
+                "  check cases: {}  violations: {}  shrink attempts: {}\n",
+                self.check_cases, self.check_violations, self.check_shrinks
+            ));
+        }
         out
     }
 
@@ -242,6 +261,9 @@ impl TraceReport {
             ("taint_born".into(), Value::U64(self.taint_born)),
             ("hang_guard_trips".into(), Value::U64(self.hang_guard_trips)),
             ("trial_retries".into(), Value::U64(self.trial_retries)),
+            ("check_cases".into(), Value::U64(self.check_cases)),
+            ("check_violations".into(), Value::U64(self.check_violations)),
+            ("check_shrinks".into(), Value::U64(self.check_shrinks)),
         ])
     }
 }
@@ -284,6 +306,23 @@ mod tests {
         let text = report.render();
         assert!(text.contains("cg: 1 campaigns, 3 trials"));
         assert!(text.contains("campaign cache hit rate: 0.0% (0/1)"));
+    }
+
+    #[test]
+    fn aggregates_check_events() {
+        let path = write_temp(concat!(
+            "{\"ev\":\"check_case\",\"case\":0,\"seed\":1000,\"app\":\"cg\",\"procs\":2,\"tests\":8,\"ok\":true,\"oracle\":\"\"}\n",
+            "{\"ev\":\"check_case\",\"case\":1,\"seed\":1001,\"app\":\"ft\",\"procs\":4,\"tests\":8,\"ok\":false,\"oracle\":\"bucket-cover\"}\n",
+            "{\"ev\":\"check_shrink\",\"case\":1,\"attempt\":1,\"accepted\":true,\"procs\":2,\"tests\":4}\n",
+        ));
+        let report = TraceReport::from_file(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(report.check_cases, 2);
+        assert_eq!(report.check_violations, 1);
+        assert_eq!(report.check_shrinks, 1);
+        assert!(report
+            .render()
+            .contains("check cases: 2  violations: 1  shrink attempts: 1"));
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Golden snapshot of `resilim metrics --json`: the JSON report for a
+//! fixed trace must be byte-stable — same field order, same formatting,
+//! no platform-dependent values. Downstream tooling parses this output;
+//! an intentional schema change must update the snapshot here.
+
+use std::process::Command;
+
+const TRACE: &str = concat!(
+    "{\"ev\":\"campaign_start\",\"campaign\":1,\"app\":\"cg\",\"procs\":4,\"tests\":3,\"errors\":\"OneParallel\"}\n",
+    "{\"ev\":\"injection_fired\",\"rank\":0,\"region\":\"common\",\"op_index\":5,\"bit\":9}\n",
+    "{\"ev\":\"trial\",\"campaign\":1,\"test\":0,\"kind\":\"success\",\"masked\":true,\"contaminated\":1,\"fired\":1,\"latency_us\":100}\n",
+    "{\"ev\":\"trial\",\"campaign\":1,\"test\":1,\"kind\":\"sdc\",\"masked\":false,\"contaminated\":4,\"fired\":1,\"latency_us\":300}\n",
+    "{\"ev\":\"cache_lookup\",\"cache\":\"golden\",\"hit\":true}\n",
+    "{\"ev\":\"check_case\",\"case\":0,\"seed\":1000,\"app\":\"cg\",\"procs\":2,\"tests\":8,\"ok\":true,\"oracle\":\"\"}\n",
+    "{\"ev\":\"check_shrink\",\"case\":0,\"attempt\":1,\"accepted\":false,\"procs\":2,\"tests\":4}\n",
+);
+
+const GOLDEN: &str = r#"{
+  "events": 7,
+  "apps": [
+    {
+      "app": "cg",
+      "campaigns": 1,
+      "trials": 2,
+      "success": 1,
+      "sdc": 1,
+      "failure": 0,
+      "latency_us_p50_p90_p99": [
+        300,
+        300,
+        300
+      ],
+      "taint_spread": {
+        "1": 1,
+        "4": 1
+      }
+    }
+  ],
+  "golden_cache": [
+    1,
+    1
+  ],
+  "campaign_cache": [
+    0,
+    0
+  ],
+  "injections_fired": 1,
+  "taint_born": 0,
+  "hang_guard_trips": 0,
+  "trial_retries": 0,
+  "check_cases": 1,
+  "check_violations": 0,
+  "check_shrinks": 1
+}
+"#;
+
+#[test]
+fn metrics_json_output_matches_golden_snapshot() {
+    let path = std::env::temp_dir().join(format!(
+        "resilim-metrics-golden-{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::write(&path, TRACE).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_resilim"))
+        .args(["metrics", "--trace", path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("spawn resilim");
+    std::fs::remove_file(&path).unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("metrics output is UTF-8");
+    assert_eq!(
+        stdout, GOLDEN,
+        "metrics --json drifted from the golden snapshot"
+    );
+}

@@ -35,7 +35,7 @@ pub use accuracy::{prediction_error, rmse};
 pub use fi::FiResult;
 pub use model::{ModelInputs, Prediction, Predictor};
 pub use propagation::{cosine_similarity, PropagationProfile};
-pub use sampling::{bucket_of, sample_cases, SamplePoints};
+pub use sampling::{bucket_of, sample_cases, sample_for, SamplePoints};
 
 // Re-export the outcome vocabulary shared with the injector.
 pub use resilim_inject::{FailureKind, OutcomeKind, TestOutcome};

@@ -70,6 +70,13 @@ pub fn sample_cases(p: usize, s: usize, strategy: SamplePoints) -> Vec<usize> {
             v
         }
         SamplePoints::PaperEq8 => {
+            // With one-wide buckets (s = p) the first interior point
+            // `1·width` would collide with the anchor at 1; every bucket
+            // is a single case, so the only valid sample set is the
+            // identity.
+            if width == 1 {
+                return (1..=p).collect();
+            }
             let mut v = vec![1];
             v.extend((1..s - 1).map(|j| j * width));
             v.push(p);
@@ -148,6 +155,21 @@ mod tests {
         );
         for x in 1..=4 {
             assert_eq!(bucket_of(x, 4, 4), x);
+        }
+    }
+
+    #[test]
+    fn eq8_one_wide_buckets_degenerate_to_identity() {
+        // s = p makes every bucket a single case; Eq. 8's interior
+        // points would otherwise start at 1·width = 1 and duplicate the
+        // anchor (and skip p−1 entirely).
+        assert_eq!(sample_cases(4, 4, SamplePoints::PaperEq8), vec![1, 2, 3, 4]);
+        assert_eq!(
+            sample_cases(8, 8, SamplePoints::PaperEq8),
+            (1..=8).collect::<Vec<_>>()
+        );
+        for x in 1..=8 {
+            assert_eq!(sample_for(x, 8, 8, SamplePoints::PaperEq8), x);
         }
     }
 

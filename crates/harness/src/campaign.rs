@@ -196,6 +196,10 @@ pub struct CampaignRunner {
     trial_deadline: Option<Duration>,
     /// Retry budget/backoff for watchdog-tripped trials.
     retry: RetryPolicy,
+    /// Spawn fresh rank threads per trial instead of using the global
+    /// [`resilim_simmpi::WorldPool`] (differential backend for
+    /// `resilim check`'s replay-identity oracle).
+    spawn_per_trial: bool,
 }
 
 impl Default for CampaignRunner {
@@ -217,6 +221,7 @@ impl CampaignRunner {
             shard: None,
             trial_deadline: None,
             retry: RetryPolicy::default(),
+            spawn_per_trial: false,
         }
     }
 
@@ -286,6 +291,19 @@ impl CampaignRunner {
     /// Replace the watchdog retry policy (budget + backoff).
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> CampaignRunner {
         self.retry = retry;
+        self
+    }
+
+    /// Execute each trial on freshly spawned rank threads
+    /// ([`World::run_spawned`]) instead of the process-global
+    /// [`resilim_simmpi::WorldPool`]. Semantically identical — both
+    /// backends share the same per-rank execution path — and therefore
+    /// bitwise identical in outcome, which is exactly what
+    /// `resilim check`'s replay-identity oracle asserts. Incompatible
+    /// with the trial watchdog (the spawned backend has no deadline
+    /// plumbing); enabling both panics at trial time.
+    pub fn with_spawn_per_trial(mut self) -> CampaignRunner {
+        self.spawn_per_trial = true;
         self
     }
 
@@ -585,22 +603,28 @@ impl CampaignRunner {
         let world = World::new(spec.procs);
         let app = spec.spec.clone();
         let plans_ref = &plans;
-        let (results, tripped) = world.run_with_ctx_deadline(
-            move |rank| {
-                let plan = plans_ref
-                    .get(&rank)
-                    .cloned()
-                    .unwrap_or_else(InjectionPlan::none);
-                Some(
-                    RankCtx::new(rank, plan)
-                        .with_op_cap(op_cap)
-                        .with_taint_threshold(spec.taint_threshold)
-                        .with_op_mask(spec.op_mask),
-                )
-            },
-            move |comm| app.run_rank(comm),
-            self.trial_deadline,
-        );
+        let mk_ctx = move |rank| {
+            let plan = plans_ref
+                .get(&rank)
+                .cloned()
+                .unwrap_or_else(InjectionPlan::none);
+            Some(
+                RankCtx::new(rank, plan)
+                    .with_op_cap(op_cap)
+                    .with_taint_threshold(spec.taint_threshold)
+                    .with_op_mask(spec.op_mask),
+            )
+        };
+        let body = move |comm: &resilim_simmpi::Comm| app.run_rank(comm);
+        let (results, tripped) = if self.spawn_per_trial {
+            assert!(
+                self.trial_deadline.is_none(),
+                "spawn-per-trial backend has no watchdog plumbing"
+            );
+            (world.run_spawned(mk_ctx, body), false)
+        } else {
+            world.run_with_ctx_deadline(mk_ctx, body, self.trial_deadline)
+        };
 
         // Harvest: contamination, fired count, failures, rank-0 output.
         let mut contaminated = 0usize;
@@ -671,7 +695,7 @@ impl CampaignRunner {
             .ok_or("merge needs a ledger directory (--store DIR)")?;
         let metrics_before = obs::MetricsSnapshot::capture();
         let start = Instant::now();
-        let mut records = TrialLedger::load(dir, &spec.ledger_key(), spec.seed);
+        let mut records = TrialLedger::load_strict(dir, &spec.ledger_key(), spec.seed)?;
         records.retain(|&t, _| t < spec.tests);
         let missing: Vec<usize> = (0..spec.tests)
             .filter(|t| !records.contains_key(t))
@@ -947,6 +971,18 @@ mod tests {
         let result = runner.run(&campaign(App::Ft, 4, ErrorSpec::OneParallelUnique, 15));
         assert_eq!(result.fi.total(), 15);
         assert!(result.outcomes.iter().all(|o| o.injections_fired == 1));
+    }
+
+    #[test]
+    fn spawn_per_trial_backend_matches_pooled() {
+        let spec = campaign(App::Lu, 2, ErrorSpec::OneParallel, 12);
+        let pooled = CampaignRunner::new().run_uncached(&spec);
+        let spawned = CampaignRunner::new()
+            .with_spawn_per_trial()
+            .run_uncached(&spec);
+        assert_eq!(pooled.outcomes, spawned.outcomes);
+        assert_eq!(pooled.fi, spawned.fi);
+        assert_eq!(pooled.prop.counts, spawned.prop.counts);
     }
 
     #[test]

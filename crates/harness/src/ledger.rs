@@ -284,6 +284,77 @@ impl TrialLedger {
         }
         out
     }
+
+    /// Like [`TrialLedger::load`], but for *merging*: adversarial
+    /// conditions that resume can shrug off are hard errors here.
+    ///
+    /// * **Duplicate trial records** (two valid records for the same
+    ///   `(key, seed, trial)`) error out. Legitimate flows never produce
+    ///   them — resume skips already-ledgered trials and shards are
+    ///   disjoint — so a duplicate means the same shard ran twice into
+    ///   one directory, or ledgers from separate runs were mixed.
+    ///   Silently deduping would let an overlapping-shard
+    ///   misconfiguration double-count a slice of the campaign.
+    /// * **Identity mismatches** — a record whose `key` matches but
+    ///   whose explicit `seed` field does not — error out. The seed is
+    ///   folded into the key, so the two can only disagree on a forged
+    ///   or corrupted record; adopting it would merge a trial from a
+    ///   different deployment.
+    ///
+    /// Unparseable lines, stale versions, and foreign-key records are
+    /// still skipped (corruption tolerance is unchanged — those degrade
+    /// to "never ledgered" and the merge reports the missing trials).
+    pub fn load_strict(
+        dir: impl AsRef<Path>,
+        key: &str,
+        seed: u64,
+    ) -> Result<HashMap<usize, TestOutcome>, String> {
+        let mut out = HashMap::new();
+        let Ok(entries) = std::fs::read_dir(dir.as_ref()) else {
+            return Ok(out);
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Ok(raw) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            for line in raw.lines() {
+                let Ok(rec) = serde_json::from_str::<TrialRecord>(line) else {
+                    continue; // truncated tail, garbage, or foreign format
+                };
+                if rec.v != LEDGER_VERSION || rec.key != key {
+                    continue; // stale version or different campaign
+                }
+                if rec.seed != seed {
+                    return Err(format!(
+                        "ledger {}: record for trial {} matches campaign key but \
+                         carries seed {} (expected {}) — deployment identity \
+                         mismatch, refusing to merge",
+                        path.display(),
+                        rec.trial,
+                        rec.seed,
+                        seed,
+                    ));
+                }
+                if out.insert(rec.trial, rec.outcome).is_some() {
+                    return Err(format!(
+                        "ledger {}: duplicate record for trial {} — the same \
+                         shard ran twice into this store, or ledgers from \
+                         separate runs were mixed; refusing to merge (re-run \
+                         the shard with --resume into a clean directory)",
+                        path.display(),
+                        rec.trial,
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 impl Drop for TrialLedger {
@@ -358,6 +429,85 @@ mod tests {
     fn missing_dir_loads_empty() {
         let dir = temp_dir("missing");
         assert!(TrialLedger::load(&dir, "k", 0).is_empty());
+        assert!(TrialLedger::load_strict(&dir, "k", 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn strict_load_rejects_duplicate_trials() {
+        let dir = temp_dir("strict-dup");
+        let ledger = TrialLedger::open(&dir, "k", 1).unwrap();
+        ledger.append(0, &TestOutcome::success(true, 1, 1), 0);
+        ledger.append(1, &TestOutcome::sdc(2, 1), 0);
+        drop(ledger);
+        // A well-formed record for trial 1 lands in a *second* file, as
+        // if the same shard ran twice into one store directory.
+        let line = std::fs::read_to_string(
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .next()
+                .unwrap()
+                .unwrap()
+                .path(),
+        )
+        .unwrap()
+        .lines()
+        .nth(1)
+        .unwrap()
+        .to_string();
+        std::fs::write(dir.join("trials-zzz.jsonl"), format!("{line}\n")).unwrap();
+        // Lenient load dedupes (resume semantics)…
+        assert_eq!(TrialLedger::load(&dir, "k", 1).len(), 2);
+        // …but the merge path must fail loudly.
+        let err = TrialLedger::load_strict(&dir, "k", 1).unwrap_err();
+        assert!(err.contains("duplicate record for trial 1"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn strict_load_rejects_identity_mismatch() {
+        let dir = temp_dir("strict-seed");
+        let ledger = TrialLedger::open(&dir, "k", 1).unwrap();
+        ledger.append(0, &TestOutcome::success(true, 1, 1), 0);
+        drop(ledger);
+        // Forge a record whose key matches but whose seed field does
+        // not: the seed is folded into the key, so this can only be a
+        // corrupted or foreign record wearing our key.
+        let path = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let forged = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"seed\":1", "\"seed\":2")
+            .replace("\"trial\":0", "\"trial\":7");
+        std::fs::write(dir.join("trials-zzz.jsonl"), forged).unwrap();
+        // Lenient load silently skips it (different campaign)…
+        assert_eq!(TrialLedger::load(&dir, "k", 1).len(), 1);
+        // …strict load refuses to merge.
+        let err = TrialLedger::load_strict(&dir, "k", 1).unwrap_err();
+        assert!(err.contains("identity"), "{err}");
+        assert!(err.contains("seed 2"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn strict_load_still_tolerates_corruption() {
+        let dir = temp_dir("strict-corrupt");
+        let ledger = TrialLedger::open(&dir, "k", 1).unwrap();
+        ledger.append(0, &TestOutcome::success(true, 1, 1), 0);
+        drop(ledger);
+        std::fs::write(
+            dir.join("trials-zzz.jsonl"),
+            "garbage\n{\"v\":999,\"key\":\"k\",\"seed\":1,\"trial\":5,\"outcome\":\
+             {\"kind\":\"Sdc\",\"failure\":null,\"masked\":false,\
+             \"contaminated_ranks\":1,\"injections_fired\":1},\"attempts\":0}\n",
+        )
+        .unwrap();
+        let map = TrialLedger::load_strict(&dir, "k", 1).unwrap();
+        assert_eq!(map.len(), 1, "corrupt + stale lines skipped, not fatal");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

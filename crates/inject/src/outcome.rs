@@ -107,6 +107,17 @@ impl TestOutcome {
             injections_fired: fired,
         }
     }
+
+    /// Causality invariant every recorded outcome must satisfy: a test
+    /// whose planned faults never fired cannot have contaminated any
+    /// rank, and a `Failure` kind carries a failure detail (and only a
+    /// `Failure` does). The distribution oracle of `resilim check`
+    /// asserts this over every measured trial.
+    pub fn is_causally_consistent(&self) -> bool {
+        let fired_implies_taint = self.injections_fired > 0 || self.contaminated_ranks == 0;
+        let failure_detail_matches = (self.kind == OutcomeKind::Failure) == self.failure.is_some();
+        fired_implies_taint && failure_detail_matches
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +149,22 @@ mod tests {
         assert_eq!(OutcomeKind::Success.to_string(), "success");
         assert_eq!(OutcomeKind::Sdc.to_string(), "SDC");
         assert_eq!(OutcomeKind::Failure.to_string(), "failure");
+    }
+
+    #[test]
+    fn causal_consistency() {
+        assert!(TestOutcome::success(true, 0, 0).is_causally_consistent());
+        assert!(TestOutcome::success(false, 2, 1).is_causally_consistent());
+        assert!(TestOutcome::failure(FailureKind::Crash, 1, 1).is_causally_consistent());
+        // Contamination without a fired injection is impossible.
+        assert!(!TestOutcome::success(false, 1, 0).is_causally_consistent());
+        // Failure detail must accompany exactly the Failure kind.
+        let mut broken = TestOutcome::sdc(1, 1);
+        broken.failure = Some(FailureKind::Hang);
+        assert!(!broken.is_causally_consistent());
+        let mut missing = TestOutcome::failure(FailureKind::Hang, 1, 1);
+        missing.failure = None;
+        assert!(!missing.is_causally_consistent());
     }
 
     #[test]

@@ -85,6 +85,37 @@ pub enum Event {
         /// Trials executed.
         trials: usize,
     },
+    /// One differential-check case finished (`resilim check`).
+    CheckCase {
+        /// Case index within the check run.
+        case: u64,
+        /// Case seed (replays the case exactly).
+        seed: u64,
+        /// Application name.
+        app: String,
+        /// Rank count.
+        procs: usize,
+        /// Trials in the measured mini-campaign.
+        tests: usize,
+        /// Whether every oracle passed.
+        ok: bool,
+        /// Name of the first violated oracle (empty when `ok`).
+        oracle: String,
+    },
+    /// One shrink attempt while minimizing a failing check case.
+    CheckShrink {
+        /// Case index of the original failing case.
+        case: u64,
+        /// Shrink attempt number (1-based).
+        attempt: u64,
+        /// Whether the reduced case still violates the oracle
+        /// (accepted = the shrinker keeps it).
+        accepted: bool,
+        /// Rank count of the candidate case.
+        procs: usize,
+        /// Trial count of the candidate case.
+        tests: usize,
+    },
 }
 
 impl Event {
@@ -99,6 +130,8 @@ impl Event {
             Event::CacheLookup { .. } => "cache_lookup",
             Event::TrialRetry { .. } => "trial_retry",
             Event::CampaignEnd { .. } => "campaign_end",
+            Event::CheckCase { .. } => "check_case",
+            Event::CheckShrink { .. } => "check_shrink",
         }
     }
 
@@ -171,6 +204,36 @@ impl Event {
                 line.num("campaign", *campaign);
                 line.num("wall_us", *wall_us);
                 line.num("trials", *trials as u64);
+            }
+            Event::CheckCase {
+                case,
+                seed,
+                app,
+                procs,
+                tests,
+                ok,
+                oracle,
+            } => {
+                line.num("case", *case);
+                line.num("seed", *seed);
+                line.str("app", app);
+                line.num("procs", *procs as u64);
+                line.num("tests", *tests as u64);
+                line.bool("ok", *ok);
+                line.str("oracle", oracle);
+            }
+            Event::CheckShrink {
+                case,
+                attempt,
+                accepted,
+                procs,
+                tests,
+            } => {
+                line.num("case", *case);
+                line.num("attempt", *attempt);
+                line.bool("accepted", *accepted);
+                line.num("procs", *procs as u64);
+                line.num("tests", *tests as u64);
             }
         }
         line.finish()
@@ -258,6 +321,36 @@ mod tests {
             e.to_json(),
             "{\"ev\":\"trial\",\"campaign\":7,\"test\":12,\"kind\":\"sdc\",\
              \"masked\":false,\"contaminated\":3,\"fired\":1,\"latency_us\":420}"
+        );
+    }
+
+    #[test]
+    fn check_events_encode_all_fields() {
+        let e = Event::CheckCase {
+            case: 3,
+            seed: 99,
+            app: "cg".to_string(),
+            procs: 4,
+            tests: 8,
+            ok: false,
+            oracle: "bucket-cover".to_string(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"ev\":\"check_case\",\"case\":3,\"seed\":99,\"app\":\"cg\",\
+             \"procs\":4,\"tests\":8,\"ok\":false,\"oracle\":\"bucket-cover\"}"
+        );
+        let s = Event::CheckShrink {
+            case: 3,
+            attempt: 2,
+            accepted: true,
+            procs: 2,
+            tests: 4,
+        };
+        assert_eq!(
+            s.to_json(),
+            "{\"ev\":\"check_shrink\",\"case\":3,\"attempt\":2,\
+             \"accepted\":true,\"procs\":2,\"tests\":4}"
         );
     }
 

@@ -54,11 +54,17 @@ pub enum Counter {
     TrialDeadlineTrips,
     /// Trials excluded by the shard filter (`--shard i/N`).
     ShardTrialsSkipped,
+    /// Differential-check cases executed (`resilim check`).
+    CheckCasesRun,
+    /// Differential-check oracle violations detected.
+    CheckViolations,
+    /// Shrink attempts made while minimizing a failing check case.
+    CheckShrinkAttempts,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::InjectionsFired,
         Counter::TaintBorn,
         Counter::OpsCommon,
@@ -79,6 +85,9 @@ impl Counter {
         Counter::TrialRetries,
         Counter::TrialDeadlineTrips,
         Counter::ShardTrialsSkipped,
+        Counter::CheckCasesRun,
+        Counter::CheckViolations,
+        Counter::CheckShrinkAttempts,
     ];
 
     /// Stable snake_case name (used in reports and traces).
@@ -104,6 +113,9 @@ impl Counter {
             Counter::TrialRetries => "trial_retries",
             Counter::TrialDeadlineTrips => "trial_deadline_trips",
             Counter::ShardTrialsSkipped => "shard_trials_skipped",
+            Counter::CheckCasesRun => "check_cases_run",
+            Counter::CheckViolations => "check_violations",
+            Counter::CheckShrinkAttempts => "check_shrink_attempts",
         }
     }
 }
@@ -403,6 +415,32 @@ impl MetricsSnapshot {
     }
 }
 
+/// Per-measurement tolerance for comparing accumulated busy time against
+/// accumulated wall time, in nanoseconds.
+///
+/// `WorkerBusyNanos` and `WorkerWallNanos` are built from *independent*
+/// `Instant` reads: each trial's busy span and each parallel section's
+/// wall span start and stop on different clock samples. On coarse-tick
+/// platforms (and under clock slew between CPUs) every individual span
+/// can over-count by up to one tick, so the invariant `busy ≤ wall` only
+/// holds up to one tick per timed measurement. 1 ms comfortably exceeds
+/// any tick granularity we run on (Linux CLOCK_MONOTONIC is ns-resolution
+/// but Windows/macOS CI runners have been observed near 15 ms / 41 µs
+/// scheduling jitter per sample — the bound is per *measurement*, so the
+/// slack scales with how many spans were recorded, not with runtime).
+pub const CLOCK_EPSILON_NS: u64 = 1_000_000;
+
+/// Tolerant form of the `busy ≤ wall` worker-accounting invariant.
+///
+/// Returns `true` when `busy` does not exceed `wall` by more than
+/// [`CLOCK_EPSILON_NS`] per timed measurement that contributed to the
+/// two totals. Pass the number of busy spans recorded (e.g. the
+/// `TrialsRun` delta); callers that cannot count spans may pass an upper
+/// bound.
+pub fn busy_within_wall(busy_ns: u64, wall_ns: u64, measurements: u64) -> bool {
+    busy_ns <= wall_ns.saturating_add(measurements.saturating_mul(CLOCK_EPSILON_NS))
+}
+
 /// Midpoint of log₂ bucket `i` (0 for the zero bucket).
 fn bucket_mid(i: usize) -> f64 {
     if i == 0 {
@@ -445,6 +483,23 @@ mod tests {
         assert_eq!(d.hist(Hist::OpsPerRank)[1], 1);
         assert_eq!(d.hist(Hist::OpsPerRank)[10], 1);
         assert_eq!(d.hist_total(Hist::OpsPerRank), 3);
+    }
+
+    #[test]
+    fn busy_within_wall_allows_clock_granularity() {
+        // Exact accounting passes.
+        assert!(busy_within_wall(1_000, 1_000, 0));
+        assert!(busy_within_wall(999, 1_000, 0));
+        // Without slack, busy > wall fails even by 1 ns.
+        assert!(!busy_within_wall(1_001, 1_000, 0));
+        // One measurement buys one epsilon of slack …
+        assert!(busy_within_wall(1_000 + CLOCK_EPSILON_NS, 1_000, 1));
+        assert!(!busy_within_wall(1_001 + CLOCK_EPSILON_NS, 1_000, 1));
+        // … and the slack scales linearly with measurement count.
+        assert!(busy_within_wall(5 * CLOCK_EPSILON_NS, 0, 5));
+        assert!(!busy_within_wall(5 * CLOCK_EPSILON_NS + 1, 0, 5));
+        // Saturating arithmetic: huge measurement counts never wrap.
+        assert!(busy_within_wall(u64::MAX, u64::MAX, u64::MAX));
     }
 
     #[test]

@@ -326,6 +326,38 @@ mod tests {
     }
 
     #[test]
+    fn spawned_and_pooled_backends_agree() {
+        // The replay oracle of `resilim check` asserts campaign-level
+        // bitwise identity across execution backends; this pins the
+        // substrate half of that contract: the same body over the same
+        // contexts returns identical rank results whether ranks come
+        // from the reusable pool or from freshly spawned threads.
+        let world = World::new(4);
+        let mk_ctx = |rank| Some(resilim_inject::RankCtx::profiling(rank));
+        let body = |comm: &Comm| {
+            let local = Tf64::new(comm.rank() as f64 + 1.0);
+            comm.allreduce_scalar(ReduceOp::Sum, local).value()
+        };
+        let pooled = world.run_with_ctx(mk_ctx, body);
+        let spawned = world.run_spawned(mk_ctx, body);
+        assert_eq!(pooled.len(), spawned.len());
+        for (p, s) in pooled.iter().zip(spawned.iter()) {
+            assert_eq!(p.rank, s.rank);
+            assert_eq!(p.result.as_ref().unwrap(), s.result.as_ref().unwrap());
+            let (pr, sr) = (
+                p.ctx_report.as_ref().unwrap(),
+                s.ctx_report.as_ref().unwrap(),
+            );
+            assert_eq!(
+                pr.profile.injectable(Region::Common),
+                sr.profile.injectable(Region::Common),
+                "op profiles must match bitwise"
+            );
+            assert_eq!(pr.contaminated, sr.contaminated);
+        }
+    }
+
+    #[test]
     fn one_crash_poisons_everyone() {
         let world = World::with_config(
             4,
