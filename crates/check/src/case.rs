@@ -109,40 +109,36 @@ impl CaseSpec {
         App::parse(&self.app).ok_or_else(|| format!("unknown app '{}' in case spec", self.app))
     }
 
-    /// The measured ("ground truth") campaign this case checks against.
-    pub fn measured_campaign(&self) -> Result<CampaignSpec, String> {
+    /// The single builder every campaign of this case goes through: the
+    /// case's app, trial count, and seed are fixed; only the scale and
+    /// fault pattern vary per derived campaign. Keeping the
+    /// [`CampaignSpec`] field list in one place means a new spec field
+    /// cannot silently diverge between the measured, small-scale, and
+    /// serial campaigns.
+    fn campaign(&self, procs: usize, errors: ErrorSpec) -> Result<CampaignSpec, String> {
         let app = self.resolve_app()?;
         Ok(CampaignSpec::new(
             app.default_spec(),
-            self.procs,
-            self.errors,
+            procs,
+            errors,
             self.tests,
             self.seed,
         ))
+    }
+
+    /// The measured ("ground truth") campaign this case checks against.
+    pub fn measured_campaign(&self) -> Result<CampaignSpec, String> {
+        self.campaign(self.procs, self.errors)
     }
 
     /// The small-scale (s-rank, 1-error) campaign the model side uses.
     pub fn small_campaign(&self) -> Result<CampaignSpec, String> {
-        let app = self.resolve_app()?;
-        Ok(CampaignSpec::new(
-            app.default_spec(),
-            self.s,
-            ErrorSpec::OneParallel,
-            self.tests,
-            self.seed,
-        ))
+        self.campaign(self.s, ErrorSpec::OneParallel)
     }
 
     /// The serial campaign measuring `FI_ser_x`.
     pub fn serial_campaign(&self, x: usize) -> Result<CampaignSpec, String> {
-        let app = self.resolve_app()?;
-        Ok(CampaignSpec::new(
-            app.default_spec(),
-            1,
-            ErrorSpec::SerialErrors(x),
-            self.tests,
-            self.seed,
-        ))
+        self.campaign(1, ErrorSpec::SerialErrors(x))
     }
 
     /// Structural validity: the invariants generation and shrinking must

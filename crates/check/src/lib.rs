@@ -24,7 +24,7 @@
 //! * [`engine`] — the case loop (budgeted or counted), obs events
 //!   (`check_case` / `check_shrink`) and counters, repro-record
 //!   emission, and deterministic replay.
-//! * [`shrink`] — greedy minimization of a failing case (fewer trials →
+//! * [`mod@shrink`] — greedy minimization of a failing case (fewer trials →
 //!   fewer ranks → smaller app → simpler plan), re-checking only the
 //!   violated oracle.
 //!

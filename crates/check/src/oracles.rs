@@ -10,7 +10,7 @@
 use crate::case::CaseSpec;
 use crate::ops::SamplingOps;
 use resilim_core::{cosine_similarity, ModelInputs, Predictor, SamplePoints};
-use resilim_harness::{CampaignResult, CampaignRunner};
+use resilim_harness::{aggregate_outcomes, CampaignResult, CampaignRunner};
 use std::collections::BTreeMap;
 
 /// The oracles `resilim check` runs, in execution order.
@@ -33,6 +33,12 @@ pub enum Oracle {
     /// Bitwise replay identity: jobs=1, jobs=4, jobs=auto, and the
     /// spawn-per-trial backend produce identical outcome vectors.
     Replay,
+    /// Streaming aggregation identity: every campaign's online
+    /// aggregates (FiResult, propagation profile, conditional splits)
+    /// are bitwise equal to batch re-aggregation of its outcome vector,
+    /// across jobs=1, jobs=4, jobs=auto, and the spawn-per-trial
+    /// backend.
+    StreamingIdentity,
     /// Durable-ledger round trip: a ledgered run merged back from disk
     /// equals the live result bitwise.
     LedgerRoundtrip,
@@ -45,11 +51,12 @@ pub enum Oracle {
 
 impl Oracle {
     /// Every oracle, cheap-first.
-    pub const ALL: [Oracle; 6] = [
+    pub const ALL: [Oracle; 7] = [
         Oracle::BucketCover,
         Oracle::Distribution,
         Oracle::Grouping,
         Oracle::Replay,
+        Oracle::StreamingIdentity,
         Oracle::LedgerRoundtrip,
         Oracle::ModelDivergence,
     ];
@@ -61,6 +68,7 @@ impl Oracle {
             Oracle::Distribution => "distribution",
             Oracle::Grouping => "grouping",
             Oracle::Replay => "replay",
+            Oracle::StreamingIdentity => "streaming-identity",
             Oracle::LedgerRoundtrip => "ledger-roundtrip",
             Oracle::ModelDivergence => "model-divergence",
         }
@@ -114,6 +122,7 @@ pub fn check_case(case: &CaseSpec, ops: &dyn SamplingOps) -> Result<(), Violatio
     distribution(case, &measured)?;
     grouping(case, &measured)?;
     replay_identity(case, &measured)?;
+    streaming_identity(case, &measured)?;
     ledger_roundtrip(case, &measured)?;
     model_divergence(case, &measured)?;
     Ok(())
@@ -128,6 +137,7 @@ pub fn run_oracle(case: &CaseSpec, oracle: Oracle, ops: &dyn SamplingOps) -> Res
         Oracle::Distribution => distribution(case, &run_measured(case)?),
         Oracle::Grouping => grouping(case, &run_measured(case)?),
         Oracle::Replay => replay_identity(case, &run_measured(case)?),
+        Oracle::StreamingIdentity => streaming_identity(case, &run_measured(case)?),
         Oracle::LedgerRoundtrip => ledger_roundtrip(case, &run_measured(case)?),
         Oracle::ModelDivergence => model_divergence(case, &run_measured(case)?),
     }
@@ -396,6 +406,50 @@ fn replay_identity(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation>
             other.prop.counts == m.prop.counts,
             "{name}: propagation histogram diverges"
         );
+    }
+    Ok(())
+}
+
+/// Streaming aggregation identity: the campaign's online aggregates
+/// (built trial-by-trial through the reorder buffer) must be bitwise
+/// equal to batch re-aggregation of its final outcome vector, for every
+/// execution backend. This is the differential oracle for the streaming
+/// pipeline: a reordering bug, a dropped record, or a divergent
+/// accumulator shows up as streamed ≠ batch.
+fn streaming_identity(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> {
+    let o = Oracle::StreamingIdentity;
+    let spec = case.measured_campaign().map_err(|e| Violation::new(o, e))?;
+    let compare = |name: &str, r: &CampaignResult| -> Result<(), Violation> {
+        let (fi, prop, by_contam, uncontaminated) = aggregate_outcomes(spec.procs, &r.outcomes);
+        ensure!(o, r.fi == fi, "{name}: streamed FiResult != batch");
+        ensure!(
+            o,
+            r.prop.counts == prop.counts,
+            "{name}: streamed propagation profile != batch"
+        );
+        ensure!(
+            o,
+            r.by_contam == by_contam,
+            "{name}: streamed by-contamination split != batch"
+        );
+        ensure!(
+            o,
+            r.uncontaminated == uncontaminated,
+            "{name}: streamed uncontaminated split != batch"
+        );
+        Ok(())
+    };
+    compare("jobs=1", m)?;
+    let backends: [(&str, CampaignRunner); 3] = [
+        ("jobs=4", CampaignRunner::new().with_test_parallelism(4)),
+        ("jobs=auto", CampaignRunner::new().with_auto_parallelism()),
+        (
+            "spawn-per-trial",
+            CampaignRunner::new().with_spawn_per_trial(),
+        ),
+    ];
+    for (name, runner) in backends {
+        compare(name, &runner.run_uncached(&spec))?;
     }
     Ok(())
 }

@@ -1,0 +1,79 @@
+//! The `campaign` and `merge` commands: run one deployment, or
+//! reassemble its shard ledgers.
+
+use crate::opts::{emit, one_deployment, Options};
+use resilim_harness::store::{CampaignSummary, ResultStore};
+use resilim_harness::CampaignRunner;
+
+/// Run one deployment; print or `--store` its summary.
+pub fn campaign(opts: &Options, runner: &CampaignRunner) -> Result<(), String> {
+    let (spec, app, procs, errors) = one_deployment(opts)?;
+    let result = runner.run(&spec);
+    if let Some(shard) = runner.shard() {
+        // A shard's result is partial: it is ledgered for
+        // `resilim merge`, never stored as a campaign summary.
+        let text = format!(
+            "{app} p={procs} {:?} shard {shard}: ran {} of {} trials \
+             (ledgered; run `resilim merge` once every shard finished)\n",
+            errors,
+            result.outcomes.len(),
+            spec.tests,
+        );
+        let value = serde_json::json!({
+            "app": app.name(),
+            "procs": procs,
+            "shard": shard.to_string(),
+            "trials_ran": result.outcomes.len(),
+            "tests": spec.tests,
+        });
+        return emit(opts, text, &value);
+    }
+    let summary = CampaignSummary::of(&spec, &result);
+    if let Some(dir) = &opts.store {
+        let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
+        let path = store.save(&summary).map_err(|e| e.to_string())?;
+        eprintln!("saved {}", path.display());
+    }
+    let stopped = if result.stopped_early {
+        format!(
+            " — stopped early at {} of {} planned",
+            summary.tests, spec.tests
+        )
+    } else {
+        String::new()
+    };
+    let text = format!(
+        "{app} p={procs} {:?}: success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests, {:.2}s){stopped}\n",
+        errors,
+        summary.fi.success_rate() * 100.0,
+        summary.fi.sdc_rate() * 100.0,
+        summary.fi.failure_rate() * 100.0,
+        summary.tests,
+        summary.wall_secs,
+    );
+    emit(opts, text, &summary)
+}
+
+/// Aggregate a deployment's shard ledgers into one summary (`--store`).
+pub fn merge(opts: &Options, runner: &CampaignRunner) -> Result<(), String> {
+    if opts.store.is_none() {
+        return Err("merge needs --store DIR (the shards' ledger directory)".into());
+    }
+    let (spec, app, procs, errors) = one_deployment(opts)?;
+    let result = runner.merged_from_ledger(&spec)?;
+    let summary = CampaignSummary::of(&spec, &result);
+    if let Some(dir) = &opts.store {
+        let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
+        let path = store.save(&summary).map_err(|e| e.to_string())?;
+        eprintln!("saved {}", path.display());
+    }
+    let text = format!(
+        "{app} p={procs} {:?} (merged from ledger): success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests)\n",
+        errors,
+        summary.fi.success_rate() * 100.0,
+        summary.fi.sdc_rate() * 100.0,
+        summary.fi.failure_rate() * 100.0,
+        summary.tests,
+    );
+    emit(opts, text, &summary)
+}

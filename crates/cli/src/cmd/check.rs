@@ -1,0 +1,78 @@
+//! The `check` command: differential/metamorphic validation of the model.
+
+use crate::opts::Options;
+
+/// The sampling layer `check` validates: the real one, or a named
+/// deliberately broken variant (`--inject-bug`).
+pub fn check_ops(opts: &Options) -> Result<&'static dyn resilim_check::SamplingOps, String> {
+    match opts.inject_bug.as_deref() {
+        None => Ok(&resilim_check::CoreOps),
+        Some("bucket-off-by-one") => Ok(&resilim_check::OffByOneBucket),
+        Some(other) => Err(format!(
+            "unknown --inject-bug '{other}' (available: bucket-off-by-one)"
+        )),
+    }
+}
+
+/// Replay a repro record, or run the oracle loop (smoke roster /
+/// counted / budgeted) and record the first violation.
+pub fn check(opts: &Options) -> Result<(), String> {
+    let ops = check_ops(opts)?;
+    if let Some(path) = &opts.replay {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let record: resilim_check::ReproRecord =
+            serde_json::from_str(&raw).map_err(|e| format!("{path}: {e}"))?;
+        return match resilim_check::replay(&record, ops)? {
+            Some(v) => Err(format!(
+                "repro {path} reproduces on case {} (seed {}): {v}",
+                record.case.id, record.case.seed
+            )),
+            None => {
+                println!(
+                    "repro {path}: case {} (seed {}) now passes oracle {}",
+                    record.case.id, record.case.seed, record.oracle
+                );
+                Ok(())
+            }
+        };
+    }
+    let mut cfg = resilim_check::CheckConfig {
+        smoke: opts.smoke,
+        master_seed: opts.cfg.seed,
+        budget: opts.budget.map(std::time::Duration::from_secs_f64),
+        repro_dir: opts.repro_dir.as_ref().map(std::path::PathBuf::from),
+        ..resilim_check::CheckConfig::default()
+    };
+    if let Some(n) = opts.cases {
+        cfg.cases = n;
+    }
+    let report = resilim_check::run_check(&cfg, ops);
+    match &report.violation {
+        None => {
+            println!(
+                "check: {} case(s), 0 oracle violations ({})",
+                report.cases_run,
+                if opts.smoke {
+                    "smoke roster"
+                } else {
+                    "randomized"
+                },
+            );
+            Ok(())
+        }
+        Some(record) => {
+            if let Some(path) = &report.repro_path {
+                eprintln!("wrote repro record {}", path.display());
+            }
+            Err(format!(
+                "oracle violation after {} case(s), minimized in {} shrink attempt(s):\n  \
+                 [{}] {}\n  minimal case: {}",
+                report.cases_run,
+                report.shrink_attempts,
+                record.oracle,
+                record.message,
+                serde_json::to_string(&record.case).map_err(|e| e.to_string())?,
+            ))
+        }
+    }
+}

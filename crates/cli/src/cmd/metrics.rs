@@ -1,0 +1,14 @@
+//! The `metrics` command: aggregate report from a `--trace` JSONL file.
+
+use crate::opts::{emit, Options};
+use crate::trace::TraceReport;
+
+/// Render the aggregate trace report of a previous run.
+pub fn metrics(opts: &Options) -> Result<(), String> {
+    let path = opts
+        .trace
+        .as_ref()
+        .ok_or("metrics needs --trace FILE (a trace written by a previous run)")?;
+    let report = TraceReport::from_file(path)?;
+    emit(opts, report.render(), &report.to_json_value())
+}

@@ -1,0 +1,26 @@
+//! The `model` command: predict from a `--store` directory (offline).
+
+use crate::opts::{emit, Options};
+use resilim_core::SamplePoints;
+use resilim_harness::experiments::LARGE_SCALE;
+use resilim_harness::store::{model_inputs_from_store, ResultStore};
+
+/// Predict large-scale rates from stored serial + small-scale summaries.
+pub fn model(opts: &Options) -> Result<(), String> {
+    let dir = opts.store.as_ref().ok_or("model needs --store DIR")?;
+    let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
+    let app = *opts.apps.first().ok_or("model needs --apps <one app>")?;
+    let p = opts.scale.unwrap_or(LARGE_SCALE);
+    let s = opts.small.unwrap_or(4);
+    let inputs = model_inputs_from_store(&store, app.name(), p, s, SamplePoints::default(), 0.0)?;
+    let pred = resilim_core::Predictor::new(inputs).predict();
+    let text = format!(
+        "predicted {app} at {p} ranks (from stored serial + {s}-rank data):\n  \
+         success {:.1}%  SDC {:.1}%  failure {:.1}%  (alpha: {})\n",
+        pred.success() * 100.0,
+        pred.sdc() * 100.0,
+        pred.failure() * 100.0,
+        if pred.used_alpha { "yes" } else { "no" },
+    );
+    emit(opts, text, &pred)
+}

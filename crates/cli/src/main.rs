@@ -34,6 +34,12 @@
 //! swaps in a deliberately broken bucket map to demonstrate the
 //! pipeline end to end.
 //!
+//! Adaptive stopping: `--adaptive` ends each campaign as soon as every
+//! outcome class's Wilson interval is narrower than `--ci HALFWIDTH`
+//! (default 0.05), after at least `--min-tests N` trials; `--tests`
+//! becomes the ceiling. The stop point is deterministic for a fixed
+//! seed and configuration, independent of `--jobs`.
+//!
 //! Observability: `--trace FILE` streams structured events (campaign
 //! starts, trials, fired injections, cache lookups) as JSONL; `--metrics`
 //! prints the aggregate counter/histogram report to stderr after the run.
@@ -48,554 +54,13 @@
 //! `--trial-timeout SECS` arms a per-trial watchdog that kills and
 //! retries wedged trials (`--retries N` bounds the attempts).
 
+mod cmd;
+mod opts;
 mod trace;
 
-use resilim_apps::App;
-use resilim_core::SamplePoints;
-use resilim_harness::experiments::{self, ExperimentConfig, LARGE_SCALE, XLARGE_SCALE};
-use resilim_harness::store::{model_inputs_from_store, CampaignSummary, ResultStore};
-use resilim_harness::{CampaignRunner, CampaignSpec, ErrorSpec, RetryPolicy, Shard};
-use std::io::Write as _;
+use opts::{parse_args, Options};
+use resilim_harness::{CampaignRunner, RetryPolicy};
 use std::process::ExitCode;
-
-struct Options {
-    command: String,
-    cfg: ExperimentConfig,
-    json: bool,
-    out: Option<String>,
-    apps: Vec<App>,
-    small: Option<usize>,
-    scale: Option<usize>,
-    errors: Option<String>,
-    store: Option<String>,
-    svg: Option<String>,
-    /// Concurrent fault-injection tests; `None` = auto
-    /// (`available_parallelism() / procs`, the default).
-    jobs: Option<usize>,
-    trace: Option<String>,
-    metrics: bool,
-    /// Skip trials already in the ledger (`--resume`; needs `--store`).
-    resume: bool,
-    /// Deterministic trial partition (`--shard i/N`; needs `--store`).
-    shard: Option<Shard>,
-    /// Per-trial watchdog deadline in seconds (`--trial-timeout`).
-    trial_timeout: Option<f64>,
-    /// Watchdog retry budget (`--retries`; default 2).
-    retries: Option<u32>,
-    /// `check`: run the fixed smoke roster instead of randomized cases.
-    smoke: bool,
-    /// `check`: wall-clock fuzzing budget in seconds (`--budget 300s`).
-    budget: Option<f64>,
-    /// `check`: number of randomized cases (`--cases N`).
-    cases: Option<u64>,
-    /// `check`: replay a repro record instead of generating cases.
-    replay: Option<String>,
-    /// `check`: where to write repro records for failing cases.
-    repro_dir: Option<String>,
-    /// `check`: swap in a deliberately broken sampling layer by name.
-    inject_bug: Option<String>,
-}
-
-fn usage() -> &'static str {
-    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|campaign|merge|model|metrics|check|all>\n\
-     \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
-     \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
-     \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K|auto]\n\
-     \u{20}       [--trace FILE] [--metrics]\n\
-     \u{20}       [--resume] [--shard i/N] [--trial-timeout SECS] [--retries N]\n\
-     \u{20}       [--smoke] [--budget SECS] [--cases N] [--replay FILE] [--repro-dir DIR]\n\
-     \u{20}       [--inject-bug NAME]"
-}
-
-fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
-    let command = args.next().ok_or_else(|| usage().to_string())?;
-    let mut opts = Options {
-        command,
-        cfg: ExperimentConfig::default(),
-        json: false,
-        out: None,
-        apps: App::ALL.to_vec(),
-        small: None,
-        scale: None,
-        errors: None,
-        store: None,
-        svg: None,
-        jobs: None,
-        trace: None,
-        metrics: false,
-        resume: false,
-        shard: None,
-        trial_timeout: None,
-        retries: None,
-        smoke: false,
-        budget: None,
-        cases: None,
-        replay: None,
-        repro_dir: None,
-        inject_bug: None,
-    };
-    while let Some(flag) = args.next() {
-        let mut value = |name: &str| -> Result<String, String> {
-            args.next().ok_or(format!("{name} needs a value"))
-        };
-        match flag.as_str() {
-            "--tests" => {
-                opts.cfg.tests = value("--tests")?
-                    .parse()
-                    .map_err(|e| format!("--tests: {e}"))?
-            }
-            "--seed" => {
-                opts.cfg.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
-            "--json" => opts.json = true,
-            "--out" => opts.out = Some(value("--out")?),
-            "--apps" => {
-                let list = value("--apps")?;
-                opts.apps = list
-                    .split(',')
-                    .map(|s| App::parse(s.trim()).ok_or(format!("unknown app '{s}'")))
-                    .collect::<Result<Vec<_>, _>>()?;
-            }
-            "--small" => {
-                opts.small = Some(
-                    value("--small")?
-                        .parse()
-                        .map_err(|e| format!("--small: {e}"))?,
-                )
-            }
-            "--scale" => {
-                opts.scale = Some(
-                    value("--scale")?
-                        .parse()
-                        .map_err(|e| format!("--scale: {e}"))?,
-                )
-            }
-            "--errors" => opts.errors = Some(value("--errors")?),
-            "--store" => opts.store = Some(value("--store")?),
-            "--svg" => opts.svg = Some(value("--svg")?),
-            "--jobs" => {
-                let v = value("--jobs")?;
-                opts.jobs = if v == "auto" {
-                    None
-                } else {
-                    Some(v.parse().map_err(|e| format!("--jobs: {e}"))?)
-                }
-            }
-            "--trace" => opts.trace = Some(value("--trace")?),
-            "--metrics" => opts.metrics = true,
-            "--resume" => opts.resume = true,
-            "--shard" => opts.shard = Some(Shard::parse(&value("--shard")?)?),
-            "--trial-timeout" => {
-                let secs: f64 = value("--trial-timeout")?
-                    .parse()
-                    .map_err(|e| format!("--trial-timeout: {e}"))?;
-                if !secs.is_finite() || secs <= 0.0 {
-                    return Err("--trial-timeout must be a positive number of seconds".into());
-                }
-                opts.trial_timeout = Some(secs);
-            }
-            "--retries" => {
-                opts.retries = Some(
-                    value("--retries")?
-                        .parse()
-                        .map_err(|e| format!("--retries: {e}"))?,
-                )
-            }
-            "--smoke" => opts.smoke = true,
-            "--budget" => {
-                // Accept "300" and "300s" alike.
-                let v = value("--budget")?;
-                let secs: f64 = v
-                    .strip_suffix('s')
-                    .unwrap_or(&v)
-                    .parse()
-                    .map_err(|e| format!("--budget: {e}"))?;
-                if !secs.is_finite() || secs <= 0.0 {
-                    return Err("--budget must be a positive number of seconds".into());
-                }
-                opts.budget = Some(secs);
-            }
-            "--cases" => {
-                opts.cases = Some(
-                    value("--cases")?
-                        .parse()
-                        .map_err(|e| format!("--cases: {e}"))?,
-                )
-            }
-            "--replay" => opts.replay = Some(value("--replay")?),
-            "--repro-dir" => opts.repro_dir = Some(value("--repro-dir")?),
-            "--inject-bug" => opts.inject_bug = Some(value("--inject-bug")?),
-            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
-        }
-    }
-    if (opts.resume || opts.shard.is_some()) && opts.store.is_none() {
-        return Err("--resume/--shard need --store DIR (the ledger lives there)".into());
-    }
-    Ok(opts)
-}
-
-/// Write an SVG rendering next to the text/JSON output when requested.
-fn write_svg(opts: &Options, svg: String) -> Result<(), String> {
-    if let Some(path) = &opts.svg {
-        std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-    Ok(())
-}
-
-/// Parse an `--errors` spelling: `par`, `ser:N`, `unique`, `multi:K`.
-fn parse_errors(spec: &str, procs: usize) -> Result<ErrorSpec, String> {
-    if spec == "par" {
-        return Ok(ErrorSpec::OneParallel);
-    }
-    if spec == "unique" {
-        return Ok(ErrorSpec::OneParallelUnique);
-    }
-    if let Some(n) = spec.strip_prefix("ser:") {
-        if procs != 1 {
-            return Err("ser:N campaigns need --scale 1".into());
-        }
-        return Ok(ErrorSpec::SerialErrors(
-            n.parse().map_err(|e| format!("ser:N: {e}"))?,
-        ));
-    }
-    if let Some(k) = spec.strip_prefix("multi:") {
-        return Ok(ErrorSpec::OneParallelMultiBit(
-            k.parse().map_err(|e| format!("multi:K: {e}"))?,
-        ));
-    }
-    Err(format!(
-        "unknown --errors '{spec}' (par|ser:N|unique|multi:K)"
-    ))
-}
-
-/// Resolve the single-deployment flags (`--apps`, `--scale`, `--errors`,
-/// `--tests`, `--seed`) shared by the `campaign` and `merge` commands.
-fn one_deployment(opts: &Options) -> Result<(CampaignSpec, App, usize, ErrorSpec), String> {
-    let app = *opts
-        .apps
-        .first()
-        .ok_or(format!("{} needs --apps <one app>", opts.command))?;
-    let procs = opts.scale.unwrap_or(1);
-    let errors = parse_errors(opts.errors.as_deref().unwrap_or("par"), procs)?;
-    let spec = CampaignSpec {
-        spec: app.default_spec(),
-        procs,
-        errors,
-        tests: opts.cfg.tests,
-        seed: opts.cfg.seed,
-        taint_threshold: opts.cfg.taint_threshold,
-        op_mask: Default::default(),
-    };
-    Ok((spec, app, procs, errors))
-}
-
-/// Emit one experiment's text and JSON forms.
-fn emit<T: serde::Serialize>(opts: &Options, text: String, value: &T) -> Result<(), String> {
-    let body = if opts.json {
-        serde_json::to_string_pretty(value).map_err(|e| e.to_string())?
-    } else {
-        text
-    };
-    match &opts.out {
-        Some(path) => {
-            let mut f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-            writeln!(f, "{body}").map_err(|e| e.to_string())?;
-            eprintln!("wrote {path}");
-        }
-        None => println!("{body}"),
-    }
-    Ok(())
-}
-
-fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Result<(), String> {
-    let cfg = &opts.cfg;
-    match command {
-        "table1" => {
-            let t = experiments::table1(runner);
-            emit(opts, t.render(), &t)
-        }
-        "table2" => {
-            let t = experiments::table2(runner, cfg);
-            emit(opts, t.render(), &t)
-        }
-        "fig1" | "fig2" => {
-            let app = if command == "fig1" { App::Cg } else { App::Ft };
-            let small = opts.small.unwrap_or(8);
-            let large = opts.scale.unwrap_or(LARGE_SCALE);
-            let fig = experiments::fig_propagation(runner, cfg, app, small, large);
-            write_svg(opts, fig.to_svg())?;
-            emit(opts, fig.render(), &fig)
-        }
-        "fig3" => {
-            let fig = experiments::fig3(runner, cfg, &opts.apps, opts.small.unwrap_or(8));
-            write_svg(opts, fig.to_svg())?;
-            emit(opts, fig.render(), &fig)
-        }
-        "fig5" | "fig6" => {
-            let s = opts.small.unwrap_or(if command == "fig5" { 4 } else { 8 });
-            let p = opts.scale.unwrap_or(LARGE_SCALE);
-            let apps: Vec<App> = opts
-                .apps
-                .iter()
-                .copied()
-                .filter(|a| a.max_procs() >= p)
-                .collect();
-            let report = experiments::prediction(runner, cfg, &apps, p, s, SamplePoints::default());
-            write_svg(opts, report.to_svg())?;
-            emit(opts, report.render(), &report)
-        }
-        "fig7" => {
-            let p = opts.scale.unwrap_or(XLARGE_SCALE);
-            let apps: Vec<App> = opts
-                .apps
-                .iter()
-                .copied()
-                .filter(|a| a.max_procs() >= p)
-                .collect();
-            if apps.is_empty() {
-                return Err(format!("no selected app decomposes to {p} ranks"));
-            }
-            let mut text = String::new();
-            let mut reports = Vec::new();
-            for s in [4usize, 8] {
-                let report =
-                    experiments::prediction(runner, cfg, &apps, p, s, SamplePoints::default());
-                text.push_str(&report.render());
-                reports.push(report);
-            }
-            emit(opts, text, &reports)
-        }
-        "fig8" => {
-            let fig = experiments::fig8(runner, cfg, &[4, 8, 16, 32]);
-            write_svg(opts, fig.to_svg())?;
-            emit(opts, fig.render(), &fig)
-        }
-        "motivation" => {
-            let m = experiments::motivation(runner, cfg, opts.scale.unwrap_or(4));
-            emit(opts, m.render(), &m)
-        }
-        "apps" => {
-            let mut text = String::from("fault-free verification runs\n");
-            let mut rows = Vec::new();
-            for &app in &opts.apps {
-                let golden = runner.golden().get(&app.default_spec(), 1);
-                let par = runner
-                    .golden()
-                    .get(&app.default_spec(), 4.min(app.max_procs()));
-                let diff = par.output.max_rel_diff(&golden.output).unwrap();
-                text.push_str(&format!(
-                    "{app}: digest {:?}\n  serial-vs-4-rank rel diff {diff:.2e}, ops {}, unique share {:.2}%\n",
-                    &golden.output.digest,
-                    golden.injectable_total(),
-                    par.unique_share() * 100.0,
-                ));
-                rows.push(serde_json::json!({
-                    "app": app.name(),
-                    "digest": golden.output.digest,
-                    "rel_diff_serial_vs_4": diff,
-                    "unique_share": par.unique_share(),
-                }));
-            }
-            emit(opts, text, &rows)
-        }
-        "weak" => {
-            let s = opts.small.unwrap_or(4);
-            let targets: Vec<usize> = match opts.scale {
-                Some(p) => vec![p],
-                None => vec![4, 16],
-            };
-            let study = experiments::weak_scaling(runner, cfg, &opts.apps, s, &targets);
-            emit(opts, study.render(), &study)
-        }
-        "campaign" => {
-            let (spec, app, procs, errors) = one_deployment(opts)?;
-            let result = runner.run(&spec);
-            if let Some(shard) = runner.shard() {
-                // A shard's result is partial: it is ledgered for
-                // `resilim merge`, never stored as a campaign summary.
-                let text = format!(
-                    "{app} p={procs} {:?} shard {shard}: ran {} of {} trials \
-                     (ledgered; run `resilim merge` once every shard finished)\n",
-                    errors,
-                    result.outcomes.len(),
-                    spec.tests,
-                );
-                let value = serde_json::json!({
-                    "app": app.name(),
-                    "procs": procs,
-                    "shard": shard.to_string(),
-                    "trials_ran": result.outcomes.len(),
-                    "tests": spec.tests,
-                });
-                return emit(opts, text, &value);
-            }
-            let summary = CampaignSummary::of(&spec, &result);
-            if let Some(dir) = &opts.store {
-                let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
-                let path = store.save(&summary).map_err(|e| e.to_string())?;
-                eprintln!("saved {}", path.display());
-            }
-            let text = format!(
-                "{app} p={procs} {:?}: success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests, {:.2}s)\n",
-                errors,
-                summary.fi.success_rate() * 100.0,
-                summary.fi.sdc_rate() * 100.0,
-                summary.fi.failure_rate() * 100.0,
-                summary.tests,
-                summary.wall_secs,
-            );
-            emit(opts, text, &summary)
-        }
-        "merge" => {
-            if opts.store.is_none() {
-                return Err("merge needs --store DIR (the shards' ledger directory)".into());
-            }
-            let (spec, app, procs, errors) = one_deployment(opts)?;
-            let result = runner.merged_from_ledger(&spec)?;
-            let summary = CampaignSummary::of(&spec, &result);
-            if let Some(dir) = &opts.store {
-                let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
-                let path = store.save(&summary).map_err(|e| e.to_string())?;
-                eprintln!("saved {}", path.display());
-            }
-            let text = format!(
-                "{app} p={procs} {:?} (merged from ledger): success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests)\n",
-                errors,
-                summary.fi.success_rate() * 100.0,
-                summary.fi.sdc_rate() * 100.0,
-                summary.fi.failure_rate() * 100.0,
-                summary.tests,
-            );
-            emit(opts, text, &summary)
-        }
-        "model" => {
-            let dir = opts.store.as_ref().ok_or("model needs --store DIR")?;
-            let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
-            let app = *opts.apps.first().ok_or("model needs --apps <one app>")?;
-            let p = opts.scale.unwrap_or(LARGE_SCALE);
-            let s = opts.small.unwrap_or(4);
-            let inputs =
-                model_inputs_from_store(&store, app.name(), p, s, SamplePoints::default(), 0.0)?;
-            let pred = resilim_core::Predictor::new(inputs).predict();
-            let text = format!(
-                "predicted {app} at {p} ranks (from stored serial + {s}-rank data):\n  \
-                 success {:.1}%  SDC {:.1}%  failure {:.1}%  (alpha: {})\n",
-                pred.success() * 100.0,
-                pred.sdc() * 100.0,
-                pred.failure() * 100.0,
-                if pred.used_alpha { "yes" } else { "no" },
-            );
-            emit(opts, text, &pred)
-        }
-        "check" => run_check_command(opts),
-        "metrics" => {
-            let path = opts
-                .trace
-                .as_ref()
-                .ok_or("metrics needs --trace FILE (a trace written by a previous run)")?;
-            let report = trace::TraceReport::from_file(path)?;
-            emit(opts, report.render(), &report.to_json_value())
-        }
-        "all" => {
-            for cmd in [
-                "apps",
-                "motivation",
-                "table1",
-                "table2",
-                "fig1",
-                "fig2",
-                "fig3",
-                "fig5",
-                "fig6",
-                "fig7",
-                "fig8",
-            ] {
-                eprintln!("--- {cmd} ---");
-                run_command(opts, runner, cmd)?;
-            }
-            Ok(())
-        }
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
-    }
-}
-
-/// The sampling layer `check` validates: the real one, or a named
-/// deliberately broken variant (`--inject-bug`).
-fn check_ops(opts: &Options) -> Result<&'static dyn resilim_check::SamplingOps, String> {
-    match opts.inject_bug.as_deref() {
-        None => Ok(&resilim_check::CoreOps),
-        Some("bucket-off-by-one") => Ok(&resilim_check::OffByOneBucket),
-        Some(other) => Err(format!(
-            "unknown --inject-bug '{other}' (available: bucket-off-by-one)"
-        )),
-    }
-}
-
-/// The `check` command: replay a repro record, or run the oracle loop
-/// (smoke roster / counted / budgeted) and record the first violation.
-fn run_check_command(opts: &Options) -> Result<(), String> {
-    let ops = check_ops(opts)?;
-    if let Some(path) = &opts.replay {
-        let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let record: resilim_check::ReproRecord =
-            serde_json::from_str(&raw).map_err(|e| format!("{path}: {e}"))?;
-        return match resilim_check::replay(&record, ops)? {
-            Some(v) => Err(format!(
-                "repro {path} reproduces on case {} (seed {}): {v}",
-                record.case.id, record.case.seed
-            )),
-            None => {
-                println!(
-                    "repro {path}: case {} (seed {}) now passes oracle {}",
-                    record.case.id, record.case.seed, record.oracle
-                );
-                Ok(())
-            }
-        };
-    }
-    let mut cfg = resilim_check::CheckConfig {
-        smoke: opts.smoke,
-        master_seed: opts.cfg.seed,
-        budget: opts.budget.map(std::time::Duration::from_secs_f64),
-        repro_dir: opts.repro_dir.as_ref().map(std::path::PathBuf::from),
-        ..resilim_check::CheckConfig::default()
-    };
-    if let Some(n) = opts.cases {
-        cfg.cases = n;
-    }
-    let report = resilim_check::run_check(&cfg, ops);
-    match &report.violation {
-        None => {
-            println!(
-                "check: {} case(s), 0 oracle violations ({})",
-                report.cases_run,
-                if opts.smoke {
-                    "smoke roster"
-                } else {
-                    "randomized"
-                },
-            );
-            Ok(())
-        }
-        Some(record) => {
-            if let Some(path) = &report.repro_path {
-                eprintln!("wrote repro record {}", path.display());
-            }
-            Err(format!(
-                "oracle violation after {} case(s), minimized in {} shrink attempt(s):\n  \
-                 [{}] {}\n  minimal case: {}",
-                report.cases_run,
-                report.shrink_attempts,
-                record.oracle,
-                record.message,
-                serde_json::to_string(&record.case).map_err(|e| e.to_string())?,
-            ))
-        }
-    }
-}
 
 /// Turn the observability recorder on and install the requested sinks.
 /// No-op (recorder stays off, campaigns run untraced) without `--trace`
@@ -614,19 +79,8 @@ fn setup_observability(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Err(e) = setup_observability(&opts) {
-        eprintln!("error: {e}");
-        return ExitCode::FAILURE;
-    }
-    let metrics_before = resilim_obs::MetricsSnapshot::capture();
+/// Build the campaign runner the parsed flags describe.
+fn build_runner(opts: &Options) -> CampaignRunner {
     let mut runner = match opts.jobs {
         None => CampaignRunner::new().with_auto_parallelism(),
         Some(k) => CampaignRunner::new().with_test_parallelism(k),
@@ -650,7 +104,24 @@ fn main() -> ExitCode {
     if let Some(retries) = opts.retries {
         runner = runner.with_retry_policy(RetryPolicy::default().with_max_retries(retries));
     }
-    let outcome = run_command(&opts, &runner, &opts.command.clone());
+    runner
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = setup_observability(&opts) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let metrics_before = resilim_obs::MetricsSnapshot::capture();
+    let runner = build_runner(&opts);
+    let outcome = cmd::run_command(&opts, &runner, &opts.command.clone());
     resilim_obs::flush_sinks();
     if opts.metrics && opts.command != "metrics" {
         eprint!(
@@ -666,130 +137,5 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(args: &[&str]) -> Result<Options, String> {
-        parse_args(args.iter().map(|s| s.to_string()))
-    }
-
-    #[test]
-    fn parses_command_and_flags() {
-        let opts = parse(&["fig5", "--tests", "500", "--seed", "9", "--json"]).unwrap();
-        assert_eq!(opts.command, "fig5");
-        assert_eq!(opts.cfg.tests, 500);
-        assert_eq!(opts.cfg.seed, 9);
-        assert!(opts.json);
-        assert_eq!(opts.apps.len(), App::ALL.len());
-    }
-
-    #[test]
-    fn parses_app_list() {
-        let opts = parse(&["table2", "--apps", "cg,ft"]).unwrap();
-        assert_eq!(opts.apps, vec![App::Cg, App::Ft]);
-    }
-
-    #[test]
-    fn parses_scales() {
-        let opts = parse(&["fig6", "--small", "8", "--scale", "32"]).unwrap();
-        assert_eq!(opts.small, Some(8));
-        assert_eq!(opts.scale, Some(32));
-    }
-
-    #[test]
-    fn rejects_unknown_flag_and_app() {
-        assert!(parse(&["fig5", "--bogus"]).is_err());
-        assert!(parse(&["fig5", "--apps", "nope"]).is_err());
-        assert!(parse(&[]).is_err());
-    }
-
-    #[test]
-    fn rejects_missing_value() {
-        assert!(parse(&["fig5", "--tests"]).is_err());
-    }
-
-    #[test]
-    fn jobs_defaults_to_auto() {
-        assert_eq!(parse(&["fig5"]).unwrap().jobs, None);
-        assert_eq!(parse(&["fig5", "--jobs", "auto"]).unwrap().jobs, None);
-        assert_eq!(parse(&["fig5", "--jobs", "3"]).unwrap().jobs, Some(3));
-        assert!(parse(&["fig5", "--jobs", "many"]).is_err());
-    }
-
-    #[test]
-    fn parses_ledger_flags() {
-        let opts = parse(&[
-            "campaign",
-            "--store",
-            "st",
-            "--resume",
-            "--shard",
-            "1/3",
-            "--trial-timeout",
-            "2.5",
-            "--retries",
-            "4",
-        ])
-        .unwrap();
-        assert!(opts.resume);
-        assert_eq!(opts.shard, Some(Shard { index: 1, count: 3 }));
-        assert_eq!(opts.trial_timeout, Some(2.5));
-        assert_eq!(opts.retries, Some(4));
-    }
-
-    #[test]
-    fn ledger_flags_need_a_store() {
-        assert!(parse(&["campaign", "--resume"]).is_err());
-        assert!(parse(&["campaign", "--shard", "0/2"]).is_err());
-        assert!(parse(&["campaign", "--shard", "5/2", "--store", "st"]).is_err());
-        assert!(parse(&["campaign", "--trial-timeout", "-1", "--store", "st"]).is_err());
-    }
-
-    #[test]
-    fn parses_check_flags() {
-        let opts = parse(&[
-            "check",
-            "--smoke",
-            "--budget",
-            "300s",
-            "--cases",
-            "9",
-            "--repro-dir",
-            "repros",
-            "--inject-bug",
-            "bucket-off-by-one",
-        ])
-        .unwrap();
-        assert!(opts.smoke);
-        assert_eq!(opts.budget, Some(300.0));
-        assert_eq!(opts.cases, Some(9));
-        assert_eq!(opts.repro_dir.as_deref(), Some("repros"));
-        assert!(check_ops(&opts).is_ok());
-        assert_eq!(
-            parse(&["check", "--budget", "45"]).unwrap().budget,
-            Some(45.0)
-        );
-        assert_eq!(
-            parse(&["check", "--replay", "r.json"])
-                .unwrap()
-                .replay
-                .as_deref(),
-            Some("r.json")
-        );
-        assert!(parse(&["check", "--budget", "-3"]).is_err());
-        assert!(parse(&["check", "--budget", "soon"]).is_err());
-        let bogus = parse(&["check", "--inject-bug", "nope"]).unwrap();
-        assert!(check_ops(&bogus).is_err());
-    }
-
-    #[test]
-    fn unknown_command_errors_at_dispatch() {
-        let opts = parse(&["wat"]).unwrap();
-        let runner = CampaignRunner::new();
-        assert!(run_command(&opts, &runner, "wat").is_err());
     }
 }

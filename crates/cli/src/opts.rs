@@ -1,0 +1,452 @@
+//! Command-line parsing and the shared output plumbing.
+//!
+//! Every subcommand reads the same [`Options`] struct; flag validation
+//! (which flags need which others) happens once at the end of
+//! [`parse_args`] so subcommands can trust the combination they see.
+
+use resilim_apps::App;
+use resilim_core::StopRule;
+use resilim_harness::experiments::ExperimentConfig;
+use resilim_harness::{CampaignSpec, ErrorSpec, Shard};
+use std::io::Write as _;
+
+/// Parsed command line: the subcommand plus every flag.
+pub struct Options {
+    pub command: String,
+    pub cfg: ExperimentConfig,
+    pub json: bool,
+    pub out: Option<String>,
+    pub apps: Vec<App>,
+    pub small: Option<usize>,
+    pub scale: Option<usize>,
+    pub errors: Option<String>,
+    pub store: Option<String>,
+    pub svg: Option<String>,
+    /// Concurrent fault-injection tests; `None` = auto
+    /// (`available_parallelism() / procs`, the default).
+    pub jobs: Option<usize>,
+    pub trace: Option<String>,
+    pub metrics: bool,
+    /// Skip trials already in the ledger (`--resume`; needs `--store`).
+    pub resume: bool,
+    /// Deterministic trial partition (`--shard i/N`; needs `--store`).
+    pub shard: Option<Shard>,
+    /// Per-trial watchdog deadline in seconds (`--trial-timeout`).
+    pub trial_timeout: Option<f64>,
+    /// Watchdog retry budget (`--retries`; default 2).
+    pub retries: Option<u32>,
+    /// Adaptive stopping: end each campaign once every outcome class's
+    /// Wilson interval is tight enough (`--adaptive`; `--tests` becomes
+    /// the ceiling).
+    pub adaptive: bool,
+    /// Target Wilson half-width for `--adaptive` (`--ci`; default 0.05).
+    pub ci: Option<f64>,
+    /// Minimum trials before `--adaptive` may stop (`--min-tests`).
+    pub min_tests: Option<u64>,
+    /// `check`: run the fixed smoke roster instead of randomized cases.
+    pub smoke: bool,
+    /// `check`: wall-clock fuzzing budget in seconds (`--budget 300s`).
+    pub budget: Option<f64>,
+    /// `check`: number of randomized cases (`--cases N`).
+    pub cases: Option<u64>,
+    /// `check`: replay a repro record instead of generating cases.
+    pub replay: Option<String>,
+    /// `check`: where to write repro records for failing cases.
+    pub repro_dir: Option<String>,
+    /// `check`: swap in a deliberately broken sampling layer by name.
+    pub inject_bug: Option<String>,
+}
+
+/// One-screen usage text.
+pub fn usage() -> &'static str {
+    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|campaign|merge|model|metrics|check|all>\n\
+     \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
+     \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
+     \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K|auto]\n\
+     \u{20}       [--adaptive] [--ci HALFWIDTH] [--min-tests N]\n\
+     \u{20}       [--trace FILE] [--metrics]\n\
+     \u{20}       [--resume] [--shard i/N] [--trial-timeout SECS] [--retries N]\n\
+     \u{20}       [--smoke] [--budget SECS] [--cases N] [--replay FILE] [--repro-dir DIR]\n\
+     \u{20}       [--inject-bug NAME]"
+}
+
+/// Parse the argument vector (program name already stripped).
+pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let command = args.next().ok_or_else(|| usage().to_string())?;
+    let mut opts = Options {
+        command,
+        cfg: ExperimentConfig::default(),
+        json: false,
+        out: None,
+        apps: App::ALL.to_vec(),
+        small: None,
+        scale: None,
+        errors: None,
+        store: None,
+        svg: None,
+        jobs: None,
+        trace: None,
+        metrics: false,
+        resume: false,
+        shard: None,
+        trial_timeout: None,
+        retries: None,
+        adaptive: false,
+        ci: None,
+        min_tests: None,
+        smoke: false,
+        budget: None,
+        cases: None,
+        replay: None,
+        repro_dir: None,
+        inject_bug: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--tests" => {
+                opts.cfg.tests = value("--tests")?
+                    .parse()
+                    .map_err(|e| format!("--tests: {e}"))?
+            }
+            "--seed" => {
+                opts.cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(value("--out")?),
+            "--apps" => {
+                let list = value("--apps")?;
+                opts.apps = list
+                    .split(',')
+                    .map(|s| App::parse(s.trim()).ok_or(format!("unknown app '{s}'")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--small" => {
+                opts.small = Some(
+                    value("--small")?
+                        .parse()
+                        .map_err(|e| format!("--small: {e}"))?,
+                )
+            }
+            "--scale" => {
+                opts.scale = Some(
+                    value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?,
+                )
+            }
+            "--errors" => opts.errors = Some(value("--errors")?),
+            "--store" => opts.store = Some(value("--store")?),
+            "--svg" => opts.svg = Some(value("--svg")?),
+            "--jobs" => {
+                let v = value("--jobs")?;
+                opts.jobs = if v == "auto" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|e| format!("--jobs: {e}"))?)
+                }
+            }
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--metrics" => opts.metrics = true,
+            "--resume" => opts.resume = true,
+            "--shard" => opts.shard = Some(Shard::parse(&value("--shard")?)?),
+            "--trial-timeout" => {
+                let secs: f64 = value("--trial-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--trial-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--trial-timeout must be a positive number of seconds".into());
+                }
+                opts.trial_timeout = Some(secs);
+            }
+            "--retries" => {
+                opts.retries = Some(
+                    value("--retries")?
+                        .parse()
+                        .map_err(|e| format!("--retries: {e}"))?,
+                )
+            }
+            "--adaptive" => opts.adaptive = true,
+            "--ci" => {
+                let hw: f64 = value("--ci")?.parse().map_err(|e| format!("--ci: {e}"))?;
+                if !hw.is_finite() || hw <= 0.0 || hw >= 0.5 {
+                    return Err("--ci must be a half-width in (0, 0.5)".into());
+                }
+                opts.ci = Some(hw);
+            }
+            "--min-tests" => {
+                opts.min_tests = Some(
+                    value("--min-tests")?
+                        .parse()
+                        .map_err(|e| format!("--min-tests: {e}"))?,
+                )
+            }
+            "--smoke" => opts.smoke = true,
+            "--budget" => {
+                // Accept "300" and "300s" alike.
+                let v = value("--budget")?;
+                let secs: f64 = v
+                    .strip_suffix('s')
+                    .unwrap_or(&v)
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--budget must be a positive number of seconds".into());
+                }
+                opts.budget = Some(secs);
+            }
+            "--cases" => {
+                opts.cases = Some(
+                    value("--cases")?
+                        .parse()
+                        .map_err(|e| format!("--cases: {e}"))?,
+                )
+            }
+            "--replay" => opts.replay = Some(value("--replay")?),
+            "--repro-dir" => opts.repro_dir = Some(value("--repro-dir")?),
+            "--inject-bug" => opts.inject_bug = Some(value("--inject-bug")?),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    if (opts.resume || opts.shard.is_some()) && opts.store.is_none() {
+        return Err("--resume/--shard need --store DIR (the ledger lives there)".into());
+    }
+    if (opts.ci.is_some() || opts.min_tests.is_some()) && !opts.adaptive {
+        return Err("--ci/--min-tests need --adaptive".into());
+    }
+    if opts.adaptive && opts.shard.is_some() {
+        // A shard sees only every N-th trial, so the in-order prefix the
+        // stop rule must be evaluated on does not exist locally.
+        return Err("--adaptive cannot be combined with --shard (run the full campaign)".into());
+    }
+    if opts.adaptive {
+        let mut rule = StopRule::new(opts.ci.unwrap_or(0.05));
+        if let Some(n) = opts.min_tests {
+            rule = rule.with_min_tests(n);
+        }
+        opts.cfg.stop = Some(rule);
+    }
+    Ok(opts)
+}
+
+/// Write an SVG rendering next to the text/JSON output when requested.
+pub fn write_svg(opts: &Options, svg: String) -> Result<(), String> {
+    if let Some(path) = &opts.svg {
+        std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Parse an `--errors` spelling: `par`, `ser:N`, `unique`, `multi:K`.
+pub fn parse_errors(spec: &str, procs: usize) -> Result<ErrorSpec, String> {
+    if spec == "par" {
+        return Ok(ErrorSpec::OneParallel);
+    }
+    if spec == "unique" {
+        return Ok(ErrorSpec::OneParallelUnique);
+    }
+    if let Some(n) = spec.strip_prefix("ser:") {
+        if procs != 1 {
+            return Err("ser:N campaigns need --scale 1".into());
+        }
+        return Ok(ErrorSpec::SerialErrors(
+            n.parse().map_err(|e| format!("ser:N: {e}"))?,
+        ));
+    }
+    if let Some(k) = spec.strip_prefix("multi:") {
+        return Ok(ErrorSpec::OneParallelMultiBit(
+            k.parse().map_err(|e| format!("multi:K: {e}"))?,
+        ));
+    }
+    Err(format!(
+        "unknown --errors '{spec}' (par|ser:N|unique|multi:K)"
+    ))
+}
+
+/// Resolve the single-deployment flags (`--apps`, `--scale`, `--errors`,
+/// `--tests`, `--seed`) shared by the `campaign` and `merge` commands.
+pub fn one_deployment(opts: &Options) -> Result<(CampaignSpec, App, usize, ErrorSpec), String> {
+    let app = *opts
+        .apps
+        .first()
+        .ok_or(format!("{} needs --apps <one app>", opts.command))?;
+    let procs = opts.scale.unwrap_or(1);
+    let errors = parse_errors(opts.errors.as_deref().unwrap_or("par"), procs)?;
+    let spec = opts.cfg.campaign(app.default_spec(), procs, errors);
+    Ok((spec, app, procs, errors))
+}
+
+/// Emit one experiment's text and JSON forms.
+pub fn emit<T: serde::Serialize>(opts: &Options, text: String, value: &T) -> Result<(), String> {
+    let body = if opts.json {
+        serde_json::to_string_pretty(value).map_err(|e| e.to_string())?
+    } else {
+        text
+    };
+    match &opts.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            writeln!(f, "{body}").map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{body}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let opts = parse(&["fig5", "--tests", "500", "--seed", "9", "--json"]).unwrap();
+        assert_eq!(opts.command, "fig5");
+        assert_eq!(opts.cfg.tests, 500);
+        assert_eq!(opts.cfg.seed, 9);
+        assert!(opts.json);
+        assert_eq!(opts.apps.len(), App::ALL.len());
+    }
+
+    #[test]
+    fn parses_app_list() {
+        let opts = parse(&["table2", "--apps", "cg,ft"]).unwrap();
+        assert_eq!(opts.apps, vec![App::Cg, App::Ft]);
+    }
+
+    #[test]
+    fn parses_scales() {
+        let opts = parse(&["fig6", "--small", "8", "--scale", "32"]).unwrap();
+        assert_eq!(opts.small, Some(8));
+        assert_eq!(opts.scale, Some(32));
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_app() {
+        assert!(parse(&["fig5", "--bogus"]).is_err());
+        assert!(parse(&["fig5", "--apps", "nope"]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&["fig5", "--tests"]).is_err());
+    }
+
+    #[test]
+    fn jobs_defaults_to_auto() {
+        assert_eq!(parse(&["fig5"]).unwrap().jobs, None);
+        assert_eq!(parse(&["fig5", "--jobs", "auto"]).unwrap().jobs, None);
+        assert_eq!(parse(&["fig5", "--jobs", "3"]).unwrap().jobs, Some(3));
+        assert!(parse(&["fig5", "--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn parses_ledger_flags() {
+        let opts = parse(&[
+            "campaign",
+            "--store",
+            "st",
+            "--resume",
+            "--shard",
+            "1/3",
+            "--trial-timeout",
+            "2.5",
+            "--retries",
+            "4",
+        ])
+        .unwrap();
+        assert!(opts.resume);
+        assert_eq!(opts.shard, Some(Shard { index: 1, count: 3 }));
+        assert_eq!(opts.trial_timeout, Some(2.5));
+        assert_eq!(opts.retries, Some(4));
+    }
+
+    #[test]
+    fn ledger_flags_need_a_store() {
+        assert!(parse(&["campaign", "--resume"]).is_err());
+        assert!(parse(&["campaign", "--shard", "0/2"]).is_err());
+        assert!(parse(&["campaign", "--shard", "5/2", "--store", "st"]).is_err());
+        assert!(parse(&["campaign", "--trial-timeout", "-1", "--store", "st"]).is_err());
+    }
+
+    #[test]
+    fn adaptive_flags_build_a_stop_rule() {
+        let opts = parse(&["campaign", "--adaptive"]).unwrap();
+        let rule = opts.cfg.stop.unwrap();
+        assert_eq!(rule.ci_halfwidth, 0.05);
+        assert_eq!(rule.min_tests, resilim_core::accum::DEFAULT_MIN_TESTS);
+
+        let opts = parse(&[
+            "campaign",
+            "--adaptive",
+            "--ci",
+            "0.02",
+            "--min-tests",
+            "30",
+        ])
+        .unwrap();
+        let rule = opts.cfg.stop.unwrap();
+        assert_eq!(rule.ci_halfwidth, 0.02);
+        assert_eq!(rule.min_tests, 30);
+
+        assert!(parse(&["campaign"]).unwrap().cfg.stop.is_none());
+    }
+
+    #[test]
+    fn adaptive_flag_combinations_are_validated() {
+        assert!(parse(&["campaign", "--ci", "0.02"]).is_err());
+        assert!(parse(&["campaign", "--min-tests", "9"]).is_err());
+        assert!(parse(&["campaign", "--adaptive", "--ci", "0.6"]).is_err());
+        assert!(parse(&["campaign", "--adaptive", "--ci", "0"]).is_err());
+        assert!(parse(&["campaign", "--adaptive", "--shard", "0/2", "--store", "st"]).is_err());
+        // Adaptive + resume is fine: resumed trials replay the prefix.
+        assert!(parse(&["campaign", "--adaptive", "--resume", "--store", "st"]).is_ok());
+    }
+
+    #[test]
+    fn parses_check_flags() {
+        let opts = parse(&[
+            "check",
+            "--smoke",
+            "--budget",
+            "300s",
+            "--cases",
+            "9",
+            "--repro-dir",
+            "repros",
+            "--inject-bug",
+            "bucket-off-by-one",
+        ])
+        .unwrap();
+        assert!(opts.smoke);
+        assert_eq!(opts.budget, Some(300.0));
+        assert_eq!(opts.cases, Some(9));
+        assert_eq!(opts.repro_dir.as_deref(), Some("repros"));
+        assert!(crate::cmd::check::check_ops(&opts).is_ok());
+        assert_eq!(
+            parse(&["check", "--budget", "45"]).unwrap().budget,
+            Some(45.0)
+        );
+        assert_eq!(
+            parse(&["check", "--replay", "r.json"])
+                .unwrap()
+                .replay
+                .as_deref(),
+            Some("r.json")
+        );
+        assert!(parse(&["check", "--budget", "-3"]).is_err());
+        assert!(parse(&["check", "--budget", "soon"]).is_err());
+        let bogus = parse(&["check", "--inject-bug", "nope"]).unwrap();
+        assert!(crate::cmd::check::check_ops(&bogus).is_err());
+    }
+}

@@ -25,12 +25,14 @@
 //! independent of the simulator and can be applied to externally collected
 //! fault-injection results (see `examples/external_data.rs`).
 
+pub mod accum;
 pub mod accuracy;
 pub mod fi;
 pub mod model;
 pub mod propagation;
 pub mod sampling;
 
+pub use accum::{FiAccumulator, StopRule};
 pub use accuracy::{prediction_error, rmse};
 pub use fi::FiResult;
 pub use model::{ModelInputs, Prediction, Predictor};

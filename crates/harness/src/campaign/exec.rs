@@ -1,0 +1,215 @@
+//! Single-trial execution: draw the injection plan, run the world on an
+//! [`ExecBackend`], harvest and classify the outcome.
+
+use super::spec::{CampaignSpec, ErrorSpec};
+use crate::golden::GoldenRun;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use resilim_apps::AppOutput;
+use resilim_inject::{FailureKind, InjectionPlan, Operand, RankCtx, Region, Target, TestOutcome};
+use resilim_simmpi::{ExecBackend, PanicKind, World};
+use std::collections::HashMap;
+
+/// Plan and execute a single fault-injection test on `backend`. The
+/// second return is whether the wall-clock watchdog tripped *and* the
+/// trial failed because of it — a trial that completes despite a late
+/// trip is classified normally.
+pub(super) fn execute_trial(
+    spec: &CampaignSpec,
+    golden: &GoldenRun,
+    op_cap: u64,
+    test: usize,
+    backend: &dyn ExecBackend<AppOutput>,
+) -> (TestOutcome, bool) {
+    let mut rng =
+        SmallRng::seed_from_u64(spec.seed ^ resilim_apps::util::splitmix64(test as u64 + 0x1000));
+    let plans = plan_test(&mut rng, spec, golden);
+
+    let world = World::new(spec.procs);
+    let app = spec.spec.clone();
+    let plans_ref = &plans;
+    let mk_ctx = move |rank: usize| {
+        let plan = plans_ref
+            .get(&rank)
+            .cloned()
+            .unwrap_or_else(InjectionPlan::none);
+        Some(
+            RankCtx::new(rank, plan)
+                .with_op_cap(op_cap)
+                .with_taint_threshold(spec.taint_threshold)
+                .with_op_mask(spec.op_mask),
+        )
+    };
+    let body = move |comm: &resilim_simmpi::Comm| app.run_rank(comm);
+    let (results, tripped) = backend.run(&world, &mk_ctx, &body);
+
+    // Harvest: contamination, fired count, failures, rank-0 output.
+    let mut contaminated = 0usize;
+    let mut fired = 0usize;
+    let mut failure: Option<FailureKind> = None;
+    let mut output = None;
+    for r in &results {
+        let report = r.ctx_report.as_ref().expect("ctx always installed");
+        if report.contaminated {
+            contaminated += 1;
+        }
+        fired += report.fired.len();
+        match &r.result {
+            Ok(out) => {
+                if r.rank == 0 {
+                    output = Some(out.clone());
+                }
+            }
+            Err(panic) => {
+                let kind = match panic.kind {
+                    PanicKind::HangGuard | PanicKind::RecvTimeout => FailureKind::Hang,
+                    PanicKind::Crash => FailureKind::Crash,
+                    // Secondary death: keep looking for the primary
+                    // cause; default to crash if none found.
+                    PanicKind::FabricDead => FailureKind::Crash,
+                };
+                failure = Some(match (failure, panic.kind) {
+                    // A real crash/hang overrides a secondary failure.
+                    (Some(prev), PanicKind::FabricDead) => prev,
+                    _ => kind,
+                });
+            }
+        }
+    }
+    // A watchdog trip only counts when it actually killed the trial:
+    // a run that completed before the poison landed has a legitimate
+    // outcome and must not be reclassified (or retried).
+    let tripped = tripped && failure.is_some();
+    // `contaminated` may legitimately be 0: a planned fault whose
+    // target op was never reached fires nothing and taints nothing.
+    // Such tests are aggregated into `uncontaminated`, not `by_contam`.
+    if let Some(kind) = failure {
+        return (TestOutcome::failure(kind, contaminated, fired), tripped);
+    }
+    let output = output.expect("rank 0 finished without failure");
+    let outcome = if output.identical(&golden.output) {
+        TestOutcome::success(true, contaminated, fired)
+    } else if output.passes_checker(&golden.output, spec.spec.app().epsilon()) {
+        TestOutcome::success(false, contaminated, fired)
+    } else {
+        TestOutcome::sdc(contaminated, fired)
+    };
+    (outcome, false)
+}
+
+/// Draw the injection plan(s) for one test: a map rank → plan.
+fn plan_test(
+    rng: &mut SmallRng,
+    spec: &CampaignSpec,
+    golden: &GoldenRun,
+) -> HashMap<usize, InjectionPlan> {
+    let mut plans = HashMap::new();
+    match spec.errors {
+        ErrorSpec::OneParallel | ErrorSpec::OneParallelMultiBit(_) => {
+            // Uniform over every injectable op of the whole execution.
+            let total = golden.injectable_total();
+            assert!(total > 0, "no injectable ops profiled");
+            let mut g = rng.gen_range(0..total);
+            let mut chosen = None;
+            'outer: for (rank, profile) in golden.profiles.iter().enumerate() {
+                for region in Region::ALL {
+                    let count = profile.injectable(region);
+                    if g < count {
+                        chosen = Some((rank, region, g));
+                        break 'outer;
+                    }
+                    g -= count;
+                }
+            }
+            let (rank, region, op_index) = chosen.expect("g < total");
+            let targets = draw_targets(rng, spec.errors, region, op_index);
+            plans.insert(rank, InjectionPlan::multi(targets));
+        }
+        ErrorSpec::OneParallelUnique => {
+            // Uniform over the parallel-unique ops of the whole execution.
+            let total = golden.injectable(Region::ParallelUnique);
+            assert!(
+                total > 0,
+                "OneParallelUnique needs parallel-unique computation"
+            );
+            let mut g = rng.gen_range(0..total);
+            let mut chosen = None;
+            for (rank, profile) in golden.profiles.iter().enumerate() {
+                let count = profile.injectable(Region::ParallelUnique);
+                if g < count {
+                    chosen = Some((rank, g));
+                    break;
+                }
+                g -= count;
+            }
+            let (rank, op_index) = chosen.expect("g < total");
+            plans.insert(
+                rank,
+                InjectionPlan::single(Target {
+                    region: Region::ParallelUnique,
+                    op_index,
+                    bit: rng.gen_range(0..64),
+                    operand: draw_operand(rng),
+                }),
+            );
+        }
+        ErrorSpec::SerialErrors(x) => {
+            let total = golden.profiles[0].injectable(Region::Common);
+            assert!(
+                (x as u64) <= total,
+                "cannot inject {x} distinct errors into {total} ops"
+            );
+            let mut indices = std::collections::BTreeSet::new();
+            while indices.len() < x {
+                indices.insert(rng.gen_range(0..total));
+            }
+            let targets = indices
+                .into_iter()
+                .map(|op_index| Target {
+                    region: Region::Common,
+                    op_index,
+                    bit: rng.gen_range(0..64),
+                    operand: draw_operand(rng),
+                })
+                .collect();
+            plans.insert(0, InjectionPlan::multi(targets));
+        }
+    }
+    plans
+}
+
+fn draw_operand(rng: &mut SmallRng) -> Operand {
+    if rng.gen_bool(0.5) {
+        Operand::A
+    } else {
+        Operand::B
+    }
+}
+
+/// Targets for the one-error patterns (single- or multi-bit).
+fn draw_targets(
+    rng: &mut SmallRng,
+    errors: ErrorSpec,
+    region: Region,
+    op_index: u64,
+) -> Vec<Target> {
+    let operand = draw_operand(rng);
+    let bits: Vec<u8> = match errors {
+        ErrorSpec::OneParallelMultiBit(k) => {
+            let mut set = std::collections::BTreeSet::new();
+            while set.len() < k as usize {
+                set.insert(rng.gen_range(0..64u8));
+            }
+            set.into_iter().collect()
+        }
+        _ => vec![rng.gen_range(0..64)],
+    };
+    bits.into_iter()
+        .map(|bit| Target {
+            region,
+            op_index,
+            bit,
+            operand,
+        })
+        .collect()
+}

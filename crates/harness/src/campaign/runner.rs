@@ -1,170 +1,23 @@
-//! Fault-injection campaigns: many randomized tests of one deployment.
-//!
-//! A *deployment* (paper §2) fixes the application, the scale, and the
-//! fault pattern; a *campaign* runs `tests` randomized fault-injection
-//! tests of that deployment and summarizes them as a
-//! [`resilim_core::FiResult`] plus a [`resilim_core::PropagationProfile`].
-//!
-//! Every test is fully determined by `(spec, seed, test_index)`: the
-//! random draws (dynamic op index, bit position, operand) happen up front
-//! into an [`InjectionPlan`], so campaigns are reproducible and
-//! individual tests can be replayed.
+//! The campaign runner: caching, parallel trial execution, durability
+//! (ledger/resume/shard/watchdog), and the streaming pipeline that
+//! turns completed trials into a [`CampaignResult`].
 
+use super::aggregate::{aggregate_outcomes, CampaignAccumulator, LedgerConsumer, ObsTrialConsumer};
+use super::exec;
+use super::spec::{CampaignResult, CampaignSpec, ErrorSpec};
+use super::stream::{TrialConsumer, TrialPipeline, TrialRecord};
 use crate::golden::{Flights, GoldenRun, GoldenStore};
 use crate::ledger::{RetryPolicy, Shard, TrialLedger};
 use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use resilim_apps::ProblemSpec;
-use resilim_core::{FiResult, PropagationProfile};
-use resilim_inject::{
-    FailureKind, InjectionPlan, OpMask, Operand, OutcomeKind, RankCtx, Region, Target, TestOutcome,
-};
+use resilim_apps::AppOutput;
+use resilim_inject::{FailureKind, TestOutcome};
 use resilim_obs as obs;
-use resilim_simmpi::{PanicKind, World};
-use serde::{Deserialize, Serialize};
+use resilim_simmpi::{ExecBackend, PooledBackend, SpawnedBackend};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// What faults a campaign injects per test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ErrorSpec {
-    /// One single-bit error at a uniformly random injectable operation of
-    /// the whole parallel execution (any rank, any region) — the paper's
-    /// standard parallel deployment.
-    OneParallel,
-    /// `x` single-bit errors at distinct random operations of the *common*
-    /// computation of a serial run (`FI_ser_x`; requires `procs == 1`).
-    SerialErrors(usize),
-    /// One single-bit error targeted into the *parallel-unique* region of
-    /// a uniformly random rank (`FI_par_unique`'s measurement).
-    OneParallelUnique,
-    /// Like [`ErrorSpec::OneParallel`] but flipping `k` bits of the chosen
-    /// operand (multi-bit extension; ablation benches).
-    OneParallelMultiBit(u8),
-}
-
-/// Default contamination-significance threshold (relative): a rank counts
-/// as contaminated when it holds a value diverging from the fault-free
-/// shadow by more than this. Mirrors F-SEFI's application-level memory
-/// comparison, which is tolerance-based rather than bitwise; see
-/// DESIGN.md ("contamination significance").
-pub const DEFAULT_TAINT_THRESHOLD: f64 = 1e-9;
-
-/// A campaign specification.
-#[derive(Debug, Clone)]
-pub struct CampaignSpec {
-    /// The workload.
-    pub spec: ProblemSpec,
-    /// Rank count.
-    pub procs: usize,
-    /// Fault pattern.
-    pub errors: ErrorSpec,
-    /// Number of fault-injection tests.
-    pub tests: usize,
-    /// Campaign seed.
-    pub seed: u64,
-    /// Contamination-significance threshold (see
-    /// [`DEFAULT_TAINT_THRESHOLD`]); 0 = bitwise.
-    pub taint_threshold: f64,
-    /// Which operation kinds are injection targets (the paper's default:
-    /// floating-point add/sub/mul).
-    pub op_mask: OpMask,
-}
-
-impl CampaignSpec {
-    /// Spec with the default contamination threshold.
-    pub fn new(
-        spec: ProblemSpec,
-        procs: usize,
-        errors: ErrorSpec,
-        tests: usize,
-        seed: u64,
-    ) -> CampaignSpec {
-        CampaignSpec {
-            spec,
-            procs,
-            errors,
-            tests,
-            seed,
-            taint_threshold: DEFAULT_TAINT_THRESHOLD,
-            op_mask: OpMask::FP_ARITH,
-        }
-    }
-
-    fn cache_key(&self) -> String {
-        format!(
-            "{}|p={}|{:?}|n={}|seed={}|theta={}|mask={}",
-            self.spec.cache_key(),
-            self.procs,
-            self.errors,
-            self.tests,
-            self.seed,
-            self.taint_threshold,
-            self.op_mask
-        )
-    }
-
-    /// The durable-ledger identity of this deployment: everything that
-    /// determines a trial's outcome *except* the trial count, so a
-    /// shard, a resumed run, and a differently-sized campaign of the
-    /// same deployment all share ledger records (trial `i` is fully
-    /// determined by `(spec, seed, i)`, never by `tests`).
-    pub fn ledger_key(&self) -> String {
-        format!(
-            "{}|p={}|{:?}|seed={}|theta={}|mask={}",
-            self.spec.cache_key(),
-            self.procs,
-            self.errors,
-            self.seed,
-            self.taint_threshold,
-            self.op_mask
-        )
-    }
-}
-
-/// A campaign's results.
-#[derive(Debug, Clone)]
-pub struct CampaignResult {
-    /// Rank count of the deployment.
-    pub procs: usize,
-    /// Statistical summary over all tests.
-    pub fi: FiResult,
-    /// Contaminated-rank histogram over all tests.
-    pub prop: PropagationProfile,
-    /// Results conditioned on contamination count: `by_contam[x-1]`
-    /// summarizes the tests that contaminated exactly `x ∈ [1, procs]`
-    /// ranks.
-    pub by_contam: Vec<FiResult>,
-    /// Tests that contaminated *no* rank (a planned fault never reached
-    /// its target op). Kept out of `by_contam` so the x=1 bucket is not
-    /// polluted by tests where nothing happened.
-    pub uncontaminated: FiResult,
-    /// Raw per-test outcomes (test `i` used seed `hash(seed, i)`).
-    pub outcomes: Vec<TestOutcome>,
-    /// Wall-clock time of the whole campaign (the paper's "fault
-    /// injection time").
-    pub wall: Duration,
-    /// The golden run the campaign classified against.
-    pub golden: Arc<GoldenRun>,
-    /// Observability counters/histograms accumulated while this campaign
-    /// ran (all zeros unless the recorder was enabled). Snapshot deltas:
-    /// exact when campaigns don't run concurrently in one process.
-    pub metrics: obs::MetricsSnapshot,
-}
-
-impl CampaignResult {
-    /// Small-scale conditional results as the model wants them:
-    /// `None` where a contamination class was never observed.
-    pub fn by_contam_optional(&self) -> Vec<Option<FiResult>> {
-        self.by_contam
-            .iter()
-            .map(|fi| if fi.total() > 0 { Some(*fi) } else { None })
-            .collect()
-    }
-}
 
 /// How many fault-injection tests a runner executes concurrently.
 #[derive(Debug, Clone, Copy)]
@@ -295,13 +148,14 @@ impl CampaignRunner {
     }
 
     /// Execute each trial on freshly spawned rank threads
-    /// ([`World::run_spawned`]) instead of the process-global
-    /// [`resilim_simmpi::WorldPool`]. Semantically identical — both
-    /// backends share the same per-rank execution path — and therefore
-    /// bitwise identical in outcome, which is exactly what
-    /// `resilim check`'s replay-identity oracle asserts. Incompatible
-    /// with the trial watchdog (the spawned backend has no deadline
-    /// plumbing); enabling both panics at trial time.
+    /// ([`resilim_simmpi::SpawnedBackend`]) instead of the
+    /// process-global pool ([`resilim_simmpi::PooledBackend`]).
+    /// Semantically identical — both backends share the same per-rank
+    /// execution path — and therefore bitwise identical in outcome,
+    /// which is exactly what `resilim check`'s replay-identity oracle
+    /// asserts. Incompatible with the trial watchdog (the spawned
+    /// backend has no deadline plumbing); enabling both panics at
+    /// campaign time.
     pub fn with_spawn_per_trial(mut self) -> CampaignRunner {
         self.spawn_per_trial = true;
         self
@@ -321,6 +175,19 @@ impl CampaignRunner {
     /// The golden-run store.
     pub fn golden(&self) -> &GoldenStore {
         &self.golden
+    }
+
+    /// The [`ExecBackend`] this runner's configuration selects.
+    fn exec_backend(&self) -> Box<dyn ExecBackend<AppOutput>> {
+        if self.spawn_per_trial {
+            assert!(
+                self.trial_deadline.is_none(),
+                "spawn-per-trial backend has no watchdog plumbing"
+            );
+            Box::new(SpawnedBackend)
+        } else {
+            Box::new(PooledBackend::with_deadline(self.trial_deadline))
+        }
     }
 
     /// Run (or fetch from cache) a campaign. Concurrent callers with the
@@ -360,6 +227,13 @@ impl CampaignRunner {
 
     /// Run a campaign without touching the campaign cache (golden runs are
     /// still cached). Used by benches that time campaign execution.
+    ///
+    /// Completed trials flow as [`TrialRecord`] events through a
+    /// [`TrialPipeline`]: a reorder buffer delivers them in trial-index
+    /// order to the aggregation, ledger, and obs consumers, so every
+    /// statistic is a pure fold of the in-order stream regardless of
+    /// worker count — and an adaptive [`CampaignSpec::stop`] rule stops
+    /// the campaign at a deterministic trial.
     pub fn run_uncached(&self, spec: &CampaignSpec) -> CampaignResult {
         if let ErrorSpec::SerialErrors(_) = spec.errors {
             assert_eq!(spec.procs, 1, "SerialErrors campaigns run serially");
@@ -377,13 +251,15 @@ impl CampaignRunner {
         }
         let golden = self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask);
         let op_cap = golden.op_cap();
+        let backend = self.exec_backend();
 
         let start = Instant::now();
         // The trials this process executes: the shard's slice of the
         // index space (everything without a shard), minus whatever the
-        // ledger already holds when resuming. Outcomes are keyed by
-        // trial index throughout, so any partition/skip combination
-        // reaggregates bitwise identically.
+        // ledger already holds when resuming. Records are keyed by
+        // trial index and delivered in owned order, so any
+        // partition/skip/completion-order combination aggregates
+        // bitwise identically.
         let owned: Vec<usize> = (0..spec.tests)
             .filter(|&t| self.shard.is_none_or(|s| s.owns(t)))
             .collect();
@@ -413,84 +289,115 @@ impl CampaignRunner {
             (owned.len() - pending.len()) as u64,
         );
 
-        let workers = self
-            .effective_parallelism(spec.procs)
-            .min(pending.len().max(1));
-        // Worker-region timer: spans exactly the trial-execution region
-        // (not golden profiling, not aggregation below), so
-        // `WorkerBusyNanos / WorkerWallNanos` is a true utilization.
-        let worker_region = Instant::now();
-        let executed: Vec<TestOutcome> = if workers <= 1 {
-            pending
-                .iter()
-                .map(|&test| {
+        let mut aggregator = CampaignAccumulator::new(spec.procs, spec.stop);
+        let mut ledger_sink = LedgerConsumer::new(ledger.as_ref());
+        let mut obs_sink = ObsTrialConsumer::new(campaign_id);
+        let (stopped_early, delivered) = {
+            let consumers: Vec<&mut dyn TrialConsumer> =
+                vec![&mut aggregator, &mut ledger_sink, &mut obs_sink];
+            let mut pipeline = TrialPipeline::new(owned.clone(), consumers);
+            // Seed resumed records first: they may satisfy the stop rule
+            // before any fresh trial runs.
+            for &t in &owned {
+                if let Some(outcome) = resumed.get(&t) {
+                    pipeline.push(TrialRecord {
+                        index: t,
+                        outcome: *outcome,
+                        attempts: 0,
+                        resumed: true,
+                        latency_us: 0,
+                    });
+                }
+            }
+
+            let workers = self
+                .effective_parallelism(spec.procs)
+                .min(pending.len().max(1));
+            // Worker-region timer: spans exactly the trial-execution
+            // region (not golden profiling, not aggregation), so
+            // `WorkerBusyNanos / WorkerWallNanos` is a true utilization.
+            let worker_region = Instant::now();
+            let pipeline = Mutex::new(pipeline);
+            if workers <= 1 {
+                for &test in &pending {
+                    if pipeline.lock().stopped() {
+                        break;
+                    }
                     let busy = obs::timer();
-                    let outcome = self.run_trial_durable(
+                    let rec = self.run_trial_durable(
                         spec,
                         &golden,
                         op_cap,
                         test,
                         campaign_id,
-                        ledger.as_ref(),
+                        backend.as_ref(),
                     );
                     note_worker_busy(busy);
-                    outcome
-                })
-                .collect()
-        } else {
-            // Workers pull pending positions from a shared counter;
-            // results are stored by position, so aggregation order (and
-            // therefore every statistic) matches the sequential run
-            // exactly.
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<TestOutcome>>> =
-                (0..pending.len()).map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let pos = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if pos >= pending.len() {
-                            break;
-                        }
-                        let busy = obs::timer();
-                        let outcome = self.run_trial_durable(
-                            spec,
-                            &golden,
-                            op_cap,
-                            pending[pos],
-                            campaign_id,
-                            ledger.as_ref(),
-                        );
-                        note_worker_busy(busy);
-                        *slots[pos].lock() = Some(outcome);
-                    });
+                    pipeline.lock().push(rec);
                 }
-            });
-            slots
-                .into_iter()
-                .map(|slot| slot.into_inner().expect("every test ran"))
-                .collect()
-        };
-        if let Some(ledger) = &ledger {
-            ledger.sync();
-        }
-        let ran: HashMap<usize, TestOutcome> = pending.iter().copied().zip(executed).collect();
-        let outcomes: Vec<TestOutcome> = owned
-            .iter()
-            .map(|t| {
-                resumed
-                    .get(t)
-                    .or_else(|| ran.get(t))
-                    .copied()
-                    .expect("every owned trial resumed or ran")
-            })
-            .collect();
-        if obs::enabled() {
-            obs::count(
-                obs::Counter::WorkerWallNanos,
-                (worker_region.elapsed().as_nanos().min(u64::MAX as u128) as u64)
-                    .saturating_mul(workers as u64),
+            } else {
+                // Workers pull pending positions from a shared counter
+                // and push completions into the pipeline, which reorders
+                // them; a stop request stops workers from claiming more.
+                let next = AtomicUsize::new(0);
+                let stop_flag = AtomicBool::new(pipeline.lock().stopped());
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            if stop_flag.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let pos = next.fetch_add(1, Ordering::Relaxed);
+                            if pos >= pending.len() {
+                                break;
+                            }
+                            let busy = obs::timer();
+                            let rec = self.run_trial_durable(
+                                spec,
+                                &golden,
+                                op_cap,
+                                pending[pos],
+                                campaign_id,
+                                backend.as_ref(),
+                            );
+                            note_worker_busy(busy);
+                            let mut p = pipeline.lock();
+                            p.push(rec);
+                            if p.stopped() {
+                                stop_flag.store(true, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                });
+            }
+            if obs::enabled() {
+                obs::count(
+                    obs::Counter::WorkerWallNanos,
+                    (worker_region.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                        .saturating_mul(workers as u64),
+                );
+            }
+            let mut pipeline = pipeline.into_inner();
+            pipeline.finish();
+            assert!(
+                pipeline.stopped() || pipeline.is_drained(),
+                "every owned trial resumed or ran"
             );
+            (pipeline.stopped(), pipeline.delivered())
+        };
+        if stopped_early {
+            obs::count(obs::Counter::CampaignsStoppedEarly, 1);
+            obs::count(
+                obs::Counter::TrialsSavedByStopping,
+                (owned.len() - delivered) as u64,
+            );
+            if obs::enabled() {
+                obs::emit(&obs::Event::CampaignEarlyStop {
+                    campaign: campaign_id,
+                    at_trial: delivered,
+                    planned: spec.tests,
+                });
+            }
         }
         let wall = start.elapsed();
 
@@ -498,10 +405,10 @@ impl CampaignRunner {
             obs::emit(&obs::Event::CampaignEnd {
                 campaign: campaign_id,
                 wall_us: obs::as_micros(wall),
-                trials: outcomes.len(),
+                trials: delivered,
             });
         }
-        let (fi, prop, by_contam, uncontaminated) = aggregate(spec.procs, &outcomes);
+        let (outcomes, fi, prop, by_contam, uncontaminated) = aggregator.into_parts();
         CampaignResult {
             procs: spec.procs,
             fi,
@@ -509,6 +416,7 @@ impl CampaignRunner {
             by_contam,
             uncontaminated,
             outcomes,
+            stopped_early,
             wall,
             golden,
             metrics: obs::MetricsSnapshot::capture().delta(&metrics_before),
@@ -516,8 +424,9 @@ impl CampaignRunner {
     }
 
     /// Run one test durably: the trial span (latency histogram, trial
-    /// counter, structured trial event), the watchdog retry loop, and
-    /// the ledger append.
+    /// counter) and the watchdog retry loop, packaged as the
+    /// [`TrialRecord`] event the pipeline consumes (the ledger append
+    /// and the structured trial event happen in the in-order consumers).
     ///
     /// Only *watchdog* trips are retried: a deterministic in-simulation
     /// crash or hang is the trial's real outcome and would reproduce
@@ -531,12 +440,12 @@ impl CampaignRunner {
         op_cap: u64,
         test: usize,
         campaign_id: u64,
-        ledger: Option<&TrialLedger>,
-    ) -> TestOutcome {
+        backend: &dyn ExecBackend<AppOutput>,
+    ) -> TrialRecord {
         let t = obs::timer();
         let mut attempt: u32 = 0;
         let outcome = loop {
-            let (outcome, tripped) = self.run_test(spec, golden, op_cap, test);
+            let (outcome, tripped) = exec::execute_trial(spec, golden, op_cap, test, backend);
             if !tripped {
                 break outcome;
             }
@@ -560,124 +469,22 @@ impl CampaignRunner {
                 outcome.injections_fired,
             );
         };
-        if let Some(ledger) = ledger {
-            ledger.append(test, &outcome, attempt + 1);
-        }
         obs::count(obs::Counter::TrialsRun, 1);
-        if let Some(t) = t {
-            let latency_us = obs::as_micros(t.elapsed());
-            obs::observe(obs::Hist::TrialLatencyUs, latency_us);
-            obs::emit(&obs::Event::Trial {
-                campaign: campaign_id,
-                test,
-                kind: match outcome.kind {
-                    OutcomeKind::Success => "success",
-                    OutcomeKind::Sdc => "sdc",
-                    OutcomeKind::Failure => "failure",
-                },
-                masked: outcome.masked,
-                contaminated: outcome.contaminated_ranks,
-                fired: outcome.injections_fired,
-                latency_us,
-            });
-        }
-        outcome
-    }
-
-    /// Plan and execute a single fault-injection test. The second return
-    /// is whether the wall-clock watchdog tripped *and* the trial failed
-    /// because of it — a trial that completes despite a late trip is
-    /// classified normally.
-    fn run_test(
-        &self,
-        spec: &CampaignSpec,
-        golden: &GoldenRun,
-        op_cap: u64,
-        test: usize,
-    ) -> (TestOutcome, bool) {
-        let mut rng = SmallRng::seed_from_u64(
-            spec.seed ^ resilim_apps::util::splitmix64(test as u64 + 0x1000),
-        );
-        let plans = plan_test(&mut rng, spec, golden);
-
-        let world = World::new(spec.procs);
-        let app = spec.spec.clone();
-        let plans_ref = &plans;
-        let mk_ctx = move |rank| {
-            let plan = plans_ref
-                .get(&rank)
-                .cloned()
-                .unwrap_or_else(InjectionPlan::none);
-            Some(
-                RankCtx::new(rank, plan)
-                    .with_op_cap(op_cap)
-                    .with_taint_threshold(spec.taint_threshold)
-                    .with_op_mask(spec.op_mask),
-            )
-        };
-        let body = move |comm: &resilim_simmpi::Comm| app.run_rank(comm);
-        let (results, tripped) = if self.spawn_per_trial {
-            assert!(
-                self.trial_deadline.is_none(),
-                "spawn-per-trial backend has no watchdog plumbing"
-            );
-            (world.run_spawned(mk_ctx, body), false)
-        } else {
-            world.run_with_ctx_deadline(mk_ctx, body, self.trial_deadline)
-        };
-
-        // Harvest: contamination, fired count, failures, rank-0 output.
-        let mut contaminated = 0usize;
-        let mut fired = 0usize;
-        let mut failure: Option<FailureKind> = None;
-        let mut output = None;
-        for r in &results {
-            let report = r.ctx_report.as_ref().expect("ctx always installed");
-            if report.contaminated {
-                contaminated += 1;
+        let latency_us = match t {
+            Some(t) => {
+                let latency_us = obs::as_micros(t.elapsed());
+                obs::observe(obs::Hist::TrialLatencyUs, latency_us);
+                latency_us
             }
-            fired += report.fired.len();
-            match &r.result {
-                Ok(out) => {
-                    if r.rank == 0 {
-                        output = Some(out.clone());
-                    }
-                }
-                Err(panic) => {
-                    let kind = match panic.kind {
-                        PanicKind::HangGuard | PanicKind::RecvTimeout => FailureKind::Hang,
-                        PanicKind::Crash => FailureKind::Crash,
-                        // Secondary death: keep looking for the primary
-                        // cause; default to crash if none found.
-                        PanicKind::FabricDead => FailureKind::Crash,
-                    };
-                    failure = Some(match (failure, panic.kind) {
-                        // A real crash/hang overrides a secondary failure.
-                        (Some(prev), PanicKind::FabricDead) => prev,
-                        _ => kind,
-                    });
-                }
-            }
-        }
-        // A watchdog trip only counts when it actually killed the trial:
-        // a run that completed before the poison landed has a legitimate
-        // outcome and must not be reclassified (or retried).
-        let tripped = tripped && failure.is_some();
-        // `contaminated` may legitimately be 0: a planned fault whose
-        // target op was never reached fires nothing and taints nothing.
-        // Such tests are aggregated into `uncontaminated`, not `by_contam`.
-        if let Some(kind) = failure {
-            return (TestOutcome::failure(kind, contaminated, fired), tripped);
-        }
-        let output = output.expect("rank 0 finished without failure");
-        let outcome = if output.identical(&golden.output) {
-            TestOutcome::success(true, contaminated, fired)
-        } else if output.passes_checker(&golden.output, spec.spec.app().epsilon()) {
-            TestOutcome::success(false, contaminated, fired)
-        } else {
-            TestOutcome::sdc(contaminated, fired)
+            None => 0,
         };
-        (outcome, false)
+        TrialRecord {
+            index: test,
+            outcome,
+            attempts: attempt + 1,
+            resumed: false,
+            latency_us,
+        }
     }
 
     /// Assemble a whole-campaign [`CampaignResult`] purely from the
@@ -685,9 +492,9 @@ impl CampaignRunner {
     /// partition into a shared (or artifact-collected) ledger directory.
     ///
     /// Fails if any trial index in `0..spec.tests` is missing; the
-    /// aggregation over the recorded outcomes is the same code the live
-    /// path uses, so a merged result is bitwise identical to a
-    /// single-process run of the same deployment.
+    /// aggregation over the recorded outcomes is the same fold the live
+    /// path streams through, so a merged result is bitwise identical to
+    /// a single-process run of the same deployment.
     pub fn merged_from_ledger(&self, spec: &CampaignSpec) -> Result<CampaignResult, String> {
         let dir = self
             .ledger_dir
@@ -710,7 +517,7 @@ impl CampaignRunner {
         }
         let golden = self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask);
         let outcomes: Vec<TestOutcome> = (0..spec.tests).map(|t| records[&t]).collect();
-        let (fi, prop, by_contam, uncontaminated) = aggregate(spec.procs, &outcomes);
+        let (fi, prop, by_contam, uncontaminated) = aggregate_outcomes(spec.procs, &outcomes);
         Ok(CampaignResult {
             procs: spec.procs,
             fi,
@@ -718,6 +525,7 @@ impl CampaignRunner {
             by_contam,
             uncontaminated,
             outcomes,
+            stopped_early: false,
             wall: start.elapsed(),
             golden,
             metrics: obs::MetricsSnapshot::capture().delta(&metrics_before),
@@ -751,155 +559,11 @@ fn note_worker_busy(busy: Option<Instant>) {
     }
 }
 
-/// Aggregate per-test outcomes into the campaign statistics.
-///
-/// `by_contam[x-1]` summarizes the tests that contaminated exactly
-/// `x ∈ [1, procs]` ranks (counts above `procs` clamp down). Tests with
-/// `contaminated_ranks == 0` are returned separately: folding them into
-/// the x=1 bucket (as this code once did via `clamp(1, procs)`) skews the
-/// conditional success rate the model conditions on, because a test where
-/// the fault never materialized is always a masked success.
-fn aggregate(
-    procs: usize,
-    outcomes: &[TestOutcome],
-) -> (FiResult, PropagationProfile, Vec<FiResult>, FiResult) {
-    let mut fi = FiResult::new();
-    let mut prop = PropagationProfile::new(procs);
-    let mut by_contam = vec![FiResult::new(); procs];
-    let mut uncontaminated = FiResult::new();
-    for outcome in outcomes {
-        fi.record(outcome);
-        prop.record(outcome);
-        match outcome.contaminated_ranks {
-            0 => uncontaminated.record(outcome),
-            x => by_contam[x.min(procs) - 1].record(outcome),
-        }
-    }
-    (fi, prop, by_contam, uncontaminated)
-}
-
-/// Draw the injection plan(s) for one test: a map rank → plan.
-fn plan_test(
-    rng: &mut SmallRng,
-    spec: &CampaignSpec,
-    golden: &GoldenRun,
-) -> HashMap<usize, InjectionPlan> {
-    let mut plans = HashMap::new();
-    match spec.errors {
-        ErrorSpec::OneParallel | ErrorSpec::OneParallelMultiBit(_) => {
-            // Uniform over every injectable op of the whole execution.
-            let total = golden.injectable_total();
-            assert!(total > 0, "no injectable ops profiled");
-            let mut g = rng.gen_range(0..total);
-            let mut chosen = None;
-            'outer: for (rank, profile) in golden.profiles.iter().enumerate() {
-                for region in Region::ALL {
-                    let count = profile.injectable(region);
-                    if g < count {
-                        chosen = Some((rank, region, g));
-                        break 'outer;
-                    }
-                    g -= count;
-                }
-            }
-            let (rank, region, op_index) = chosen.expect("g < total");
-            let targets = draw_targets(rng, spec.errors, region, op_index);
-            plans.insert(rank, InjectionPlan::multi(targets));
-        }
-        ErrorSpec::OneParallelUnique => {
-            // Uniform over the parallel-unique ops of the whole execution.
-            let total = golden.injectable(Region::ParallelUnique);
-            assert!(
-                total > 0,
-                "OneParallelUnique needs parallel-unique computation"
-            );
-            let mut g = rng.gen_range(0..total);
-            let mut chosen = None;
-            for (rank, profile) in golden.profiles.iter().enumerate() {
-                let count = profile.injectable(Region::ParallelUnique);
-                if g < count {
-                    chosen = Some((rank, g));
-                    break;
-                }
-                g -= count;
-            }
-            let (rank, op_index) = chosen.expect("g < total");
-            plans.insert(
-                rank,
-                InjectionPlan::single(Target {
-                    region: Region::ParallelUnique,
-                    op_index,
-                    bit: rng.gen_range(0..64),
-                    operand: draw_operand(rng),
-                }),
-            );
-        }
-        ErrorSpec::SerialErrors(x) => {
-            let total = golden.profiles[0].injectable(Region::Common);
-            assert!(
-                (x as u64) <= total,
-                "cannot inject {x} distinct errors into {total} ops"
-            );
-            let mut indices = std::collections::BTreeSet::new();
-            while indices.len() < x {
-                indices.insert(rng.gen_range(0..total));
-            }
-            let targets = indices
-                .into_iter()
-                .map(|op_index| Target {
-                    region: Region::Common,
-                    op_index,
-                    bit: rng.gen_range(0..64),
-                    operand: draw_operand(rng),
-                })
-                .collect();
-            plans.insert(0, InjectionPlan::multi(targets));
-        }
-    }
-    plans
-}
-
-fn draw_operand(rng: &mut SmallRng) -> Operand {
-    if rng.gen_bool(0.5) {
-        Operand::A
-    } else {
-        Operand::B
-    }
-}
-
-/// Targets for the one-error patterns (single- or multi-bit).
-fn draw_targets(
-    rng: &mut SmallRng,
-    errors: ErrorSpec,
-    region: Region,
-    op_index: u64,
-) -> Vec<Target> {
-    let operand = draw_operand(rng);
-    let bits: Vec<u8> = match errors {
-        ErrorSpec::OneParallelMultiBit(k) => {
-            let mut set = std::collections::BTreeSet::new();
-            while set.len() < k as usize {
-                set.insert(rng.gen_range(0..64u8));
-            }
-            set.into_iter().collect()
-        }
-        _ => vec![rng.gen_range(0..64)],
-    };
-    bits.into_iter()
-        .map(|bit| Target {
-            region,
-            op_index,
-            bit,
-            operand,
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use resilim_apps::App;
-    use resilim_core::OutcomeKind;
+    use resilim_core::{OutcomeKind, StopRule};
 
     fn campaign(app: App, procs: usize, errors: ErrorSpec, tests: usize) -> CampaignSpec {
         CampaignSpec::new(app.default_spec(), procs, errors, tests, 42)
@@ -911,6 +575,7 @@ mod tests {
         let result = runner.run(&campaign(App::Cg, 1, ErrorSpec::SerialErrors(1), 30));
         assert_eq!(result.fi.total(), 30);
         assert_eq!(result.outcomes.len(), 30);
+        assert!(!result.stopped_early, "fixed mode never stops early");
         // Every test fired exactly its planned single error.
         assert!(result.outcomes.iter().all(|o| o.injections_fired == 1));
         // Single-rank: everything contaminates exactly one rank.
@@ -1043,7 +708,7 @@ mod tests {
             TestOutcome::sdc(4, 1),           // spread to all ranks
             TestOutcome::sdc(9, 1),           // over-count clamps to procs
         ];
-        let (fi, prop, by_contam, uncontaminated) = aggregate(4, &outcomes);
+        let (fi, prop, by_contam, uncontaminated) = aggregate_outcomes(4, &outcomes);
         assert_eq!(fi.total(), 5);
         assert_eq!(uncontaminated.total(), 1);
         assert_eq!(uncontaminated.counts[OutcomeKind::Success.index()], 1);
@@ -1053,5 +718,54 @@ mod tests {
         assert_eq!(by_contam[1].total() + by_contam[2].total(), 0);
         // The propagation histogram keeps its historical 1..=p clamp.
         assert_eq!(prop.counts.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn adaptive_campaign_stops_early_and_is_a_prefix_of_fixed() {
+        let fixed_spec = campaign(App::Cg, 1, ErrorSpec::SerialErrors(1), 80);
+        let fixed = CampaignRunner::new().run_uncached(&fixed_spec);
+        let rule = StopRule::new(0.25).with_min_tests(10);
+        let adaptive = CampaignRunner::new().run_uncached(&fixed_spec.clone().with_stop(rule));
+        assert!(adaptive.stopped_early, "a loose rule must stop before 80");
+        let n = adaptive.outcomes.len();
+        assert!((10..80).contains(&n), "stopped at {n}");
+        // Adaptive results are exactly the in-order prefix of the fixed
+        // campaign: same trials, same seeds, same classifications.
+        assert_eq!(adaptive.outcomes[..], fixed.outcomes[..n]);
+        assert!(rule.satisfied(&adaptive.fi));
+        // The trial before the stop did not satisfy the rule (the stop
+        // fires at the *first* satisfying prefix).
+        let (prev_fi, ..) = aggregate_outcomes(1, &fixed.outcomes[..n - 1]);
+        assert!(!rule.satisfied(&prev_fi));
+    }
+
+    #[test]
+    fn adaptive_campaign_is_deterministic_across_worker_counts() {
+        let spec = campaign(App::Lu, 2, ErrorSpec::OneParallel, 60)
+            .with_stop(StopRule::new(0.3).with_min_tests(8));
+        let sequential = CampaignRunner::new().run_uncached(&spec);
+        let parallel = CampaignRunner::new()
+            .with_test_parallelism(4)
+            .run_uncached(&spec);
+        assert_eq!(sequential.outcomes, parallel.outcomes);
+        assert_eq!(sequential.fi, parallel.fi);
+        assert_eq!(sequential.stopped_early, parallel.stopped_early);
+        assert_eq!(
+            sequential.prop.counts, parallel.prop.counts,
+            "the delivered prefix is timing-independent"
+        );
+    }
+
+    #[test]
+    fn adaptive_and_fixed_campaigns_cache_separately() {
+        let runner = CampaignRunner::new();
+        let fixed_spec = campaign(App::Lu, 2, ErrorSpec::OneParallel, 20);
+        let adaptive_spec = fixed_spec
+            .clone()
+            .with_stop(StopRule::new(0.45).with_min_tests(4));
+        let fixed = runner.run(&fixed_spec);
+        let adaptive = runner.run(&adaptive_spec);
+        assert!(!Arc::ptr_eq(&fixed, &adaptive), "distinct cache keys");
+        assert!(Arc::ptr_eq(&adaptive, &runner.run(&adaptive_spec)));
     }
 }

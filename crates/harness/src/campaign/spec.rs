@@ -1,0 +1,291 @@
+//! Campaign vocabulary: what to run ([`CampaignSpec`], [`ErrorSpec`])
+//! and what comes back ([`CampaignResult`]).
+
+use crate::golden::GoldenRun;
+use resilim_apps::ProblemSpec;
+use resilim_core::{FiResult, PropagationProfile, StopRule};
+use resilim_inject::{OpMask, TestOutcome};
+use resilim_obs as obs;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What faults a campaign injects per test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorSpec {
+    /// One single-bit error at a uniformly random injectable operation of
+    /// the whole parallel execution (any rank, any region) — the paper's
+    /// standard parallel deployment.
+    OneParallel,
+    /// `x` single-bit errors at distinct random operations of the *common*
+    /// computation of a serial run (`FI_ser_x`; requires `procs == 1`).
+    SerialErrors(usize),
+    /// One single-bit error targeted into the *parallel-unique* region of
+    /// a uniformly random rank (`FI_par_unique`'s measurement).
+    OneParallelUnique,
+    /// Like [`ErrorSpec::OneParallel`] but flipping `k` bits of the chosen
+    /// operand (multi-bit extension; ablation benches).
+    OneParallelMultiBit(u8),
+}
+
+/// Default contamination-significance threshold (relative): a rank counts
+/// as contaminated when it holds a value diverging from the fault-free
+/// shadow by more than this. Mirrors F-SEFI's application-level memory
+/// comparison, which is tolerance-based rather than bitwise; see
+/// DESIGN.md ("contamination significance").
+pub const DEFAULT_TAINT_THRESHOLD: f64 = 1e-9;
+
+/// A campaign specification.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// The workload.
+    pub spec: ProblemSpec,
+    /// Rank count.
+    pub procs: usize,
+    /// Fault pattern.
+    pub errors: ErrorSpec,
+    /// Number of fault-injection tests (an upper bound when `stop` is
+    /// set: the campaign may stop earlier once the rule is satisfied).
+    pub tests: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Contamination-significance threshold (see
+    /// [`DEFAULT_TAINT_THRESHOLD`]); 0 = bitwise.
+    pub taint_threshold: f64,
+    /// Which operation kinds are injection targets (the paper's default:
+    /// floating-point add/sub/mul).
+    pub op_mask: OpMask,
+    /// Adaptive-stopping rule; `None` (the default) runs exactly
+    /// `tests` trials. The rule is evaluated on the in-order trial
+    /// prefix only, so a stopped campaign's result is deterministic for
+    /// a fixed seed+config regardless of worker count.
+    pub stop: Option<StopRule>,
+}
+
+impl CampaignSpec {
+    /// Spec with the default contamination threshold.
+    pub fn new(
+        spec: ProblemSpec,
+        procs: usize,
+        errors: ErrorSpec,
+        tests: usize,
+        seed: u64,
+    ) -> CampaignSpec {
+        CampaignSpec {
+            spec,
+            procs,
+            errors,
+            tests,
+            seed,
+            taint_threshold: DEFAULT_TAINT_THRESHOLD,
+            op_mask: OpMask::FP_ARITH,
+            stop: None,
+        }
+    }
+
+    /// Stop adaptively under `rule` instead of always running `tests`
+    /// trials (`tests` remains the hard ceiling).
+    pub fn with_stop(mut self, rule: StopRule) -> CampaignSpec {
+        self.stop = Some(rule);
+        self
+    }
+
+    /// Identity of the *aggregated result*: the ledger key plus
+    /// everything that shapes aggregation without affecting any single
+    /// trial (`tests`, the stop rule). The stop suffix is emitted only
+    /// when a rule is set, so fixed-`tests` keys are unchanged.
+    pub(crate) fn cache_key(&self) -> String {
+        let mut key = format!("{}|n={}", self.trial_key(), self.tests);
+        if let Some(rule) = &self.stop {
+            key.push_str(&format!(
+                "|stop=ci{},min{},z{}",
+                rule.ci_halfwidth, rule.min_tests, rule.z
+            ));
+        }
+        key
+    }
+
+    /// The durable-ledger identity of this deployment: everything that
+    /// determines a trial's outcome *except* the trial count, so a
+    /// shard, a resumed run, and a differently-sized campaign of the
+    /// same deployment all share ledger records (trial `i` is fully
+    /// determined by `(spec, seed, i)`, never by `tests`).
+    ///
+    /// Audit of result-affecting fields (every one below feeds the
+    /// private `exec` layer's planning or classification):
+    /// * problem parameters — `spec.cache_key()` (the full `Debug` form
+    ///   of [`ProblemSpec`], so any new problem knob joins automatically)
+    /// * `procs` — the rank count trials execute at
+    /// * `errors` — the fault pattern (includes the sample-point
+    ///   strategy's error count for `SerialErrors(x)`)
+    /// * `seed` — the root of every per-trial RNG
+    /// * `taint_threshold` (θ) — contamination classification
+    /// * `op_mask` — the injectable-op sample space
+    ///
+    /// Deliberately excluded: `tests` (see above) and `stop` — the stop
+    /// rule decides *how many* trials aggregate, never how any trial
+    /// runs, so adaptive and fixed campaigns of one deployment share
+    /// ledger records too.
+    pub fn ledger_key(&self) -> String {
+        self.trial_key()
+    }
+
+    /// Everything that determines a single trial's outcome.
+    fn trial_key(&self) -> String {
+        format!(
+            "{}|p={}|{:?}|seed={}|theta={}|mask={}",
+            self.spec.cache_key(),
+            self.procs,
+            self.errors,
+            self.seed,
+            self.taint_threshold,
+            self.op_mask
+        )
+    }
+}
+
+/// A campaign's results.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Rank count of the deployment.
+    pub procs: usize,
+    /// Statistical summary over all tests.
+    pub fi: FiResult,
+    /// Contaminated-rank histogram over all tests.
+    pub prop: PropagationProfile,
+    /// Results conditioned on contamination count: `by_contam[x-1]`
+    /// summarizes the tests that contaminated exactly `x ∈ [1, procs]`
+    /// ranks.
+    pub by_contam: Vec<FiResult>,
+    /// Tests that contaminated *no* rank (a planned fault never reached
+    /// its target op). Kept out of `by_contam` so the x=1 bucket is not
+    /// polluted by tests where nothing happened.
+    pub uncontaminated: FiResult,
+    /// Raw per-test outcomes (test `i` used seed `hash(seed, i)`).
+    pub outcomes: Vec<TestOutcome>,
+    /// Whether an adaptive [`StopRule`] ended the campaign before its
+    /// `tests` ceiling (always `false` in fixed mode).
+    pub stopped_early: bool,
+    /// Wall-clock time of the whole campaign (the paper's "fault
+    /// injection time").
+    pub wall: Duration,
+    /// The golden run the campaign classified against.
+    pub golden: Arc<GoldenRun>,
+    /// Observability counters/histograms accumulated while this campaign
+    /// ran (all zeros unless the recorder was enabled). Snapshot deltas:
+    /// exact when campaigns don't run concurrently in one process.
+    pub metrics: obs::MetricsSnapshot,
+}
+
+impl CampaignResult {
+    /// Small-scale conditional results as the model wants them:
+    /// `None` where a contamination class was never observed.
+    pub fn by_contam_optional(&self) -> Vec<Option<FiResult>> {
+        self.by_contam
+            .iter()
+            .map(|fi| if fi.total() > 0 { Some(*fi) } else { None })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilim_apps::App;
+    use resilim_inject::OpMask;
+
+    fn base() -> CampaignSpec {
+        CampaignSpec::new(App::Cg.default_spec(), 4, ErrorSpec::OneParallel, 50, 7)
+    }
+
+    /// Regression for the ledger-key audit: every result-affecting
+    /// field must produce a distinct ledger key, and the two
+    /// aggregation-only fields (`tests`, `stop`) must change the cache
+    /// key but *not* the ledger key.
+    #[test]
+    fn ledger_key_separates_every_result_affecting_field() {
+        let a = base();
+        let variants: Vec<(&str, CampaignSpec)> = vec![
+            ("spec", {
+                let mut s = base();
+                s.spec = App::Ft.default_spec();
+                s
+            }),
+            ("procs", {
+                let mut s = base();
+                s.procs = 8;
+                s
+            }),
+            ("errors", {
+                let mut s = base();
+                s.errors = ErrorSpec::OneParallelUnique;
+                s
+            }),
+            ("errors-x", {
+                let mut s = base();
+                s.procs = 1;
+                s.errors = ErrorSpec::SerialErrors(3);
+                s
+            }),
+            ("seed", {
+                let mut s = base();
+                s.seed = 8;
+                s
+            }),
+            ("theta", {
+                let mut s = base();
+                s.taint_threshold = 1e-6;
+                s
+            }),
+            ("mask", {
+                let mut s = base();
+                s.op_mask = OpMask::DIV;
+                s
+            }),
+        ];
+        for (field, v) in &variants {
+            assert_ne!(
+                a.ledger_key(),
+                v.ledger_key(),
+                "field {field} must be part of the ledger key"
+            );
+            assert_ne!(
+                a.cache_key(),
+                v.cache_key(),
+                "field {field} must be part of the cache key"
+            );
+        }
+    }
+
+    #[test]
+    fn tests_and_stop_affect_cache_key_only() {
+        let a = base();
+        let mut more_tests = base();
+        more_tests.tests = 51;
+        let adaptive = base().with_stop(StopRule::new(0.05));
+        for (field, v) in [("tests", &more_tests), ("stop", &adaptive)] {
+            assert_eq!(
+                a.ledger_key(),
+                v.ledger_key(),
+                "{field} must not change the ledger key (trials are shared)"
+            );
+            assert_ne!(
+                a.cache_key(),
+                v.cache_key(),
+                "{field} must change the cache key (results differ)"
+            );
+        }
+        // Distinct stop rules are distinct results.
+        let tighter = base().with_stop(StopRule::new(0.02));
+        assert_ne!(adaptive.cache_key(), tighter.cache_key());
+    }
+
+    #[test]
+    fn fixed_mode_cache_key_has_no_stop_suffix() {
+        assert!(!base().cache_key().contains("stop="));
+        assert!(base()
+            .with_stop(StopRule::new(0.05))
+            .cache_key()
+            .contains("stop="));
+    }
+}

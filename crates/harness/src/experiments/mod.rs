@@ -50,6 +50,9 @@ pub struct ExperimentConfig {
     /// Contamination-significance threshold passed to every campaign
     /// (see [`crate::campaign::DEFAULT_TAINT_THRESHOLD`]).
     pub taint_threshold: f64,
+    /// Optional adaptive stop rule applied to every campaign the
+    /// experiment runs; `tests` becomes an upper bound when set.
+    pub stop: Option<resilim_core::StopRule>,
 }
 
 impl ExperimentConfig {
@@ -72,6 +75,7 @@ impl ExperimentConfig {
             seed: self.seed,
             taint_threshold: self.taint_threshold,
             op_mask: Default::default(),
+            stop: self.stop,
         }
     }
 }
@@ -82,6 +86,7 @@ impl Default for ExperimentConfig {
             tests: 200,
             seed: 2018,
             taint_threshold: crate::campaign::DEFAULT_TAINT_THRESHOLD,
+            stop: None,
         }
     }
 }

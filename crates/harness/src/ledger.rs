@@ -213,7 +213,7 @@ impl TrialLedger {
 
     /// Append one completed trial. Best-effort durability: the line is
     /// flushed to the OS immediately (a crashed *process* loses
-    /// nothing) and fsynced every [`SYNC_BATCH`] appends (bounding what
+    /// nothing) and fsynced every `SYNC_BATCH` appends (bounding what
     /// a power loss can cost); IO errors are swallowed — a full disk
     /// must not kill the campaign, it only degrades resumability.
     pub fn append(&self, trial: usize, outcome: &TestOutcome, attempts: u32) {

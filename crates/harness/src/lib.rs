@@ -32,7 +32,10 @@ pub mod plot;
 pub mod report;
 pub mod store;
 
-pub use campaign::{CampaignResult, CampaignRunner, CampaignSpec, ErrorSpec};
+pub use campaign::{
+    aggregate_outcomes, CampaignAccumulator, CampaignResult, CampaignRunner, CampaignSpec,
+    ConvergenceSeries, ErrorSpec, TrialConsumer, TrialPipeline, TrialRecord,
+};
 pub use golden::{golden_cache_file_name, GoldenRun, GoldenStore, GOLDEN_CACHE_VERSION};
 pub use ledger::{RetryPolicy, Shard, TrialLedger, LEDGER_VERSION};
 pub use store::{CampaignSummary, ResultStore};

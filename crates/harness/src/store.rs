@@ -21,7 +21,9 @@ pub struct CampaignSummary {
     pub procs: usize,
     /// Fault pattern.
     pub errors: ErrorSpec,
-    /// Number of tests.
+    /// Number of tests the campaign actually ran (equal to the spec's
+    /// `tests` in fixed mode; fewer when an adaptive stop rule ended the
+    /// campaign early).
     pub tests: usize,
     /// Campaign seed.
     pub seed: u64,
@@ -48,7 +50,7 @@ impl CampaignSummary {
             app: spec.spec.app().name().to_string(),
             procs: spec.procs,
             errors: spec.errors,
-            tests: spec.tests,
+            tests: result.outcomes.len(),
             seed: spec.seed,
             taint_threshold: spec.taint_threshold,
             fi: result.fi,

@@ -1,0 +1,113 @@
+//! Property tests for the streaming trial pipeline.
+//!
+//! The reorder buffer promises that consumers observe trial records in
+//! owned-index order no matter what order workers complete them in, so a
+//! [`CampaignAccumulator`] fed through the pipeline must be bitwise
+//! identical to batch aggregation over the same outcomes — for *any*
+//! completion permutation.
+
+use proptest::prelude::*;
+use resilim_core::{FiResult, StopRule, TestOutcome};
+use resilim_harness::{
+    aggregate_outcomes, CampaignAccumulator, TrialConsumer, TrialPipeline, TrialRecord,
+};
+
+const PROCS: usize = 4;
+
+fn outcome() -> impl Strategy<Value = TestOutcome> {
+    prop_oneof![
+        Just(TestOutcome::success(true, 0, 0)),
+        (1..=PROCS, 1..3usize).prop_map(|(c, f)| TestOutcome::success(false, c, f)),
+        (1..=2 * PROCS, 1..3usize).prop_map(|(c, f)| TestOutcome::sdc(c, f)),
+        (1..=PROCS, 1..3usize).prop_map(|(c, f)| TestOutcome::failure(
+            resilim_core::FailureKind::Crash,
+            c,
+            f
+        )),
+        (1..=PROCS, 1..3usize).prop_map(|(c, f)| TestOutcome::failure(
+            resilim_core::FailureKind::Hang,
+            c,
+            f
+        )),
+    ]
+}
+
+/// A deterministic pseudo-shuffle: index `i` completes at position
+/// `(i * stride + phase) % n` for odd `stride`, which is a permutation.
+fn completion_order(n: usize, stride: usize, phase: usize) -> Vec<usize> {
+    let stride = 2 * (stride % n.max(1)) + 1;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (i * stride + phase) % n.max(1));
+    order
+}
+
+proptest! {
+    #[test]
+    fn any_completion_order_matches_batch_aggregation(
+        outcomes in proptest::collection::vec(outcome(), 0..60),
+        stride in 0..32usize,
+        phase in 0..32usize,
+    ) {
+        let n = outcomes.len();
+        let owned: Vec<usize> = (0..n).collect();
+        let mut acc = CampaignAccumulator::new(PROCS, None);
+        {
+            let consumers: Vec<&mut dyn TrialConsumer> = vec![&mut acc];
+            let mut pipeline = TrialPipeline::new(owned, consumers);
+            for &i in &completion_order(n, stride, phase) {
+                pipeline.push(TrialRecord {
+                    index: i,
+                    outcome: outcomes[i],
+                    attempts: 1,
+                    resumed: false,
+                    latency_us: 0,
+                });
+            }
+            pipeline.finish();
+            prop_assert!(pipeline.is_drained());
+        }
+        let (streamed_outcomes, fi, prop, by_contam, unc) = acc.into_parts();
+        prop_assert_eq!(&streamed_outcomes[..], &outcomes[..]);
+        let (bfi, bprop, bby, bunc) = aggregate_outcomes(PROCS, &outcomes);
+        prop_assert_eq!(fi, bfi);
+        prop_assert_eq!(prop, bprop);
+        prop_assert_eq!(by_contam, bby);
+        prop_assert_eq!(unc, bunc);
+        prop_assert_eq!(FiResult::from_outcomes(outcomes.iter()), fi);
+    }
+
+    #[test]
+    fn stop_position_is_independent_of_completion_order(
+        outcomes in proptest::collection::vec(outcome(), 1..80),
+        stride in 0..16usize,
+        phase in 0..16usize,
+    ) {
+        let rule = StopRule::new(0.3).with_min_tests(5);
+        let n = outcomes.len();
+        let run = |order: &[usize]| {
+            let mut acc = CampaignAccumulator::new(PROCS, Some(rule));
+            let delivered;
+            {
+                let consumers: Vec<&mut dyn TrialConsumer> = vec![&mut acc];
+                let mut pipeline = TrialPipeline::new((0..n).collect(), consumers);
+                for &i in order {
+                    pipeline.push(TrialRecord {
+                        index: i,
+                        outcome: outcomes[i],
+                        attempts: 1,
+                        resumed: false,
+                        latency_us: 0,
+                    });
+                }
+                pipeline.finish();
+                delivered = pipeline.delivered();
+            }
+            (delivered, acc.into_parts().1)
+        };
+        let sequential: Vec<usize> = (0..n).collect();
+        let (d1, fi1) = run(&sequential);
+        let (d2, fi2) = run(&completion_order(n, stride, phase));
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(fi1, fi2);
+    }
+}

@@ -76,6 +76,15 @@ pub enum Event {
         /// Retry number (1 = first retry).
         attempt: u32,
     },
+    /// An adaptive stop rule ended a campaign before its trial ceiling.
+    CampaignEarlyStop {
+        /// Owning campaign.
+        campaign: u64,
+        /// Trials delivered when the rule was satisfied.
+        at_trial: usize,
+        /// The campaign's `tests` ceiling.
+        planned: usize,
+    },
     /// A campaign finished.
     CampaignEnd {
         /// Owning campaign.
@@ -129,6 +138,7 @@ impl Event {
             Event::HangGuardTrip { .. } => "hang_guard_trip",
             Event::CacheLookup { .. } => "cache_lookup",
             Event::TrialRetry { .. } => "trial_retry",
+            Event::CampaignEarlyStop { .. } => "campaign_early_stop",
             Event::CampaignEnd { .. } => "campaign_end",
             Event::CheckCase { .. } => "check_case",
             Event::CheckShrink { .. } => "check_shrink",
@@ -195,6 +205,15 @@ impl Event {
                 line.num("campaign", *campaign);
                 line.num("test", *test as u64);
                 line.num("attempt", *attempt as u64);
+            }
+            Event::CampaignEarlyStop {
+                campaign,
+                at_trial,
+                planned,
+            } => {
+                line.num("campaign", *campaign);
+                line.num("at_trial", *at_trial as u64);
+                line.num("planned", *planned as u64);
             }
             Event::CampaignEnd {
                 campaign,

@@ -54,6 +54,11 @@ pub enum Counter {
     TrialDeadlineTrips,
     /// Trials excluded by the shard filter (`--shard i/N`).
     ShardTrialsSkipped,
+    /// Campaigns an adaptive stop rule ended before their trial ceiling.
+    CampaignsStoppedEarly,
+    /// Planned trials never delivered because a stop rule fired first
+    /// (the adaptive-stopping saving, in trials).
+    TrialsSavedByStopping,
     /// Differential-check cases executed (`resilim check`).
     CheckCasesRun,
     /// Differential-check oracle violations detected.
@@ -64,7 +69,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 25] = [
         Counter::InjectionsFired,
         Counter::TaintBorn,
         Counter::OpsCommon,
@@ -85,6 +90,8 @@ impl Counter {
         Counter::TrialRetries,
         Counter::TrialDeadlineTrips,
         Counter::ShardTrialsSkipped,
+        Counter::CampaignsStoppedEarly,
+        Counter::TrialsSavedByStopping,
         Counter::CheckCasesRun,
         Counter::CheckViolations,
         Counter::CheckShrinkAttempts,
@@ -113,6 +120,8 @@ impl Counter {
             Counter::TrialRetries => "trial_retries",
             Counter::TrialDeadlineTrips => "trial_deadline_trips",
             Counter::ShardTrialsSkipped => "shard_trials_skipped",
+            Counter::CampaignsStoppedEarly => "campaigns_stopped_early",
+            Counter::TrialsSavedByStopping => "trials_saved_by_stopping",
             Counter::CheckCasesRun => "check_cases_run",
             Counter::CheckViolations => "check_violations",
             Counter::CheckShrinkAttempts => "check_shrink_attempts",

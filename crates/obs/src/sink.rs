@@ -109,6 +109,23 @@ struct Progress {
     app: String,
     tests: usize,
     done: usize,
+    started: std::time::Instant,
+    /// Set when an adaptive stop rule ended the campaign early: the
+    /// display shows the stop point instead of a misleading ETA to the
+    /// never-run ceiling.
+    stopped: bool,
+}
+
+impl Progress {
+    /// `" eta 12s"` once at least one trial landed, empty otherwise.
+    fn eta(&self) -> String {
+        if self.stopped || self.done == 0 || self.done >= self.tests {
+            return String::new();
+        }
+        let per_trial = self.started.elapsed().as_secs_f64() / self.done as f64;
+        let remaining = per_trial * (self.tests - self.done) as f64;
+        format!(" eta {}s", remaining.ceil() as u64)
+    }
 }
 
 impl ProgressSink {
@@ -120,7 +137,13 @@ impl ProgressSink {
     fn redraw(state: &HashMap<u64, Progress>, newline: bool) {
         let mut parts: Vec<String> = state
             .values()
-            .map(|p| format!("{} {}/{}", p.app, p.done, p.tests))
+            .map(|p| {
+                if p.stopped {
+                    format!("{} {}/{} (stopped early)", p.app, p.done, p.tests)
+                } else {
+                    format!("{} {}/{}{}", p.app, p.done, p.tests, p.eta())
+                }
+            })
             .collect();
         parts.sort();
         let mut err = std::io::stderr().lock();
@@ -148,6 +171,8 @@ impl EventSink for ProgressSink {
                         app: app.clone(),
                         tests: *tests,
                         done: 0,
+                        started: std::time::Instant::now(),
+                        stopped: false,
                     },
                 );
                 Self::redraw(&state, false);
@@ -160,6 +185,15 @@ impl EventSink for ProgressSink {
                     if p.done % stride == 0 || p.done == p.tests {
                         Self::redraw(&state, false);
                     }
+                }
+            }
+            Event::CampaignEarlyStop {
+                campaign, at_trial, ..
+            } => {
+                if let Some(p) = state.get_mut(campaign) {
+                    p.done = *at_trial;
+                    p.stopped = true;
+                    Self::redraw(&state, false);
                 }
             }
             Event::CampaignEnd { campaign, .. }

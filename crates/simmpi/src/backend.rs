@@ -1,0 +1,126 @@
+//! Execution backends: *how* a world's ranks get OS threads.
+//!
+//! The runtime has two ways to execute a trial — on the process-wide
+//! reusable rank-thread pool ([`PooledBackend`], the fast path), or by
+//! spawning fresh threads per trial ([`SpawnedBackend`], the reference
+//! path tests use as an oracle). Campaign runners used to pick between
+//! them with an ad-hoc flag; [`ExecBackend`] makes the duality a first-
+//! class, object-safe trait so callers can hold a `dyn ExecBackend<T>`
+//! and the two paths stay interchangeable by construction.
+
+use crate::world::{RankOutcome, World};
+use resilim_inject::RankCtx;
+use std::time::Duration;
+
+use crate::comm::Comm;
+
+/// Per-rank context factory passed to a backend (`mk_ctx(rank)`).
+pub type CtxFactory<'a> = dyn Fn(usize) -> Option<RankCtx> + Send + Sync + 'a;
+
+/// Rank body passed to a backend.
+pub type RankBody<'a, T> = dyn Fn(&Comm) -> T + Send + Sync + 'a;
+
+/// A strategy for executing one world run (one fault-injection trial).
+///
+/// Implementations must preserve the [`World::run_spawned`] semantics:
+/// results in rank order, fabric poisoned on any rank panic, contexts
+/// harvested even from panicking ranks. The returned `bool` reports
+/// whether a trial watchdog tripped (always `false` for backends with
+/// no deadline support).
+pub trait ExecBackend<T: Send>: Send + Sync {
+    /// Stable human-readable name (shows up in traces and test labels).
+    fn name(&self) -> &'static str;
+
+    /// Execute `body` on every rank of `world`.
+    fn run(
+        &self,
+        world: &World,
+        mk_ctx: &CtxFactory<'_>,
+        body: &RankBody<'_, T>,
+    ) -> (Vec<RankOutcome<T>>, bool);
+}
+
+/// The process-wide rank-thread pool, with an optional per-trial
+/// wall-clock watchdog (see [`World::run_with_ctx_deadline`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PooledBackend {
+    /// Trial deadline; `None` disables the watchdog.
+    pub deadline: Option<Duration>,
+}
+
+impl PooledBackend {
+    /// Pool-backed execution without a watchdog.
+    pub fn new() -> PooledBackend {
+        PooledBackend::default()
+    }
+
+    /// Pool-backed execution that trips after `deadline`.
+    pub fn with_deadline(deadline: Option<Duration>) -> PooledBackend {
+        PooledBackend { deadline }
+    }
+}
+
+impl<T: Send> ExecBackend<T> for PooledBackend {
+    fn name(&self) -> &'static str {
+        "pooled"
+    }
+
+    fn run(
+        &self,
+        world: &World,
+        mk_ctx: &CtxFactory<'_>,
+        body: &RankBody<'_, T>,
+    ) -> (Vec<RankOutcome<T>>, bool) {
+        world.run_with_ctx_deadline(mk_ctx, body, self.deadline)
+    }
+}
+
+/// Fresh OS threads per trial — the original reference path. No
+/// watchdog plumbing: the tripped flag is always `false`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpawnedBackend;
+
+impl<T: Send> ExecBackend<T> for SpawnedBackend {
+    fn name(&self) -> &'static str {
+        "spawned"
+    }
+
+    fn run(
+        &self,
+        world: &World,
+        mk_ctx: &CtxFactory<'_>,
+        body: &RankBody<'_, T>,
+    ) -> (Vec<RankOutcome<T>>, bool) {
+        (world.run_spawned(mk_ctx, body), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReduceOp;
+    use resilim_inject::Tf64;
+
+    fn sum_under(backend: &dyn ExecBackend<f64>) -> Vec<f64> {
+        let world = World::new(4);
+        let (outcomes, tripped) = backend.run(&world, &|_| None, &|comm| {
+            let mine = [Tf64::new((comm.rank() + 1) as f64)];
+            comm.allreduce(ReduceOp::Sum, &mine)[0].value()
+        });
+        assert!(!tripped);
+        outcomes
+            .into_iter()
+            .map(|o| *o.result.as_ref().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn backends_agree_through_the_trait_object() {
+        let pooled = sum_under(&PooledBackend::new());
+        let spawned = sum_under(&SpawnedBackend);
+        assert_eq!(pooled, vec![10.0; 4]);
+        assert_eq!(pooled, spawned);
+        assert_eq!(ExecBackend::<f64>::name(&PooledBackend::new()), "pooled");
+        assert_eq!(ExecBackend::<f64>::name(&SpawnedBackend), "spawned");
+    }
+}

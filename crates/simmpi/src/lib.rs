@@ -32,6 +32,7 @@
 //! }
 //! ```
 
+pub mod backend;
 pub mod comm;
 pub mod error;
 pub mod fabric;
@@ -39,6 +40,7 @@ pub mod payload;
 pub mod pool;
 pub mod world;
 
+pub use backend::{ExecBackend, PooledBackend, SpawnedBackend};
 pub use comm::{Comm, ReduceOp};
 pub use error::{MpiError, PanicKind, RankPanic};
 pub use payload::Payload;

@@ -3,9 +3,10 @@
 //! Runs each property as a fixed number of deterministically-sampled
 //! cases (seeded from the test's name) instead of the real crate's
 //! adaptive generation and shrinking. The strategy surface matches what
-//! this workspace's tests use: integer/float ranges, `any`,
-//! `prop::sample::select`, `prop::collection::vec`, tuple strategies,
-//! `prop_map`, and the `prop::num::f64` class strategies with `|` union.
+//! this workspace's tests use: integer/float ranges, `any`, `Just`,
+//! `prop_oneof!`, `prop::sample::select`, `prop::collection::vec`,
+//! tuple strategies, `prop_map`, and the `prop::num::f64` class
+//! strategies with `|` union.
 //! No shrinking: a failing case reports its seed and values instead.
 
 /// Deterministic test-case RNG (splitmix64).
@@ -73,6 +74,38 @@ pub mod strategy {
         }
     }
 
+    /// Strategy always producing one fixed value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed same-typed strategies — the target of
+    /// the [`prop_oneof!`](crate::prop_oneof) macro.
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Union over a non-empty list of alternatives.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].sample(rng)
+        }
+    }
+
     /// Strategy returned by [`Strategy::prop_map`].
     pub struct Map<S, F> {
         pub(crate) inner: S,
@@ -101,6 +134,14 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty strategy range");
                     let width = (self.end as i128 - self.start as i128) as u64;
                     self.start.wrapping_add(rng.below(width) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty strategy range");
+                    let width = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                    self.start().wrapping_add(rng.below(width) as $t)
                 }
             }
         )*};
@@ -146,7 +187,19 @@ pub mod strategy {
     );
 }
 
-pub use strategy::Strategy;
+pub use strategy::{Just, Strategy};
+
+/// Uniform choice among alternative strategies producing the same type
+/// (`proptest::prop_oneof!`; weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __arms: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            ::std::vec::Vec::new();
+        $(__arms.push(::std::boxed::Box::new($strat));)+
+        $crate::strategy::Union::new(__arms)
+    }};
+}
 
 /// Types with a canonical "anything" strategy.
 pub trait Arbitrary: Sized {
@@ -466,9 +519,11 @@ macro_rules! prop_assume {
 /// The glob-import surface: `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::{any, Arbitrary, ProptestConfig};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 #[cfg(test)]
@@ -504,6 +559,20 @@ mod tests {
 
         fn any_u64_covers_high_bits(x in any::<u64>()) {
             let _ = x;
+        }
+
+        fn oneof_and_just(
+            x in prop_oneof![
+                Just(0usize),
+                (1usize..4).prop_map(|v| v * 10),
+                10usize..=12,
+            ],
+        ) {
+            prop_assert!(x == 0 || (10..=12).contains(&x) || x == 20 || x == 30, "x = {x}");
+        }
+
+        fn inclusive_ranges_hit_both_ends(x in 5u8..=6) {
+            prop_assert!(x == 5 || x == 6);
         }
     }
 
