@@ -10,7 +10,8 @@
 use crate::case::CaseSpec;
 use crate::ops::SamplingOps;
 use resilim_core::{cosine_similarity, ModelInputs, Predictor, SamplePoints};
-use resilim_harness::{aggregate_outcomes, CampaignResult, CampaignRunner};
+use resilim_harness::{aggregate_outcomes, CampaignResult, CampaignRunner, CampaignSummary};
+use resilim_serve::{Client, Daemon, ServeConfig, SubmitSpec};
 use std::collections::BTreeMap;
 
 /// The oracles `resilim check` runs, in execution order.
@@ -42,6 +43,11 @@ pub enum Oracle {
     /// Durable-ledger round trip: a ledgered run merged back from disk
     /// equals the live result bitwise.
     LedgerRoundtrip,
+    /// Service identity: the same campaign submitted over a daemon's
+    /// unix socket (`resilim serve`) yields a summary bitwise equal to
+    /// the one-shot CLI path — concurrency, the wire protocol, and the
+    /// scheduler's delivery pipeline introduce no divergence.
+    ServeIdentity,
     /// Predicted vs measured: the closed-form prediction from
     /// serial + small-scale inputs is a probability distribution and
     /// stays within a (generous, documented) divergence bound of the
@@ -51,13 +57,14 @@ pub enum Oracle {
 
 impl Oracle {
     /// Every oracle, cheap-first.
-    pub const ALL: [Oracle; 7] = [
+    pub const ALL: [Oracle; 8] = [
         Oracle::BucketCover,
         Oracle::Distribution,
         Oracle::Grouping,
         Oracle::Replay,
         Oracle::StreamingIdentity,
         Oracle::LedgerRoundtrip,
+        Oracle::ServeIdentity,
         Oracle::ModelDivergence,
     ];
 
@@ -70,6 +77,7 @@ impl Oracle {
             Oracle::Replay => "replay",
             Oracle::StreamingIdentity => "streaming-identity",
             Oracle::LedgerRoundtrip => "ledger-roundtrip",
+            Oracle::ServeIdentity => "serve-identity",
             Oracle::ModelDivergence => "model-divergence",
         }
     }
@@ -124,6 +132,7 @@ pub fn check_case(case: &CaseSpec, ops: &dyn SamplingOps) -> Result<(), Violatio
     replay_identity(case, &measured)?;
     streaming_identity(case, &measured)?;
     ledger_roundtrip(case, &measured)?;
+    serve_identity(case, &measured)?;
     model_divergence(case, &measured)?;
     Ok(())
 }
@@ -139,6 +148,7 @@ pub fn run_oracle(case: &CaseSpec, oracle: Oracle, ops: &dyn SamplingOps) -> Res
         Oracle::Replay => replay_identity(case, &run_measured(case)?),
         Oracle::StreamingIdentity => streaming_identity(case, &run_measured(case)?),
         Oracle::LedgerRoundtrip => ledger_roundtrip(case, &run_measured(case)?),
+        Oracle::ServeIdentity => serve_identity(case, &run_measured(case)?),
         Oracle::ModelDivergence => model_divergence(case, &run_measured(case)?),
     }
 }
@@ -477,6 +487,51 @@ fn ledger_roundtrip(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation
             "ledger round trip diverges from the live run"
         );
         ensure!(o, merged.fi == m.fi, "merged FiResult diverges");
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Service identity: submit the measured campaign through a real
+/// daemon socket and require the summary a client receives to be
+/// bitwise equal (modulo wall clock) to the one-shot run. Exercises
+/// the whole serving stack — wire protocol, scheduler admission,
+/// reorder delivery, finalization — against the same ground truth.
+fn serve_identity(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> {
+    let o = Oracle::ServeIdentity;
+    let spec = case.measured_campaign().map_err(|e| Violation::new(o, e))?;
+    let want = CampaignSummary::of(&spec, m);
+    let dir = std::env::temp_dir().join(format!(
+        "resilim-check-serve-{}-{}-{}",
+        std::process::id(),
+        case.id,
+        case.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| Violation::new(o, format!("tmp dir: {e}")))?;
+    let socket = dir.join("check.sock");
+    let result = (|| {
+        let daemon = Daemon::spawn(ServeConfig {
+            socket: socket.clone(),
+            store: None,
+            workers: 2,
+        })
+        .map_err(|e| Violation::new(o, format!("daemon spawn: {e}")))?;
+        let mut client = Client::connect_retry(&socket, std::time::Duration::from_secs(10))
+            .map_err(|e| Violation::new(o, format!("connect: {e}")))?;
+        let (_id, summary) = client
+            .submit_and_wait(SubmitSpec::of_campaign(&spec))
+            .map_err(|e| Violation::new(o, format!("submit: {e}")))?;
+        daemon.stop();
+        let mut got =
+            summary.ok_or_else(|| Violation::new(o, "campaign finished without a summary"))?;
+        got.wall_secs = want.wall_secs;
+        ensure!(
+            o,
+            got == want,
+            "daemon-served summary diverges from the one-shot run"
+        );
         Ok(())
     })();
     let _ = std::fs::remove_dir_all(&dir);

@@ -8,6 +8,7 @@ pub mod check;
 pub mod figures;
 pub mod metrics;
 pub mod model;
+pub mod serve;
 pub mod tables;
 
 use crate::opts::{usage, Options};
@@ -31,6 +32,11 @@ pub fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Re
         "model" => model::model(opts),
         "metrics" => metrics::metrics(opts),
         "check" => check::check(opts),
+        "serve" => serve::serve(opts),
+        "submit" => serve::submit(opts),
+        "status" => serve::status(opts),
+        "cancel" => serve::cancel(opts),
+        "shutdown" => serve::shutdown(opts),
         "all" => {
             for cmd in [
                 "apps",

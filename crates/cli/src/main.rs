@@ -22,6 +22,11 @@
 //!   model               predict from a --store directory (offline)
 //!   metrics             aggregate report from a --trace JSONL file
 //!   check               differential/metamorphic validation of the model
+//!   serve               campaign daemon on a unix socket (--socket)
+//!   submit              submit a campaign to a daemon (--watch streams)
+//!   status              one campaign (--campaign ID) or the listing
+//!   cancel              cancel a running campaign (--campaign ID)
+//!   shutdown            ask the daemon to drain and exit
 //!   all                 every table/figure above, in order
 //! ```
 //!
@@ -53,6 +58,16 @@
 //! reassembles their ledgers into the whole-campaign result.
 //! `--trial-timeout SECS` arms a per-trial watchdog that kills and
 //! retries wedged trials (`--retries N` bounds the attempts).
+//!
+//! Service mode: `resilim serve` runs a persistent daemon that accepts
+//! campaign submissions over a unix socket (JSON lines) and fair-shares
+//! one worker pool, golden cache, and ledger across many concurrent
+//! campaigns. `resilim submit`/`status`/`cancel`/`shutdown` are the
+//! clients. Submission is idempotent (an equal spec joins the existing
+//! campaign; with `--store`, completed trials resume from the ledger),
+//! and SIGTERM or `resilim shutdown` drains in-flight trials before
+//! exiting — a restarted daemon finishes interrupted campaigns with
+//! bitwise-identical aggregates.
 
 mod cmd;
 mod opts;

@@ -55,11 +55,19 @@ pub struct Options {
     pub repro_dir: Option<String>,
     /// `check`: swap in a deliberately broken sampling layer by name.
     pub inject_bug: Option<String>,
+    /// `serve`/`submit`/`status`: daemon unix-socket path (`--socket`;
+    /// defaults to `resilim.sock` in the system temp directory).
+    pub socket: Option<String>,
+    /// `status`/`cancel`: target campaign id (`--campaign ID`).
+    pub campaign_id: Option<u64>,
+    /// `submit`: stream progress and wait for the final summary
+    /// (`--watch`).
+    pub watch: bool,
 }
 
 /// One-screen usage text.
 pub fn usage() -> &'static str {
-    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|campaign|merge|model|metrics|check|all>\n\
+    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|campaign|merge|model|metrics|check|serve|submit|status|cancel|shutdown|all>\n\
      \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
      \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
      \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K|auto]\n\
@@ -67,7 +75,8 @@ pub fn usage() -> &'static str {
      \u{20}       [--trace FILE] [--metrics]\n\
      \u{20}       [--resume] [--shard i/N] [--trial-timeout SECS] [--retries N]\n\
      \u{20}       [--smoke] [--budget SECS] [--cases N] [--replay FILE] [--repro-dir DIR]\n\
-     \u{20}       [--inject-bug NAME]"
+     \u{20}       [--inject-bug NAME]\n\
+     \u{20}       [--socket PATH] [--campaign ID] [--watch]"
 }
 
 /// Parse the argument vector (program name already stripped).
@@ -100,6 +109,9 @@ pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, Str
         replay: None,
         repro_dir: None,
         inject_bug: None,
+        socket: None,
+        campaign_id: None,
+        watch: false,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -209,6 +221,15 @@ pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, Str
             "--replay" => opts.replay = Some(value("--replay")?),
             "--repro-dir" => opts.repro_dir = Some(value("--repro-dir")?),
             "--inject-bug" => opts.inject_bug = Some(value("--inject-bug")?),
+            "--socket" => opts.socket = Some(value("--socket")?),
+            "--campaign" => {
+                opts.campaign_id = Some(
+                    value("--campaign")?
+                        .parse()
+                        .map_err(|e| format!("--campaign: {e}"))?,
+                )
+            }
+            "--watch" => opts.watch = true,
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -243,29 +264,11 @@ pub fn write_svg(opts: &Options, svg: String) -> Result<(), String> {
 }
 
 /// Parse an `--errors` spelling: `par`, `ser:N`, `unique`, `multi:K`.
+///
+/// Delegates to [`ErrorSpec::parse`] so the CLI, the wire protocol, and
+/// every other front end accept exactly the same vocabulary.
 pub fn parse_errors(spec: &str, procs: usize) -> Result<ErrorSpec, String> {
-    if spec == "par" {
-        return Ok(ErrorSpec::OneParallel);
-    }
-    if spec == "unique" {
-        return Ok(ErrorSpec::OneParallelUnique);
-    }
-    if let Some(n) = spec.strip_prefix("ser:") {
-        if procs != 1 {
-            return Err("ser:N campaigns need --scale 1".into());
-        }
-        return Ok(ErrorSpec::SerialErrors(
-            n.parse().map_err(|e| format!("ser:N: {e}"))?,
-        ));
-    }
-    if let Some(k) = spec.strip_prefix("multi:") {
-        return Ok(ErrorSpec::OneParallelMultiBit(
-            k.parse().map_err(|e| format!("multi:K: {e}"))?,
-        ));
-    }
-    Err(format!(
-        "unknown --errors '{spec}' (par|ser:N|unique|multi:K)"
-    ))
+    ErrorSpec::parse(spec, procs)
 }
 
 /// Resolve the single-deployment flags (`--apps`, `--scale`, `--errors`,
@@ -411,6 +414,23 @@ mod tests {
         assert!(parse(&["campaign", "--adaptive", "--shard", "0/2", "--store", "st"]).is_err());
         // Adaptive + resume is fine: resumed trials replay the prefix.
         assert!(parse(&["campaign", "--adaptive", "--resume", "--store", "st"]).is_ok());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let opts = parse(&[
+            "submit",
+            "--socket",
+            "/tmp/x.sock",
+            "--campaign",
+            "7",
+            "--watch",
+        ])
+        .unwrap();
+        assert_eq!(opts.socket.as_deref(), Some("/tmp/x.sock"));
+        assert_eq!(opts.campaign_id, Some(7));
+        assert!(opts.watch);
+        assert!(parse(&["status", "--campaign", "soon"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! End-to-end service tests through the real binary: `resilim serve`
+//! as a child process, driven by `resilim submit`/`status`/`shutdown`,
+//! including the SIGTERM graceful-drain + restart-resume guarantee.
+
+use resilim_harness::CampaignSummary;
+use serde::Deserialize;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("resilim-serve-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn resilim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_resilim"))
+        .args(args)
+        .output()
+        .expect("spawn resilim")
+}
+
+fn spawn_daemon(socket: &Path, store: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_resilim"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--jobs",
+            "2",
+        ])
+        .spawn()
+        .expect("spawn daemon")
+}
+
+/// Run a client command, retrying while the daemon is still starting.
+fn client_retry(args: &[&str]) -> Output {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let out = resilim(args);
+        if out.status.success() || Instant::now() > deadline {
+            return out;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn stdout_json<T: Deserialize>(out: &Output) -> T {
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {text}: {e:?}"))
+}
+
+fn send_sigterm(pid: u32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(pid as i32, 15);
+    }
+}
+
+#[derive(Deserialize)]
+struct Submitted {
+    id: u64,
+}
+
+#[derive(Deserialize)]
+struct Progress {
+    done: usize,
+}
+
+fn assert_same_measurement(mut got: CampaignSummary, want: &CampaignSummary) {
+    got.wall_secs = want.wall_secs;
+    assert_eq!(got, *want);
+}
+
+/// The daemon path is bitwise-identical to the one-shot CLI path, and
+/// a protocol shutdown leaves no socket behind.
+#[test]
+fn submit_matches_one_shot_campaign() {
+    let dir = temp_dir("identity");
+    let socket = dir.join("d.sock");
+    let sock = socket.to_str().unwrap();
+    let mut daemon = spawn_daemon(&socket, &dir.join("store"));
+
+    let deployment = [
+        "--apps", "cg", "--scale", "2", "--tests", "10", "--seed", "5",
+    ];
+    let mut submit_args = vec!["submit", "--watch", "--json", "--socket", sock];
+    submit_args.extend_from_slice(&deployment);
+    let served: CampaignSummary = stdout_json(&client_retry(&submit_args));
+
+    let mut solo_args = vec!["campaign", "--json"];
+    solo_args.extend_from_slice(&deployment);
+    let solo: CampaignSummary = stdout_json(&resilim(&solo_args));
+    assert_same_measurement(served, &solo);
+
+    // Resubmission is idempotent: same id, deduped.
+    let mut resubmit = vec!["submit", "--json", "--socket", sock];
+    resubmit.extend_from_slice(&deployment);
+    let out = resilim(&resubmit);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(out.status.success());
+    assert!(text.contains("\"deduped\": true"), "{text}");
+
+    // The listing shows the finished campaign.
+    let out = resilim(&["status", "--socket", sock]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("done"));
+
+    let out = resilim(&["shutdown", "--socket", sock]);
+    assert!(out.status.success(), "clean shutdown request");
+    let status = daemon.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exits 0 after shutdown request");
+    assert!(!socket.exists(), "no leaked socket");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGTERM mid-campaign: the daemon drains and exits 0; a restarted
+/// daemon resumes from ledger + journal and the final aggregate is
+/// bitwise-identical to an uninterrupted run.
+#[test]
+fn sigterm_drains_and_restart_resumes_identically() {
+    let dir = temp_dir("sigterm");
+    let socket = dir.join("d.sock");
+    let sock = socket.to_str().unwrap();
+    let store = dir.join("store");
+    let mut daemon = spawn_daemon(&socket, &store);
+
+    let deployment = [
+        "--apps", "lu", "--scale", "2", "--tests", "200", "--seed", "44",
+    ];
+    let mut submit_args = vec!["submit", "--json", "--socket", sock];
+    submit_args.extend_from_slice(&deployment);
+    let Submitted { id } = stdout_json(&client_retry(&submit_args));
+    let id_arg = id.to_string();
+
+    // Wait for some trials to land so the kill is genuinely mid-flight.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let out = resilim(&["status", "--json", "--socket", sock, "--campaign", &id_arg]);
+        let text = String::from_utf8_lossy(&out.stdout);
+        let done = serde_json::from_str::<Progress>(&text).map(|p| p.done);
+        if done.map(|d| d > 0).unwrap_or(true) || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    send_sigterm(daemon.id());
+    let status = daemon.wait().expect("daemon exit");
+    assert!(status.success(), "SIGTERM drain exits 0");
+    assert!(!socket.exists(), "socket removed on signal exit");
+
+    // Restart over the same store: the journal resubmits the campaign,
+    // the ledger resumes it, and watching it to completion yields the
+    // bitwise-identical summary of an uninterrupted run.
+    let mut daemon = spawn_daemon(&socket, &store);
+    let mut watch_args = vec!["submit", "--watch", "--json", "--socket", sock];
+    watch_args.extend_from_slice(&deployment);
+    let resumed: CampaignSummary = stdout_json(&client_retry(&watch_args));
+
+    let mut solo_args = vec!["campaign", "--json"];
+    solo_args.extend_from_slice(&deployment);
+    let solo: CampaignSummary = stdout_json(&resilim(&solo_args));
+    assert_same_measurement(resumed, &solo);
+
+    let out = resilim(&["shutdown", "--socket", sock]);
+    assert!(out.status.success());
+    assert!(daemon.wait().expect("daemon exit").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -35,6 +35,6 @@ pub mod stream;
 pub use aggregate::{
     aggregate_outcomes, CampaignAccumulator, ConvergenceSeries, LedgerConsumer, ObsTrialConsumer,
 };
-pub use runner::CampaignRunner;
+pub use runner::{auto_worker_count, CampaignRunner, TrialExecutor};
 pub use spec::{CampaignResult, CampaignSpec, ErrorSpec, DEFAULT_TAINT_THRESHOLD};
 pub use stream::{ReorderBuffer, TrialConsumer, TrialPipeline, TrialRecord};

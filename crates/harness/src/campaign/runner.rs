@@ -24,9 +24,28 @@ use std::time::{Duration, Instant};
 enum Parallelism {
     /// Exactly `k` worker threads (1 = sequential).
     Fixed(usize),
-    /// `available_parallelism() / procs`, floored at 1, resolved per
-    /// campaign (a p=64 deployment needs fewer test workers than p=1).
+    /// [`auto_worker_count`] of the host's cores, resolved per campaign
+    /// (a p=64 deployment needs fewer test workers than p=1).
     Auto,
+}
+
+/// The worker count `--jobs auto` resolves to on a host with `cores`
+/// logical CPUs for a `procs`-rank deployment.
+///
+/// Each worker runs a whole world of `procs` rank threads, so the
+/// useful fan-out is `cores / procs` — and when the host cannot fit
+/// even one extra world (`cores <= procs`, e.g. the 1-core CI runner
+/// driving a p=4 campaign) the answer is exactly 1 worker: the runner
+/// must take its sequential path, paying no claim-counter or
+/// pipeline-lock overhead for parallelism the host cannot deliver
+/// (the `--jobs auto` pessimization recorded in BENCH_campaign.json).
+pub fn auto_worker_count(cores: usize, procs: usize) -> usize {
+    let procs = procs.max(1);
+    if cores <= procs {
+        1
+    } else {
+        cores / procs
+    }
 }
 
 /// Runs campaigns, caching both golden runs and whole campaign results
@@ -167,7 +186,7 @@ impl CampaignRunner {
             Parallelism::Fixed(k) => k,
             Parallelism::Auto => {
                 let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-                (cores / procs.max(1)).max(1)
+                auto_worker_count(cores, procs)
             }
         }
     }
@@ -249,9 +268,14 @@ impl CampaignRunner {
                 errors: format!("{:?}", spec.errors),
             });
         }
-        let golden = self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask);
-        let op_cap = golden.op_cap();
-        let backend = self.exec_backend();
+        let executor = TrialExecutor {
+            spec: spec.clone(),
+            golden: self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask),
+            backend: self.exec_backend(),
+            retry: self.retry,
+            campaign_id,
+        };
+        let golden = Arc::clone(&executor.golden);
 
         let start = Instant::now();
         // The trials this process executes: the shard's slice of the
@@ -324,14 +348,7 @@ impl CampaignRunner {
                         break;
                     }
                     let busy = obs::timer();
-                    let rec = self.run_trial_durable(
-                        spec,
-                        &golden,
-                        op_cap,
-                        test,
-                        campaign_id,
-                        backend.as_ref(),
-                    );
+                    let rec = executor.run_trial(test);
                     note_worker_busy(busy);
                     pipeline.lock().push(rec);
                 }
@@ -352,14 +369,7 @@ impl CampaignRunner {
                                 break;
                             }
                             let busy = obs::timer();
-                            let rec = self.run_trial_durable(
-                                spec,
-                                &golden,
-                                op_cap,
-                                pending[pos],
-                                campaign_id,
-                                backend.as_ref(),
-                            );
+                            let rec = executor.run_trial(pending[pos]);
                             note_worker_busy(busy);
                             let mut p = pipeline.lock();
                             p.push(rec);
@@ -423,67 +433,20 @@ impl CampaignRunner {
         }
     }
 
-    /// Run one test durably: the trial span (latency histogram, trial
-    /// counter) and the watchdog retry loop, packaged as the
-    /// [`TrialRecord`] event the pipeline consumes (the ledger append
-    /// and the structured trial event happen in the in-order consumers).
-    ///
-    /// Only *watchdog* trips are retried: a deterministic in-simulation
-    /// crash or hang is the trial's real outcome and would reproduce
-    /// identically, so it is recorded first try. A trial that keeps
-    /// tripping the deadline after the retry budget is recorded as a
-    /// [`FailureKind::Hang`] rather than wedging the campaign.
-    fn run_trial_durable(
-        &self,
-        spec: &CampaignSpec,
-        golden: &GoldenRun,
-        op_cap: u64,
-        test: usize,
-        campaign_id: u64,
-        backend: &dyn ExecBackend<AppOutput>,
-    ) -> TrialRecord {
-        let t = obs::timer();
-        let mut attempt: u32 = 0;
-        let outcome = loop {
-            let (outcome, tripped) = exec::execute_trial(spec, golden, op_cap, test, backend);
-            if !tripped {
-                break outcome;
-            }
-            obs::count(obs::Counter::TrialDeadlineTrips, 1);
-            if attempt < self.retry.max_retries {
-                attempt += 1;
-                obs::count(obs::Counter::TrialRetries, 1);
-                obs::emit(&obs::Event::TrialRetry {
-                    campaign: campaign_id,
-                    test,
-                    attempt,
-                });
-                std::thread::sleep(self.retry.backoff(attempt - 1));
-                continue;
-            }
-            // Retry budget exhausted: record the wedge as a hang so the
-            // campaign terminates with a classified outcome.
-            break TestOutcome::failure(
-                FailureKind::Hang,
-                outcome.contaminated_ranks,
-                outcome.injections_fired,
-            );
-        };
-        obs::count(obs::Counter::TrialsRun, 1);
-        let latency_us = match t {
-            Some(t) => {
-                let latency_us = obs::as_micros(t.elapsed());
-                obs::observe(obs::Hist::TrialLatencyUs, latency_us);
-                latency_us
-            }
-            None => 0,
-        };
-        TrialRecord {
-            index: test,
-            outcome,
-            attempts: attempt + 1,
-            resumed: false,
-            latency_us,
+    /// Package this runner's execution configuration for one campaign
+    /// as a standalone [`TrialExecutor`]: the golden run is profiled
+    /// (or fetched) up front, then any thread may call
+    /// [`TrialExecutor::run_trial`] for any trial index — the seam a
+    /// multi-campaign scheduler (`resilim serve`) interleaves trials
+    /// of many campaigns through, sharing this runner's golden store
+    /// and the process-global world pool.
+    pub fn trial_executor(&self, spec: &CampaignSpec) -> TrialExecutor {
+        TrialExecutor {
+            spec: spec.clone(),
+            golden: self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask),
+            backend: self.exec_backend(),
+            retry: self.retry,
+            campaign_id: obs::next_campaign_id(),
         }
     }
 
@@ -533,6 +496,102 @@ impl CampaignRunner {
     }
 }
 
+/// Everything needed to execute any single trial of one campaign, on
+/// any thread: the spec, the profiled golden run, the configured
+/// [`ExecBackend`], and the watchdog retry policy.
+///
+/// [`CampaignRunner::run_uncached`] builds one per campaign and its
+/// workers share it; [`CampaignRunner::trial_executor`] hands the same
+/// object to external schedulers (the `resilim serve` daemon) so
+/// multi-campaign execution reuses the exact per-trial path — bitwise
+/// identity with the one-shot runner is by construction, not by test.
+pub struct TrialExecutor {
+    spec: CampaignSpec,
+    golden: Arc<GoldenRun>,
+    backend: Box<dyn ExecBackend<AppOutput>>,
+    retry: RetryPolicy,
+    campaign_id: u64,
+}
+
+impl TrialExecutor {
+    /// The campaign this executor runs trials of.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// The golden run trials classify against.
+    pub fn golden(&self) -> &Arc<GoldenRun> {
+        &self.golden
+    }
+
+    /// The process-unique campaign id trial events are tagged with.
+    pub fn campaign_id(&self) -> u64 {
+        self.campaign_id
+    }
+
+    /// Run one test durably: the trial span (latency histogram, trial
+    /// counter) and the watchdog retry loop, packaged as the
+    /// [`TrialRecord`] event the pipeline consumes (the ledger append
+    /// and the structured trial event happen in the in-order consumers).
+    ///
+    /// Only *watchdog* trips are retried: a deterministic in-simulation
+    /// crash or hang is the trial's real outcome and would reproduce
+    /// identically, so it is recorded first try. A trial that keeps
+    /// tripping the deadline after the retry budget is recorded as a
+    /// [`FailureKind::Hang`] rather than wedging the campaign.
+    pub fn run_trial(&self, test: usize) -> TrialRecord {
+        let t = obs::timer();
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            let (outcome, tripped) = exec::execute_trial(
+                &self.spec,
+                &self.golden,
+                self.golden.op_cap(),
+                test,
+                self.backend.as_ref(),
+            );
+            if !tripped {
+                break outcome;
+            }
+            obs::count(obs::Counter::TrialDeadlineTrips, 1);
+            if attempt < self.retry.max_retries {
+                attempt += 1;
+                obs::count(obs::Counter::TrialRetries, 1);
+                obs::emit(&obs::Event::TrialRetry {
+                    campaign: self.campaign_id,
+                    test,
+                    attempt,
+                });
+                std::thread::sleep(self.retry.backoff(attempt - 1));
+                continue;
+            }
+            // Retry budget exhausted: record the wedge as a hang so the
+            // campaign terminates with a classified outcome.
+            break TestOutcome::failure(
+                FailureKind::Hang,
+                outcome.contaminated_ranks,
+                outcome.injections_fired,
+            );
+        };
+        obs::count(obs::Counter::TrialsRun, 1);
+        let latency_us = match t {
+            Some(t) => {
+                let latency_us = obs::as_micros(t.elapsed());
+                obs::observe(obs::Hist::TrialLatencyUs, latency_us);
+                latency_us
+            }
+            None => 0,
+        };
+        TrialRecord {
+            index: test,
+            outcome,
+            attempts: attempt + 1,
+            resumed: false,
+            latency_us,
+        }
+    }
+}
+
 /// Record a campaign-cache lookup (hit = an Arc'd result was reused).
 fn note_campaign_lookup(hit: bool) {
     obs::count(
@@ -567,6 +626,42 @@ mod tests {
 
     fn campaign(app: App, procs: usize, errors: ErrorSpec, tests: usize) -> CampaignSpec {
         CampaignSpec::new(app.default_spec(), procs, errors, tests, 42)
+    }
+
+    /// Regression for the `--jobs auto` pessimization on small hosts
+    /// (BENCH_campaign.json recorded 0.90× vs `jobs=1` on a 1-core
+    /// host): auto must resolve to exactly 1 worker whenever the host
+    /// cannot fit a second world, so the runner takes its sequential
+    /// path and never pays the shared-counter/pipeline-lock overhead.
+    #[test]
+    fn auto_worker_count_clamps_to_one_on_small_hosts() {
+        // cores <= procs: one world already oversubscribes the host.
+        assert_eq!(auto_worker_count(1, 4), 1);
+        assert_eq!(auto_worker_count(2, 4), 1);
+        assert_eq!(auto_worker_count(4, 4), 1);
+        assert_eq!(auto_worker_count(1, 1), 1);
+        // cores > procs: one worker per world the host can fit.
+        assert_eq!(auto_worker_count(8, 4), 2);
+        assert_eq!(auto_worker_count(9, 4), 2);
+        assert_eq!(auto_worker_count(64, 4), 16);
+        assert_eq!(auto_worker_count(3, 2), 1);
+        assert_eq!(auto_worker_count(4, 1), 4);
+        // Degenerate procs never divides by zero.
+        assert_eq!(auto_worker_count(8, 0), 8);
+    }
+
+    #[test]
+    fn trial_executor_matches_runner_path() {
+        let runner = CampaignRunner::new();
+        let spec = campaign(App::Lu, 2, ErrorSpec::OneParallel, 10);
+        let result = runner.run_uncached(&spec);
+        let executor = runner.trial_executor(&spec);
+        for (i, expected) in result.outcomes.iter().enumerate() {
+            let rec = executor.run_trial(i);
+            assert_eq!(rec.index, i);
+            assert_eq!(rec.outcome, *expected, "trial {i} diverges");
+            assert!(!rec.resumed);
+        }
     }
 
     #[test]

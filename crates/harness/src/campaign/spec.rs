@@ -28,6 +28,48 @@ pub enum ErrorSpec {
     OneParallelMultiBit(u8),
 }
 
+impl ErrorSpec {
+    /// Parse the CLI spelling: `par`, `ser:N`, `unique`, or `multi:K`.
+    /// `procs` is the deployment's rank count, needed because `ser:N`
+    /// campaigns are only defined serially.
+    pub fn parse(spec: &str, procs: usize) -> Result<ErrorSpec, String> {
+        if spec == "par" {
+            return Ok(ErrorSpec::OneParallel);
+        }
+        if spec == "unique" {
+            return Ok(ErrorSpec::OneParallelUnique);
+        }
+        if let Some(n) = spec.strip_prefix("ser:") {
+            if procs != 1 {
+                return Err("ser:N campaigns need --scale 1".into());
+            }
+            return Ok(ErrorSpec::SerialErrors(
+                n.parse().map_err(|e| format!("ser:N: {e}"))?,
+            ));
+        }
+        if let Some(k) = spec.strip_prefix("multi:") {
+            return Ok(ErrorSpec::OneParallelMultiBit(
+                k.parse().map_err(|e| format!("multi:K: {e}"))?,
+            ));
+        }
+        Err(format!(
+            "unknown --errors '{spec}' (par|ser:N|unique|multi:K)"
+        ))
+    }
+
+    /// The CLI spelling [`ErrorSpec::parse`] accepts — the wire form
+    /// service submissions carry, chosen over the serde encoding so that
+    /// hand-written requests use the same vocabulary as the command line.
+    pub fn cli_name(&self) -> String {
+        match self {
+            ErrorSpec::OneParallel => "par".to_string(),
+            ErrorSpec::SerialErrors(x) => format!("ser:{x}"),
+            ErrorSpec::OneParallelUnique => "unique".to_string(),
+            ErrorSpec::OneParallelMultiBit(k) => format!("multi:{k}"),
+        }
+    }
+}
+
 /// Default contamination-significance threshold (relative): a rank counts
 /// as contaminated when it holds a value diverging from the fault-free
 /// shadow by more than this. Mirrors F-SEFI's application-level memory
@@ -94,7 +136,12 @@ impl CampaignSpec {
     /// everything that shapes aggregation without affecting any single
     /// trial (`tests`, the stop rule). The stop suffix is emitted only
     /// when a rule is set, so fixed-`tests` keys are unchanged.
-    pub(crate) fn cache_key(&self) -> String {
+    ///
+    /// Public because result-level deduplication lives on it: the
+    /// campaign cache here and the `resilim serve` daemon's idempotent
+    /// submission both treat two specs with equal cache keys as the
+    /// same campaign.
+    pub fn cache_key(&self) -> String {
         let mut key = format!("{}|n={}", self.trial_key(), self.tests);
         if let Some(rule) = &self.stop {
             key.push_str(&format!(
@@ -278,6 +325,23 @@ mod tests {
         // Distinct stop rules are distinct results.
         let tighter = base().with_stop(StopRule::new(0.02));
         assert_ne!(adaptive.cache_key(), tighter.cache_key());
+    }
+
+    #[test]
+    fn cli_spellings_round_trip_through_parse() {
+        let specs = [
+            (ErrorSpec::OneParallel, 4),
+            (ErrorSpec::SerialErrors(3), 1),
+            (ErrorSpec::OneParallelUnique, 4),
+            (ErrorSpec::OneParallelMultiBit(2), 4),
+        ];
+        for (errors, procs) in specs {
+            assert_eq!(ErrorSpec::parse(&errors.cli_name(), procs), Ok(errors));
+        }
+        assert!(ErrorSpec::parse("ser:2", 4).is_err(), "ser needs procs=1");
+        assert!(ErrorSpec::parse("ser:x", 1).is_err());
+        assert!(ErrorSpec::parse("multi:x", 4).is_err());
+        assert!(ErrorSpec::parse("bogus", 4).is_err());
     }
 
     #[test]

@@ -111,6 +111,29 @@ pub enum Event {
         /// Name of the first violated oracle (empty when `ok`).
         oracle: String,
     },
+    /// The service daemon accepted a campaign submission.
+    ServeSubmit {
+        /// Daemon-assigned campaign id.
+        id: u64,
+        /// Application name.
+        app: String,
+        /// Rank count.
+        procs: usize,
+        /// Trial ceiling.
+        tests: usize,
+        /// Whether the submission joined an already-registered campaign
+        /// with the same identity instead of scheduling new trials.
+        deduped: bool,
+    },
+    /// A daemon-hosted campaign reached a terminal state.
+    ServeCampaignDone {
+        /// Daemon-assigned campaign id.
+        id: u64,
+        /// Trials delivered before the terminal state.
+        trials: usize,
+        /// Terminal state: `"done"` or `"cancelled"`.
+        state: &'static str,
+    },
     /// One shrink attempt while minimizing a failing check case.
     CheckShrink {
         /// Case index of the original failing case.
@@ -141,6 +164,8 @@ impl Event {
             Event::CampaignEarlyStop { .. } => "campaign_early_stop",
             Event::CampaignEnd { .. } => "campaign_end",
             Event::CheckCase { .. } => "check_case",
+            Event::ServeSubmit { .. } => "serve_submit",
+            Event::ServeCampaignDone { .. } => "serve_campaign_done",
             Event::CheckShrink { .. } => "check_shrink",
         }
     }
@@ -240,6 +265,24 @@ impl Event {
                 line.num("tests", *tests as u64);
                 line.bool("ok", *ok);
                 line.str("oracle", oracle);
+            }
+            Event::ServeSubmit {
+                id,
+                app,
+                procs,
+                tests,
+                deduped,
+            } => {
+                line.num("id", *id);
+                line.str("app", app);
+                line.num("procs", *procs as u64);
+                line.num("tests", *tests as u64);
+                line.bool("deduped", *deduped);
+            }
+            Event::ServeCampaignDone { id, trials, state } => {
+                line.num("id", *id);
+                line.num("trials", *trials as u64);
+                line.str("state", state);
             }
             Event::CheckShrink {
                 case,
@@ -370,6 +413,31 @@ mod tests {
             s.to_json(),
             "{\"ev\":\"check_shrink\",\"case\":3,\"attempt\":2,\
              \"accepted\":true,\"procs\":2,\"tests\":4}"
+        );
+    }
+
+    #[test]
+    fn serve_events_encode_all_fields() {
+        let e = Event::ServeSubmit {
+            id: 4,
+            app: "jacobi".to_string(),
+            procs: 2,
+            tests: 16,
+            deduped: true,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"ev\":\"serve_submit\",\"id\":4,\"app\":\"jacobi\",\
+             \"procs\":2,\"tests\":16,\"deduped\":true}"
+        );
+        let d = Event::ServeCampaignDone {
+            id: 4,
+            trials: 16,
+            state: "done",
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"ev\":\"serve_campaign_done\",\"id\":4,\"trials\":16,\"state\":\"done\"}"
         );
     }
 

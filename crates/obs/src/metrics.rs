@@ -5,7 +5,7 @@
 //! Values are observations only — nothing in the campaign pipeline reads
 //! them back, so enabling metrics cannot alter a campaign statistic.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Monotonic event counters.
@@ -65,11 +65,21 @@ pub enum Counter {
     CheckViolations,
     /// Shrink attempts made while minimizing a failing check case.
     CheckShrinkAttempts,
+    /// Campaign submissions accepted by the service daemon
+    /// (`resilim serve`), including deduplicated resubmissions.
+    ServeSubmits,
+    /// Submissions answered from an already-registered campaign with
+    /// the same identity (idempotent resubmission).
+    ServeDedupHits,
+    /// Campaigns the service daemon ran to completion.
+    ServeCampaignsDone,
+    /// Campaigns cancelled by a client before completion.
+    ServeCampaignsCancelled,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 29] = [
         Counter::InjectionsFired,
         Counter::TaintBorn,
         Counter::OpsCommon,
@@ -95,6 +105,10 @@ impl Counter {
         Counter::CheckCasesRun,
         Counter::CheckViolations,
         Counter::CheckShrinkAttempts,
+        Counter::ServeSubmits,
+        Counter::ServeDedupHits,
+        Counter::ServeCampaignsDone,
+        Counter::ServeCampaignsCancelled,
     ];
 
     /// Stable snake_case name (used in reports and traces).
@@ -125,8 +139,59 @@ impl Counter {
             Counter::CheckCasesRun => "check_cases_run",
             Counter::CheckViolations => "check_violations",
             Counter::CheckShrinkAttempts => "check_shrink_attempts",
+            Counter::ServeSubmits => "serve_submits",
+            Counter::ServeDedupHits => "serve_dedup_hits",
+            Counter::ServeCampaignsDone => "serve_campaigns_done",
+            Counter::ServeCampaignsCancelled => "serve_campaigns_cancelled",
         }
     }
+}
+
+/// Point-in-time level gauges (counters go up; gauges go up *and*
+/// down). The only consumer so far is the service daemon's
+/// active-campaign level; kept in the same recorder so `--metrics`
+/// reports and tests read them uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Campaigns currently registered and not yet finished in a
+    /// `resilim serve` daemon.
+    ServeActiveCampaigns,
+}
+
+impl Gauge {
+    /// Every gauge, in stable report order.
+    pub const ALL: [Gauge; 1] = [Gauge::ServeActiveCampaigns];
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ServeActiveCampaigns => "serve_active_campaigns",
+        }
+    }
+}
+
+const NUM_GAUGES: usize = Gauge::ALL.len();
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_I64: AtomicI64 = AtomicI64::new(0);
+
+static GAUGES: [AtomicI64; NUM_GAUGES] = [ZERO_I64; NUM_GAUGES];
+
+/// Move a gauge by `delta` (negative = down). Unlike counters, gauges
+/// are *state*, not observations: they track live service levels and
+/// are therefore recorded even while the event recorder is disabled —
+/// a daemon that enables tracing mid-flight must not see a skewed
+/// level.
+#[inline]
+pub fn gauge_add(g: Gauge, delta: i64) {
+    GAUGES[g as usize].fetch_add(delta, Ordering::Relaxed);
+}
+
+/// A gauge's current level.
+#[inline]
+pub fn gauge(g: Gauge) -> i64 {
+    GAUGES[g as usize].load(Ordering::Relaxed)
 }
 
 /// Log₂-bucketed histograms (bucket `i ≥ 1` covers `[2^(i−1), 2^i)`;
