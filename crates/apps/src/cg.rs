@@ -22,6 +22,8 @@ use crate::util::{block_range, hash_index, hash_range};
 use crate::AppOutput;
 use resilim_inject::Tf64;
 use resilim_simmpi::Comm;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// CG problem parameters (a scaled-down NPB Class S).
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +124,32 @@ impl SparseMatrix {
         }
     }
 
+    /// Shared, cached variant of [`SparseMatrix::generate`].
+    ///
+    /// Campaigns run thousands of trials against the *same* problem, and
+    /// every rank of every trial regenerates the identical matrix (~130µs
+    /// for the default problem — over half a trial once the tracked hot
+    /// path is fast). Generation is deterministic untracked setup, so
+    /// sharing one immutable copy per `(n, pairs_per_row, seed)` key is
+    /// observationally invisible. The cache is bounded: campaigns touch a
+    /// handful of problem configurations, so it is cleared outright if it
+    /// ever grows past `CACHE_CAP` entries.
+    pub fn cached(n: usize, pairs_per_row: usize, seed: u64) -> Arc<SparseMatrix> {
+        type Cache = Mutex<HashMap<(usize, usize, u64), Arc<SparseMatrix>>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("matrix cache poisoned");
+        if map.len() > Self::CACHE_CAP {
+            map.clear();
+        }
+        map.entry((n, pairs_per_row, seed))
+            .or_insert_with(|| Arc::new(SparseMatrix::generate(n, pairs_per_row, seed)))
+            .clone()
+    }
+
+    /// Cache bound for [`SparseMatrix::cached`].
+    const CACHE_CAP: usize = 16;
+
     /// Number of stored nonzeros.
     pub fn nnz(&self) -> usize {
         self.vals.len()
@@ -170,7 +198,7 @@ fn gather_full(comm: &Comm, local: &[Tf64]) -> Vec<Tf64> {
 ///
 /// Digest: `[zeta_1, …, zeta_niter, final_rnorm]`.
 pub fn run(prob: &CgProblem, comm: &Comm) -> AppOutput {
-    let a = SparseMatrix::generate(prob.n, prob.pairs_per_row, prob.seed);
+    let a = SparseMatrix::cached(prob.n, prob.pairs_per_row, prob.seed);
     let rows = block_range(prob.n, comm.size(), comm.rank());
     let nl = rows.len();
 

@@ -9,10 +9,18 @@
 //! With `--baseline FILE` the snapshot doubles as a regression gate: it
 //! compares the fresh `jobs=1` throughput against the baseline's and
 //! exits non-zero when the fresh number falls more than `--tolerance`
-//! (default 0.35 — CI runners are noisy) below it.
+//! (default 0.35 — CI runners are noisy) below it. The baseline may be
+//! a flat snapshot or a multi-entry file (`{"entries": [...]}` with the
+//! newest last) recording before/after measurements across PRs.
+//!
+//! `--require-speedup` additionally fails the run when the host has
+//! more than one core but `jobs=auto` is not faster than `jobs=1` —
+//! the multi-core scaling demonstration, enforced on CI runners
+//! because single-core hosts cannot measure it.
 //!
 //! ```text
 //! campaign_snapshot [--tests N] [--out FILE] [--baseline FILE] [--tolerance T]
+//!                   [--require-speedup]
 //! ```
 
 use resilim_apps::App;
@@ -29,13 +37,21 @@ fn measure(runner: &CampaignRunner, spec: &CampaignSpec) -> (f64, CampaignResult
     (spec.tests as f64 / secs, result)
 }
 
-/// The baseline's `trials_per_sec_jobs1`, read from a previous snapshot.
+/// The baseline's `trials_per_sec_jobs1`, read from a previous snapshot —
+/// either a flat one or the newest entry of a multi-entry baseline file.
 fn baseline_tps(path: &str) -> f64 {
     let raw = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
     let snapshot: serde_json::Value =
         serde_json::from_str(&raw).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
     snapshot
         .get("trials_per_sec_jobs1")
+        .or_else(|| {
+            snapshot
+                .get("entries")
+                .and_then(|e| e.as_array())
+                .and_then(|e| e.last())
+                .and_then(|e| e.get("trials_per_sec_jobs1"))
+        })
         .and_then(|v| v.as_f64())
         .unwrap_or_else(|| panic!("--baseline {path}: no trials_per_sec_jobs1 number"))
 }
@@ -45,6 +61,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.35f64;
+    let mut require_speedup = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -56,9 +73,11 @@ fn main() {
             "--out" => out = Some(value("--out")),
             "--baseline" => baseline = Some(value("--baseline")),
             "--tolerance" => tolerance = value("--tolerance").parse().expect("--tolerance: number"),
+            "--require-speedup" => require_speedup = true,
             other => panic!(
                 "unknown flag '{other}' \
-                 (campaign_snapshot [--tests N] [--out FILE] [--baseline FILE] [--tolerance T])"
+                 (campaign_snapshot [--tests N] [--out FILE] [--baseline FILE] [--tolerance T] \
+                 [--require-speedup])"
             ),
         }
     }
@@ -104,6 +123,23 @@ fn main() {
                 100.0 * (1.0 - tps_jobs1 / base)
             );
             std::process::exit(1);
+        }
+    }
+
+    if require_speedup {
+        if host_cores <= 1 {
+            eprintln!("  --require-speedup: single-core host, nothing to demonstrate");
+        } else if tps_auto <= tps_jobs1 {
+            eprintln!(
+                "no multi-core speedup: jobs=auto ({jobs_auto}) ran {tps_auto:.2} trials/sec \
+                 vs {tps_jobs1:.2} at jobs=1 on a {host_cores}-core host"
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!(
+                "  speedup_auto_vs_jobs1 = {:.2} on {host_cores} cores",
+                tps_auto / tps_jobs1
+            );
         }
     }
 

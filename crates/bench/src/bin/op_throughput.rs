@@ -1,0 +1,124 @@
+//! Op-throughput snapshot: directly measures the `hook_binop` hot path
+//! (tracked arithmetic ops/sec) in the configurations that matter —
+//! context absent, profiling context installed, context with a pending
+//! (never-firing) injection target — against raw `f64` as the ceiling.
+//!
+//! The campaign bench measures trials/sec end-to-end; this bin isolates
+//! the per-op cost the Tf64 fast path optimizes, so a hook regression is
+//! visible directly instead of hiding inside end-to-end noise.
+//!
+//! ```text
+//! op_throughput [--ops N] [--quick] [--out FILE]
+//! ```
+//!
+//! `--quick` shrinks the op count to a CI-smoke size (the numbers are
+//! then only good for catching order-of-magnitude regressions).
+
+use resilim_inject::{ctx, InjectionPlan, Operand, RankCtx, Region, Target, Tf64};
+use std::time::Instant;
+
+/// One measured configuration: mega-ops/sec over a mul+add chain.
+fn mops<F: FnMut() -> f64>(ops: u64, mut run: F) -> f64 {
+    // One warmup pass, then the timed pass.
+    std::hint::black_box(run());
+    let start = Instant::now();
+    std::hint::black_box(run());
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    ops as f64 / secs / 1e6
+}
+
+fn main() {
+    let mut ops: u64 = 8_000_000;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--ops" => ops = value("--ops").parse().expect("--ops: integer"),
+            "--quick" => ops = 400_000,
+            "--out" => out = Some(value("--out")),
+            other => {
+                panic!("unknown flag '{other}' (op_throughput [--ops N] [--quick] [--out FILE])")
+            }
+        }
+    }
+    let n = ops / 2; // two tracked ops (mul + add) per loop iteration
+
+    let raw = mops(ops, || {
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc = acc * 0.999 + (i as f64);
+        }
+        acc
+    });
+
+    let no_ctx = mops(ops, || {
+        let mut acc = Tf64::ZERO;
+        for i in 0..n {
+            acc = acc * 0.999 + (i as f64);
+        }
+        acc.value()
+    });
+
+    let with_ctx = mops(ops, || {
+        ctx::install(RankCtx::profiling(0));
+        let mut acc = Tf64::ZERO;
+        for i in 0..n {
+            acc = acc * 0.999 + (i as f64);
+        }
+        ctx::take();
+        acc.value()
+    });
+
+    let pending = mops(ops, || {
+        // A target that never fires: the common case during a trial.
+        ctx::install(RankCtx::new(
+            0,
+            InjectionPlan::single(Target {
+                region: Region::Common,
+                op_index: u64::MAX,
+                bit: 3,
+                operand: Operand::A,
+            }),
+        ));
+        let mut acc = Tf64::ZERO;
+        for i in 0..n {
+            acc = acc * 0.999 + (i as f64);
+        }
+        ctx::take();
+        acc.value()
+    });
+
+    // Tainted operand, context installed: every op re-checks divergence.
+    let tainted = mops(ops, || {
+        ctx::install(RankCtx::profiling(0));
+        let mut acc = Tf64::from_parts(1.0, 1.0 + 1e-12);
+        for i in 0..n {
+            acc = acc * 0.999 + (i as f64);
+        }
+        ctx::take();
+        acc.value()
+    });
+
+    let snapshot = serde_json::json!({
+        "bench": "op_throughput",
+        "ops": ops,
+        "mops_raw_f64": raw,
+        "mops_tracked_no_ctx": no_ctx,
+        "mops_tracked_with_ctx": with_ctx,
+        "mops_tracked_pending_target": pending,
+        "mops_tracked_tainted": tainted,
+        "slowdown_with_ctx_vs_raw": raw / with_ctx.max(1e-9),
+    });
+    let body = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, format!("{body}\n")).expect("write snapshot");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{body}"),
+    }
+}

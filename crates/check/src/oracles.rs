@@ -450,12 +450,30 @@ fn streaming_identity(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violati
         Ok(())
     };
     compare("jobs=1", m)?;
-    let backends: [(&str, CampaignRunner); 3] = [
+    // Batched admission (`--batch`) must be observationally invisible:
+    // the reorder buffer delivers in owned-index order whatever the push
+    // granularity, so every batch size must reproduce the jobs=1 result
+    // bitwise. 7 (odd, not a divisor of typical test counts) and 64 (the
+    // reorder-window size) are the adversarial choices.
+    let backends: [(&str, CampaignRunner); 6] = [
         ("jobs=4", CampaignRunner::new().with_test_parallelism(4)),
         ("jobs=auto", CampaignRunner::new().with_auto_parallelism()),
         (
             "spawn-per-trial",
             CampaignRunner::new().with_spawn_per_trial(),
+        ),
+        ("batch=7", CampaignRunner::new().with_trial_batch(7)),
+        (
+            "batch=7 jobs=4",
+            CampaignRunner::new()
+                .with_test_parallelism(4)
+                .with_trial_batch(7),
+        ),
+        (
+            "batch=64 jobs=4",
+            CampaignRunner::new()
+                .with_test_parallelism(4)
+                .with_trial_batch(64),
         ),
     ];
     for (name, runner) in backends {
@@ -516,6 +534,9 @@ fn serve_identity(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> 
             socket: socket.clone(),
             store: None,
             workers: 2,
+            // Batched claims through the scheduler must not change the
+            // summary either.
+            batch: 7,
         })
         .map_err(|e| Violation::new(o, format!("daemon spawn: {e}")))?;
         let mut client = Client::connect_retry(&socket, std::time::Duration::from_secs(10))

@@ -35,6 +35,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         socket: socket_path(opts),
         store: opts.store.as_ref().map(PathBuf::from),
         workers: worker_count(opts),
+        batch: opts.batch.unwrap_or(1),
     })
 }
 

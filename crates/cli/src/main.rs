@@ -119,6 +119,9 @@ fn build_runner(opts: &Options) -> CampaignRunner {
     if let Some(retries) = opts.retries {
         runner = runner.with_retry_policy(RetryPolicy::default().with_max_retries(retries));
     }
+    if let Some(batch) = opts.batch {
+        runner = runner.with_trial_batch(batch);
+    }
     runner
 }
 

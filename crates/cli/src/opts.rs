@@ -25,6 +25,10 @@ pub struct Options {
     /// Concurrent fault-injection tests; `None` = auto
     /// (`available_parallelism() / procs`, the default).
     pub jobs: Option<usize>,
+    /// Trials admitted/committed per batch (`--batch`; default 1).
+    /// Aggregates are bitwise identical at every batch size; batching
+    /// only amortizes per-trial scheduling and ledger-write overhead.
+    pub batch: Option<usize>,
     pub trace: Option<String>,
     pub metrics: bool,
     /// Skip trials already in the ledger (`--resume`; needs `--store`).
@@ -71,6 +75,7 @@ pub fn usage() -> &'static str {
      \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
      \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
      \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K|auto]\n\
+     \u{20}       [--batch N]\n\
      \u{20}       [--adaptive] [--ci HALFWIDTH] [--min-tests N]\n\
      \u{20}       [--trace FILE] [--metrics]\n\
      \u{20}       [--resume] [--shard i/N] [--trial-timeout SECS] [--retries N]\n\
@@ -94,6 +99,7 @@ pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, Str
         store: None,
         svg: None,
         jobs: None,
+        batch: None,
         trace: None,
         metrics: false,
         resume: false,
@@ -161,6 +167,15 @@ pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, Str
                 } else {
                     Some(v.parse().map_err(|e| format!("--jobs: {e}"))?)
                 }
+            }
+            "--batch" => {
+                let b: usize = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if b == 0 {
+                    return Err("--batch must be >= 1".into());
+                }
+                opts.batch = Some(b);
             }
             "--trace" => opts.trace = Some(value("--trace")?),
             "--metrics" => opts.metrics = true,

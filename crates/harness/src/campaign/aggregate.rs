@@ -95,28 +95,57 @@ impl TrialConsumer for CampaignAccumulator {
 /// (resumed records are already in the ledger). Appends happen in
 /// trial-index order, so a stopped campaign's ledger holds exactly the
 /// delivered prefix plus whatever earlier runs recorded.
+///
+/// With a batch size above 1 ([`LedgerConsumer::with_batch`]) records
+/// are buffered and written with one `write`+flush per batch — the
+/// amortized form batched admission uses. The buffer is drained on
+/// [`TrialConsumer::finish`], so a completed (or stopped) campaign's
+/// ledger contents are identical at every batch size; only the
+/// crash-durability lag grows (bounded by the batch).
 pub struct LedgerConsumer<'a> {
     ledger: Option<&'a TrialLedger>,
+    batch: usize,
+    buffered: Vec<(usize, TestOutcome, u32)>,
 }
 
 impl<'a> LedgerConsumer<'a> {
-    /// Consumer appending to `ledger` (no-op when `None`).
+    /// Consumer appending to `ledger` (no-op when `None`), one write
+    /// per record.
     pub fn new(ledger: Option<&'a TrialLedger>) -> LedgerConsumer<'a> {
-        LedgerConsumer { ledger }
+        LedgerConsumer {
+            ledger,
+            batch: 1,
+            buffered: Vec::new(),
+        }
+    }
+
+    /// Buffer up to `batch` records per ledger write (1 = unbuffered).
+    pub fn with_batch(mut self, batch: usize) -> LedgerConsumer<'a> {
+        self.batch = batch.max(1);
+        self
+    }
+
+    fn flush(&mut self) {
+        if let Some(ledger) = self.ledger {
+            ledger.append_batch(&self.buffered);
+        }
+        self.buffered.clear();
     }
 }
 
 impl TrialConsumer for LedgerConsumer<'_> {
     fn consume(&mut self, rec: &TrialRecord) -> bool {
-        if !rec.resumed {
-            if let Some(ledger) = self.ledger {
-                ledger.append(rec.index, &rec.outcome, rec.attempts);
+        if !rec.resumed && self.ledger.is_some() {
+            self.buffered.push((rec.index, rec.outcome, rec.attempts));
+            if self.buffered.len() >= self.batch {
+                self.flush();
             }
         }
         false
     }
 
     fn finish(&mut self) {
+        self.flush();
         if let Some(ledger) = self.ledger {
             ledger.sync();
         }

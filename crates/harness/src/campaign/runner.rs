@@ -72,6 +72,8 @@ pub struct CampaignRunner {
     /// [`resilim_simmpi::WorldPool`] (differential backend for
     /// `resilim check`'s replay-identity oracle).
     spawn_per_trial: bool,
+    /// Trials admitted/committed per pipeline transaction (`--batch`).
+    trial_batch: usize,
 }
 
 impl Default for CampaignRunner {
@@ -94,6 +96,7 @@ impl CampaignRunner {
             trial_deadline: None,
             retry: RetryPolicy::default(),
             spawn_per_trial: false,
+            trial_batch: 1,
         }
     }
 
@@ -178,6 +181,26 @@ impl CampaignRunner {
     pub fn with_spawn_per_trial(mut self) -> CampaignRunner {
         self.spawn_per_trial = true;
         self
+    }
+
+    /// Admit and commit trials in batches of `batch` (default 1):
+    /// workers claim `batch` contiguous pending positions per shared
+    /// counter bump and push all their completions under one pipeline
+    /// lock, and the ledger consumer buffers `batch` records per
+    /// write+flush. Aggregates are bitwise identical at every batch
+    /// size — the reorder buffer still delivers strictly in owned-index
+    /// order and an adaptive stop still freezes the same prefix (a
+    /// batch only means up to `batch - 1` extra trials may *execute*
+    /// past the stop before it is noticed; their records are dropped
+    /// undelivered, exactly like late completions under parallelism).
+    pub fn with_trial_batch(mut self, batch: usize) -> CampaignRunner {
+        self.trial_batch = batch.max(1);
+        self
+    }
+
+    /// The configured admission batch size.
+    pub fn trial_batch(&self) -> usize {
+        self.trial_batch
     }
 
     /// The worker count a campaign at `procs` ranks would use.
@@ -314,7 +337,7 @@ impl CampaignRunner {
         );
 
         let mut aggregator = CampaignAccumulator::new(spec.procs, spec.stop);
-        let mut ledger_sink = LedgerConsumer::new(ledger.as_ref());
+        let mut ledger_sink = LedgerConsumer::new(ledger.as_ref()).with_batch(self.trial_batch);
         let mut obs_sink = ObsTrialConsumer::new(campaign_id);
         let (stopped_early, delivered) = {
             let consumers: Vec<&mut dyn TrialConsumer> =
@@ -341,21 +364,30 @@ impl CampaignRunner {
             // region (not golden profiling, not aggregation), so
             // `WorkerBusyNanos / WorkerWallNanos` is a true utilization.
             let worker_region = Instant::now();
+            let batch = self.trial_batch;
             let pipeline = Mutex::new(pipeline);
             if workers <= 1 {
-                for &test in &pending {
+                let mut pos = 0;
+                while pos < pending.len() {
                     if pipeline.lock().stopped() {
                         break;
                     }
-                    let busy = obs::timer();
-                    let rec = executor.run_trial(test);
-                    note_worker_busy(busy);
-                    pipeline.lock().push(rec);
+                    let chunk = &pending[pos..(pos + batch).min(pending.len())];
+                    pos += chunk.len();
+                    let mut recs = Vec::with_capacity(chunk.len());
+                    for &test in chunk {
+                        let busy = obs::timer();
+                        recs.push(executor.run_trial(test));
+                        note_worker_busy(busy);
+                    }
+                    pipeline.lock().push_batch(recs);
                 }
             } else {
-                // Workers pull pending positions from a shared counter
-                // and push completions into the pipeline, which reorders
-                // them; a stop request stops workers from claiming more.
+                // Workers pull contiguous chunks of `batch` pending
+                // positions from a shared counter and push their
+                // completions into the pipeline under one lock, which
+                // reorders them; a stop request stops workers from
+                // claiming more.
                 let next = AtomicUsize::new(0);
                 let stop_flag = AtomicBool::new(pipeline.lock().stopped());
                 std::thread::scope(|scope| {
@@ -364,15 +396,19 @@ impl CampaignRunner {
                             if stop_flag.load(Ordering::Relaxed) {
                                 break;
                             }
-                            let pos = next.fetch_add(1, Ordering::Relaxed);
+                            let pos = next.fetch_add(batch, Ordering::Relaxed);
                             if pos >= pending.len() {
                                 break;
                             }
-                            let busy = obs::timer();
-                            let rec = executor.run_trial(pending[pos]);
-                            note_worker_busy(busy);
+                            let chunk = &pending[pos..(pos + batch).min(pending.len())];
+                            let mut recs = Vec::with_capacity(chunk.len());
+                            for &test in chunk {
+                                let busy = obs::timer();
+                                recs.push(executor.run_trial(test));
+                                note_worker_busy(busy);
+                            }
                             let mut p = pipeline.lock();
-                            p.push(rec);
+                            p.push_batch(recs);
                             if p.stopped() {
                                 stop_flag.store(true, Ordering::Relaxed);
                             }

@@ -135,6 +135,29 @@ impl<'c> TrialPipeline<'c> {
             return;
         }
         self.buffer.push(rec);
+        self.drain_ready();
+    }
+
+    /// Accept a batch of completed records (any order) and deliver
+    /// everything that became in-order, with one drain pass. Delivery
+    /// order and stop position are identical to pushing the records one
+    /// by one — the reorder buffer releases strictly by owned index
+    /// either way — so batching is observationally invisible; it only
+    /// amortizes the per-record bookkeeping (and, for callers holding a
+    /// lock around the pipeline, the lock traffic).
+    pub fn push_batch(&mut self, records: impl IntoIterator<Item = TrialRecord>) {
+        if self.stopped {
+            return;
+        }
+        for rec in records {
+            self.buffer.push(rec);
+        }
+        self.drain_ready();
+    }
+
+    /// Deliver every parked record that is now in-order, stopping at
+    /// the first consumer stop request.
+    fn drain_ready(&mut self) {
         while !self.stopped {
             let Some(ready) = self.buffer.pop_ready() else {
                 break;

@@ -217,24 +217,40 @@ impl TrialLedger {
     /// a power loss can cost); IO errors are swallowed — a full disk
     /// must not kill the campaign, it only degrades resumability.
     pub fn append(&self, trial: usize, outcome: &TestOutcome, attempts: u32) {
-        let rec = TrialRecord {
-            v: LEDGER_VERSION,
-            key: self.key.clone(),
-            seed: self.seed,
-            trial,
-            outcome: *outcome,
-            attempts,
-        };
-        let Ok(mut line) = serde_json::to_string(&rec) else {
+        self.append_batch(&[(trial, *outcome, attempts)]);
+    }
+
+    /// Append a batch of completed trials with one writer lock, one
+    /// `write`, and one flush — the amortized form batched admission
+    /// uses. Durability bound is unchanged: the whole batch reaches the
+    /// OS before this returns, and the `SYNC_BATCH` fsync cadence
+    /// counts individual records, not calls.
+    pub fn append_batch(&self, records: &[(usize, TestOutcome, u32)]) {
+        if records.is_empty() {
             return;
-        };
-        line.push('\n');
+        }
+        let mut lines = String::new();
+        for &(trial, outcome, attempts) in records {
+            let rec = TrialRecord {
+                v: LEDGER_VERSION,
+                key: self.key.clone(),
+                seed: self.seed,
+                trial,
+                outcome,
+                attempts,
+            };
+            let Ok(line) = serde_json::to_string(&rec) else {
+                continue;
+            };
+            lines.push_str(&line);
+            lines.push('\n');
+        }
         let mut w = self.writer.lock();
-        if w.file.write_all(line.as_bytes()).is_err() {
+        if w.file.write_all(lines.as_bytes()).is_err() {
             return;
         }
         let _ = w.file.flush();
-        w.unsynced += 1;
+        w.unsynced += records.len();
         if w.unsynced >= SYNC_BATCH {
             let _ = w.file.get_ref().sync_data();
             w.unsynced = 0;

@@ -5,15 +5,33 @@
 //! context through [`hook_binop`]/[`hook_unop`]; when no context is
 //! installed the hooks degrade to plain shadow-tracked arithmetic (useful
 //! in unit tests and examples).
+//!
+//! ## Hot path
+//!
+//! The hooks run on *every* tracked floating-point operation, so their
+//! common case is the throughput floor of the whole campaign engine. The
+//! installed context lives exploded into thread-local cells (`HotCtx`):
+//! plain `Cell`s for everything the per-op path reads or bumps (region,
+//! counters, mask bits, pending-injection indices, contamination flag)
+//! and a `RefCell` only for the cold state (target queues, fired records,
+//! rank id). The per-op path therefore never borrows a `RefCell`, never
+//! allocates, and never calls through a function pointer: it is a handful
+//! of `Cell` loads/stores plus one compare against the precomputed
+//! next-pending op index. Firing an injection, tripping the hang guard,
+//! and first-contamination marking are outlined `#[cold]` functions.
+//! [`install`]/[`take`] convert between the packed [`RankCtx`] and the
+//! exploded form at rank boundaries — two points per trial, off the hot
+//! path.
 
 use crate::mask::OpMask;
 use crate::plan::{InjectionPlan, Operand, Target};
 use crate::profile::{OpKind, OpProfile};
 use crate::region::{Region, RegionGuard};
+use crate::smallbuf::InlineVec;
 use crate::tf64::Tf64;
 #[cfg(feature = "obs")]
 use resilim_obs as obs;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 
 /// Trace name for a region (`"common"` / `"parallel_unique"`).
@@ -91,7 +109,9 @@ pub struct RankCtx {
     /// per-region `injectable` index space).
     op_mask: OpMask,
     /// Abort (panic) when total tracked ops exceed this budget.
-    op_cap: Option<u64>,
+    /// `u64::MAX` means uncapped (a budget of 2^64 ops could never trip
+    /// within a process lifetime anyway).
+    op_cap: u64,
     total_ops: u64,
     hang_guard_tripped: bool,
 }
@@ -135,7 +155,7 @@ impl RankCtx {
             contaminated: false,
             taint_threshold: 0.0,
             op_mask: OpMask::FP_ARITH,
-            op_cap: None,
+            op_cap: u64::MAX,
             total_ops: 0,
             hang_guard_tripped: false,
         }
@@ -149,7 +169,7 @@ impl RankCtx {
     /// Set the hang-guard budget: the context panics (with
     /// [`HANG_GUARD_MSG`]) once more than `cap` tracked ops execute.
     pub fn with_op_cap(mut self, cap: u64) -> Self {
-        self.op_cap = Some(cap);
+        self.op_cap = cap;
         self
     }
 
@@ -248,115 +268,192 @@ impl RankCtx {
             }
         }
     }
+}
 
-    /// Record a fired fault and its observability event.
-    fn record_fired(&mut self, rec: FiredRecord) {
-        #[cfg(feature = "obs")]
-        if obs::enabled() {
-            obs::count(obs::Counter::InjectionsFired, 1);
-            obs::emit(&obs::Event::InjectionFired {
-                rank: self.rank,
-                region: region_trace_name(rec.target.region),
-                op_index: rec.target.op_index,
-                bit: rec.target.bit,
-            });
-        }
-        self.fired.push(rec);
-    }
+/// Cold half of the active context: everything the per-op fast path never
+/// touches. Behind the thread-local's only `RefCell`, borrowed exclusively
+/// from `#[cold]` outlined paths and at install/take boundaries.
+#[derive(Default)]
+struct ColdCtx {
+    rank: usize,
+    /// Pending targets per region, ascending op_index.
+    queues: [VecDeque<Target>; 2],
+    fired: Vec<FiredRecord>,
+    planned: usize,
+    hang_guard_tripped: bool,
+}
 
-    #[inline]
-    fn bump(&mut self, kind: OpKind) {
-        let i = self.region.index();
-        self.per_kind[i][kind.index()] += 1;
-        self.total_ops += 1;
-        if let Some(cap) = self.op_cap {
-            if self.total_ops > cap {
-                self.hang_guard_tripped = true;
-                #[cfg(feature = "obs")]
-                if obs::enabled() {
-                    obs::count(obs::Counter::HangGuardTrips, 1);
-                    obs::emit(&obs::Event::HangGuardTrip { rank: self.rank });
-                }
-                panic!("{HANG_GUARD_MSG}");
+/// The installed context in exploded form (see module docs): `Cell`s for
+/// the per-op fast path. Contains no `Drop` types, so the `thread_local!`
+/// const-init fast path applies: accessing it is a direct TLS load with no
+/// lazy-initialization or destructor-registration branch. The cold half
+/// lives in the separate `COLD` thread-local.
+struct HotCtx {
+    installed: Cell<bool>,
+    region: Cell<Region>,
+    mask: Cell<OpMask>,
+    contaminated: Cell<bool>,
+    taint_threshold: Cell<f64>,
+    total_ops: Cell<u64>,
+    /// `u64::MAX` = uncapped, so the hot path is one unconditional compare.
+    op_cap: Cell<u64>,
+    injectable: [Cell<u64>; 2],
+    next_pending: [Cell<u64>; 2],
+    per_kind: [[Cell<u64>; 5]; 2],
+}
+
+impl HotCtx {
+    /// Explode a packed context into the cells. Caller must have cleared
+    /// any previously installed context.
+    fn set(&self, ctx: RankCtx) {
+        self.installed.set(true);
+        self.region.set(ctx.region);
+        self.mask.set(ctx.op_mask);
+        self.contaminated.set(ctx.contaminated);
+        self.taint_threshold.set(ctx.taint_threshold);
+        self.total_ops.set(ctx.total_ops);
+        self.op_cap.set(ctx.op_cap);
+        for i in 0..2 {
+            self.injectable[i].set(ctx.injectable[i]);
+            self.next_pending[i].set(ctx.next_pending[i]);
+            for k in 0..5 {
+                self.per_kind[i][k].set(ctx.per_kind[i][k]);
             }
         }
+        COLD.with(|c| {
+            *c.borrow_mut() = ColdCtx {
+                rank: ctx.rank,
+                queues: ctx.queues,
+                fired: ctx.fired,
+                planned: ctx.planned,
+                hang_guard_tripped: ctx.hang_guard_tripped,
+            }
+        });
     }
 
-    /// Count an injectable op; fire *every* target whose index matches
-    /// (multi-bit patterns plan several flips on the same dynamic op).
-    ///
-    /// Hot path: when no injection is due at this index — the
-    /// overwhelmingly common case in profiling runs and in the long tail
-    /// of injection trials — this is one counter increment plus one
-    /// compare against the precomputed front-of-queue index; the queue
-    /// itself is untouched and nothing allocates (`Vec::new` is free).
-    #[inline]
-    fn advance_injectable(&mut self) -> Vec<Target> {
-        let i = self.region.index();
-        let idx = self.injectable[i];
-        self.injectable[i] += 1;
-        if idx != self.next_pending[i] {
-            return Vec::new();
+    /// Re-pack the cells into a context, clearing the installed flag.
+    fn clear(&self) -> Option<RankCtx> {
+        if !self.installed.get() {
+            return None;
         }
-        self.pop_due(i, idx)
-    }
-
-    /// Slow path of [`RankCtx::advance_injectable`]: pop every target
-    /// planned for dynamic op `idx` and recompute the next pending index.
-    /// Queues are sorted ascending by op_index (see
-    /// [`InjectionPlan::into_queues`]), so the front is always the
-    /// minimum.
-    #[cold]
-    fn pop_due(&mut self, i: usize, idx: u64) -> Vec<Target> {
-        let mut fired = Vec::new();
-        while matches!(self.queues[i].front(), Some(t) if t.op_index == idx) {
-            fired.push(self.queues[i].pop_front().expect("front just matched"));
-        }
-        self.next_pending[i] = self.queues[i].front().map_or(u64::MAX, |t| t.op_index);
-        fired
+        self.installed.set(false);
+        let cold = COLD.with(|c| std::mem::take(&mut *c.borrow_mut()));
+        Some(RankCtx {
+            rank: cold.rank,
+            region: self.region.get(),
+            injectable: [self.injectable[0].get(), self.injectable[1].get()],
+            per_kind: [
+                [
+                    self.per_kind[0][0].get(),
+                    self.per_kind[0][1].get(),
+                    self.per_kind[0][2].get(),
+                    self.per_kind[0][3].get(),
+                    self.per_kind[0][4].get(),
+                ],
+                [
+                    self.per_kind[1][0].get(),
+                    self.per_kind[1][1].get(),
+                    self.per_kind[1][2].get(),
+                    self.per_kind[1][3].get(),
+                    self.per_kind[1][4].get(),
+                ],
+            ],
+            queues: cold.queues,
+            next_pending: [self.next_pending[0].get(), self.next_pending[1].get()],
+            fired: cold.fired,
+            planned: cold.planned,
+            contaminated: self.contaminated.get(),
+            taint_threshold: self.taint_threshold.get(),
+            op_mask: self.mask.get(),
+            op_cap: self.op_cap.get(),
+            total_ops: self.total_ops.get(),
+            hang_guard_tripped: cold.hang_guard_tripped,
+        })
     }
 }
 
 thread_local! {
-    static CTX: RefCell<Option<RankCtx>> = const { RefCell::new(None) };
+    /// Hot half: every field is a `Cell` of a `Copy` type (no destructor),
+    /// so `ACTIVE.with` compiles down to direct thread-local loads/stores.
+    static ACTIVE: HotCtx = const {
+        HotCtx {
+            installed: Cell::new(false),
+            region: Cell::new(Region::Common),
+            mask: Cell::new(OpMask::empty()),
+            contaminated: Cell::new(false),
+            taint_threshold: Cell::new(0.0),
+            total_ops: Cell::new(0),
+            op_cap: Cell::new(u64::MAX),
+            injectable: [Cell::new(0), Cell::new(0)],
+            next_pending: [Cell::new(u64::MAX), Cell::new(u64::MAX)],
+            per_kind: [
+                [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
+                [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
+            ],
+        }
+    };
+
+    /// Cold half: target queues, fired records, rank id. Only touched by
+    /// `#[cold]` outlined paths and at install/take boundaries.
+    static COLD: RefCell<ColdCtx> = const {
+        RefCell::new(ColdCtx {
+            rank: 0,
+            queues: [VecDeque::new(), VecDeque::new()],
+            fired: Vec::new(),
+            planned: 0,
+            hang_guard_tripped: false,
+        })
+    };
 }
 
 /// Install a context on the current thread, returning the previous one.
 pub fn install(ctx: RankCtx) -> Option<RankCtx> {
-    CTX.with(|c| c.borrow_mut().replace(ctx))
+    ACTIVE.with(|h| {
+        let prev = h.clear();
+        h.set(ctx);
+        prev
+    })
 }
 
 /// Remove and return the current thread's context.
 pub fn take() -> Option<RankCtx> {
-    CTX.with(|c| c.borrow_mut().take())
+    ACTIVE.with(|h| h.clear())
 }
 
 /// Whether a context is installed on this thread.
 pub fn is_installed() -> bool {
-    CTX.with(|c| c.borrow().is_some())
+    ACTIVE.with(|h| h.installed.get())
 }
 
 /// Run `f` with mutable access to the installed context (if any).
+///
+/// The context is re-packed for the duration of `f`; tracked arithmetic
+/// performed *inside* `f` runs context-free.
 pub fn with<R>(f: impl FnOnce(&mut RankCtx) -> R) -> Option<R> {
-    CTX.with(|c| c.borrow_mut().as_mut().map(f))
+    let mut ctx = take()?;
+    let r = f(&mut ctx);
+    install(ctx);
+    Some(r)
 }
 
 /// Enter a computation region; restored when the guard drops.
 pub fn enter_region(r: Region) -> RegionGuard {
-    let prev = CTX.with(|c| {
-        c.borrow_mut().as_mut().map(|ctx| {
-            let prev = ctx.region;
-            ctx.region = r;
-            prev
-        })
+    let prev = ACTIVE.with(|h| {
+        if h.installed.get() {
+            let prev = h.region.get();
+            h.region.set(r);
+            Some(prev)
+        } else {
+            None
+        }
     });
     RegionGuard { prev }
 }
 
 pub(crate) fn set_region(r: Region) {
-    CTX.with(|c| {
-        if let Some(ctx) = c.borrow_mut().as_mut() {
-            ctx.region = r;
+    ACTIVE.with(|h| {
+        if h.installed.get() {
+            h.region.set(r);
         }
     });
 }
@@ -365,9 +462,9 @@ pub(crate) fn set_region(r: Region) {
 /// tainted elements) to the current rank's context, unconditionally.
 pub fn note_taint(tainted: bool) {
     if tainted {
-        CTX.with(|c| {
-            if let Some(ctx) = c.borrow_mut().as_mut() {
-                ctx.mark_contaminated();
+        ACTIVE.with(|h| {
+            if h.installed.get() {
+                contaminate(h);
             }
         });
     }
@@ -378,18 +475,125 @@ pub fn note_taint(tainted: bool) {
 /// significance threshold (how the runtime accounts message-borne
 /// contamination).
 pub fn note_values(values: &[Tf64]) {
-    CTX.with(|c| {
-        if let Some(ctx) = c.borrow_mut().as_mut() {
-            for &v in values {
-                if v.is_tainted() {
-                    ctx.observe(v);
-                    if ctx.is_contaminated() {
-                        break;
-                    }
-                }
+    ACTIVE.with(|h| {
+        if !h.installed.get() || h.contaminated.get() {
+            return;
+        }
+        let theta = h.taint_threshold.get();
+        for &v in values {
+            if v.is_tainted() && significant_divergence(v.value(), v.shadow(), theta) {
+                contaminate(h);
+                break;
             }
         }
     });
+}
+
+/// First-contamination marking (idempotent). Must not be called while the
+/// cold half is borrowed — fire paths use [`contaminate_cold`] instead.
+#[cold]
+#[inline(never)]
+fn contaminate(h: &HotCtx) {
+    if h.contaminated.get() {
+        return;
+    }
+    h.contaminated.set(true);
+    #[cfg(feature = "obs")]
+    if obs::enabled() {
+        obs::count(obs::Counter::TaintBorn, 1);
+        obs::emit(&obs::Event::TaintBorn {
+            rank: COLD.with(|c| c.borrow().rank),
+        });
+    }
+}
+
+/// [`contaminate`] for callers already holding the cold borrow.
+fn contaminate_cold(h: &HotCtx, cold: &ColdCtx) {
+    if h.contaminated.get() {
+        return;
+    }
+    h.contaminated.set(true);
+    #[cfg(feature = "obs")]
+    if obs::enabled() {
+        obs::count(obs::Counter::TaintBorn, 1);
+        obs::emit(&obs::Event::TaintBorn { rank: cold.rank });
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = cold;
+}
+
+/// Record a fired fault and its observability event (cold borrow held).
+fn record_fired(cold: &mut ColdCtx, rec: FiredRecord) {
+    #[cfg(feature = "obs")]
+    if obs::enabled() {
+        obs::count(obs::Counter::InjectionsFired, 1);
+        obs::emit(&obs::Event::InjectionFired {
+            rank: cold.rank,
+            region: region_trace_name(rec.target.region),
+            op_index: rec.target.op_index,
+            bit: rec.target.bit,
+        });
+    }
+    cold.fired.push(rec);
+}
+
+/// Hang-guard trip: record it, then panic with the recognisable payload.
+#[cold]
+#[inline(never)]
+fn hang_trip(_h: &HotCtx) -> ! {
+    COLD.with(|c| {
+        let mut cold = c.borrow_mut();
+        cold.hang_guard_tripped = true;
+        #[cfg(feature = "obs")]
+        if obs::enabled() {
+            obs::count(obs::Counter::HangGuardTrips, 1);
+            obs::emit(&obs::Event::HangGuardTrip { rank: cold.rank });
+        }
+    });
+    panic!("{HANG_GUARD_MSG}");
+}
+
+/// Divergent-result observation: mark contamination when the divergence is
+/// significant at the installed threshold. Callers pre-check the cheap
+/// conditions (bits differ, not yet contaminated) so the fast path only
+/// pays a compare.
+#[cold]
+#[inline(never)]
+fn observe_divergent(h: &HotCtx, v: f64, sh: f64) {
+    if significant_divergence(v, sh, h.taint_threshold.get()) {
+        contaminate(h);
+    }
+}
+
+/// Pointer to this thread's hot cells.
+///
+/// `ACTIVE` is const-initialized and `HotCtx` has no destructor, so the
+/// access is a direct thread-local load — but `LocalKey::with` around the
+/// whole hook body defeats inlining (the closure is too large), leaving an
+/// outlined call plus closure-environment spills on every tracked op. A
+/// pointer-returning `with` is small enough to always inline, and the hook
+/// body then runs with no closure at all.
+///
+/// Safety: the pointer is only dereferenced immediately, on the same
+/// thread, within the extent of the hook call that obtained it.
+#[inline(always)]
+fn hot() -> *const HotCtx {
+    ACTIVE.with(|h| h as *const HotCtx)
+}
+
+/// Count the op on the fast path: per-kind counter, total-op counter, hang
+/// guard. Returns the region index.
+#[inline(always)]
+fn bump(h: &HotCtx, kind: OpKind) -> usize {
+    let r = h.region.get().index();
+    let pk = &h.per_kind[r][kind.index()];
+    pk.set(pk.get() + 1);
+    let total = h.total_ops.get() + 1;
+    h.total_ops.set(total);
+    if total > h.op_cap.get() {
+        hang_trip(h);
+    }
+    r
 }
 
 /// The binary-operation hook: counts the op, possibly injects, computes
@@ -398,163 +602,221 @@ pub fn note_values(values: &[Tf64]) {
 ///
 /// `f` must be a pure function of its operands (it is invoked twice, once
 /// per world).
-#[inline]
-pub fn hook_binop(kind: OpKind, mut a: Tf64, mut b: Tf64, f: fn(f64, f64) -> f64) -> Tf64 {
-    let fired: Vec<(Target, f64, f64)> = CTX.with(|c| {
-        let mut borrow = c.borrow_mut();
-        let Some(ctx) = borrow.as_mut() else {
-            return Vec::new();
-        };
-        ctx.bump(kind);
-        if !ctx.op_mask.contains(kind) {
-            return Vec::new();
+#[inline(always)]
+pub fn hook_binop(kind: OpKind, a: Tf64, b: Tf64, f: impl Fn(f64, f64) -> f64) -> Tf64 {
+    // Safety: see `hot` — same-thread, immediate use.
+    let h = unsafe { &*hot() };
+    if !h.installed.get() {
+        return Tf64::from_parts(f(a.value(), b.value()), f(a.shadow(), b.shadow()));
+    }
+    let r = bump(h, kind);
+    if h.mask.get().contains(kind) {
+        let idx = h.injectable[r].get();
+        h.injectable[r].set(idx + 1);
+        if idx == h.next_pending[r].get() {
+            return fire_binop(h, r, idx, kind, a, b, &f);
         }
-        // Apply input-operand flips to the corrupted world only;
-        // result-operand flips are applied after computing f.
-        ctx.advance_injectable()
-            .into_iter()
-            .map(|t| {
-                let (before, after) = match t.operand {
-                    Operand::A => {
-                        let before = a.value();
-                        let after = t.apply(before);
-                        a = Tf64::from_parts(after, a.shadow());
-                        (before, after)
-                    }
-                    Operand::B => {
-                        let before = b.value();
-                        let after = t.apply(before);
-                        b = Tf64::from_parts(after, b.shadow());
-                        (before, after)
-                    }
-                    Operand::Result => (0.0, 0.0), // sentinel; patched below
-                };
-                (t, before, after)
-            })
-            .collect()
+    }
+    let v = f(a.value(), b.value());
+    let sh = f(a.shadow(), b.shadow());
+    if v.to_bits() != sh.to_bits() && !h.contaminated.get() {
+        observe_divergent(h, v, sh);
+    }
+    Tf64::from_parts(v, sh)
+}
+
+/// Fire path of [`hook_binop`]: pop every target due at dynamic op `idx`,
+/// apply input flips before and result flips after computing `f`, record
+/// the firings, and mark contamination. Stack-buffered — no heap traffic
+/// for plans with up to 8 flips on one op.
+#[cold]
+#[inline(never)]
+fn fire_binop(
+    h: &HotCtx,
+    r: usize,
+    idx: u64,
+    kind: OpKind,
+    mut a: Tf64,
+    mut b: Tf64,
+    f: &impl Fn(f64, f64) -> f64,
+) -> Tf64 {
+    let mut recs: InlineVec<(Target, f64, f64), 8> = InlineVec::new();
+    COLD.with(|c| {
+        let mut cold = c.borrow_mut();
+        while matches!(cold.queues[r].front(), Some(t) if t.op_index == idx) {
+            let t = cold.queues[r].pop_front().expect("front just matched");
+            // Apply input-operand flips to the corrupted world only;
+            // result-operand flips are applied after computing f.
+            let (before, after) = match t.operand {
+                Operand::A => {
+                    let before = a.value();
+                    let after = t.apply(before);
+                    a = Tf64::from_parts(after, a.shadow());
+                    (before, after)
+                }
+                Operand::B => {
+                    let before = b.value();
+                    let after = t.apply(before);
+                    b = Tf64::from_parts(after, b.shadow());
+                    (before, after)
+                }
+                Operand::Result => (0.0, 0.0), // sentinel; patched below
+            };
+            recs.push((t, before, after));
+        }
+        let next = cold.queues[r].front().map_or(u64::MAX, |t| t.op_index);
+        h.next_pending[r].set(next);
     });
 
     let mut v = f(a.value(), b.value());
     let sh = f(a.shadow(), b.shadow());
 
-    if !fired.is_empty() {
-        let mut records = Vec::with_capacity(fired.len());
-        for (t, mut before, mut after) in fired {
+    if !recs.is_empty() {
+        for (t, before, after) in recs.iter_mut() {
             if matches!(t.operand, Operand::Result) {
-                before = v;
+                *before = v;
                 v = t.apply(v);
-                after = v;
+                *after = v;
             }
-            records.push((t, before, after));
         }
         let masked = v.to_bits() == sh.to_bits();
-        CTX.with(|c| {
-            if let Some(ctx) = c.borrow_mut().as_mut() {
-                for (t, before, after) in records {
-                    ctx.record_fired(FiredRecord {
+        COLD.with(|c| {
+            let mut cold = c.borrow_mut();
+            for &(t, before, after) in recs.iter() {
+                record_fired(
+                    &mut cold,
+                    FiredRecord {
                         target: t,
                         kind,
                         before,
                         after,
                         masked_at_site: masked,
-                    });
-                }
-                ctx.mark_contaminated();
+                    },
+                );
             }
+            contaminate_cold(h, &cold);
         });
     }
 
-    let out = Tf64::from_parts(v, sh);
-    if out.is_tainted() {
-        CTX.with(|c| {
-            if let Some(ctx) = c.borrow_mut().as_mut() {
-                ctx.observe(out);
-            }
-        });
+    if v.to_bits() != sh.to_bits() && !h.contaminated.get() {
+        observe_divergent(h, v, sh);
     }
-    out
+    Tf64::from_parts(v, sh)
 }
 
 /// The unary-operation hook (sqrt, abs, exp, …): counted as
 /// [`OpKind::Other`] (or the given kind). Not a target under the default
 /// mask, but extended masks (e.g. [`OpMask::ALL`]) may fire here: input
 /// flips corrupt the operand, result flips corrupt the output.
-#[inline]
-pub fn hook_unop(kind: OpKind, mut a: Tf64, f: fn(f64) -> f64) -> Tf64 {
-    let fired: Vec<Target> = CTX.with(|c| {
-        let mut borrow = c.borrow_mut();
-        let Some(ctx) = borrow.as_mut() else {
-            return Vec::new();
-        };
-        ctx.bump(kind);
-        if !ctx.op_mask.contains(kind) {
-            return Vec::new();
+#[inline(always)]
+pub fn hook_unop(kind: OpKind, a: Tf64, f: impl Fn(f64) -> f64) -> Tf64 {
+    // Safety: see `hot` — same-thread, immediate use.
+    let h = unsafe { &*hot() };
+    if !h.installed.get() {
+        return Tf64::from_parts(f(a.value()), f(a.shadow()));
+    }
+    let r = bump(h, kind);
+    if h.mask.get().contains(kind) {
+        let idx = h.injectable[r].get();
+        h.injectable[r].set(idx + 1);
+        if idx == h.next_pending[r].get() {
+            return fire_unop(h, r, idx, kind, a, &f);
         }
-        ctx.advance_injectable()
+    }
+    let v = f(a.value());
+    let sh = f(a.shadow());
+    if v.to_bits() != sh.to_bits() && !h.contaminated.get() {
+        observe_divergent(h, v, sh);
+    }
+    Tf64::from_parts(v, sh)
+}
+
+/// Fire path of [`hook_unop`]: input flips are recorded before computing
+/// `f` (they are never masked-at-site by construction), result flips after.
+#[cold]
+#[inline(never)]
+fn fire_unop(
+    h: &HotCtx,
+    r: usize,
+    idx: u64,
+    kind: OpKind,
+    mut a: Tf64,
+    f: &impl Fn(f64) -> f64,
+) -> Tf64 {
+    let mut due: InlineVec<Target, 8> = InlineVec::new();
+    COLD.with(|c| {
+        let mut cold = c.borrow_mut();
+        while matches!(cold.queues[r].front(), Some(t) if t.op_index == idx) {
+            due.push(cold.queues[r].pop_front().expect("front just matched"));
+        }
+        let next = cold.queues[r].front().map_or(u64::MAX, |t| t.op_index);
+        h.next_pending[r].set(next);
     });
-    let mut result_flips = Vec::new();
-    if !fired.is_empty() {
-        let mut records = Vec::new();
-        for t in fired {
-            match t.operand {
-                Operand::A | Operand::B => {
-                    let before = a.value();
-                    let after = t.apply(before);
-                    a = Tf64::from_parts(after, a.shadow());
-                    records.push((t, before, after));
-                }
-                Operand::Result => result_flips.push(t),
+
+    let mut input_recs: InlineVec<(Target, f64, f64), 8> = InlineVec::new();
+    let mut result_flips: InlineVec<Target, 8> = InlineVec::new();
+    for &t in due.iter() {
+        match t.operand {
+            Operand::A | Operand::B => {
+                let before = a.value();
+                let after = t.apply(before);
+                a = Tf64::from_parts(after, a.shadow());
+                input_recs.push((t, before, after));
             }
+            Operand::Result => result_flips.push(t),
         }
-        CTX.with(|c| {
-            if let Some(ctx) = c.borrow_mut().as_mut() {
-                for (t, before, after) in records {
-                    ctx.record_fired(FiredRecord {
+    }
+    if !input_recs.is_empty() {
+        COLD.with(|c| {
+            let mut cold = c.borrow_mut();
+            for &(t, before, after) in input_recs.iter() {
+                record_fired(
+                    &mut cold,
+                    FiredRecord {
                         target: t,
                         kind,
                         before,
                         after,
                         masked_at_site: false,
-                    });
-                }
-                ctx.mark_contaminated();
+                    },
+                );
             }
+            contaminate_cold(h, &cold);
         });
     }
+
     let mut v = f(a.value());
     let sh = f(a.shadow());
     if !result_flips.is_empty() {
-        let mut records = Vec::new();
-        for t in result_flips {
+        let mut recs: InlineVec<(Target, f64, f64), 8> = InlineVec::new();
+        for &t in result_flips.iter() {
             let before = v;
             v = t.apply(v);
-            records.push((t, before, v));
+            recs.push((t, before, v));
         }
         let masked = v.to_bits() == sh.to_bits();
-        CTX.with(|c| {
-            if let Some(ctx) = c.borrow_mut().as_mut() {
-                for (t, before, after) in records {
-                    ctx.record_fired(FiredRecord {
+        COLD.with(|c| {
+            let mut cold = c.borrow_mut();
+            for &(t, before, after) in recs.iter() {
+                record_fired(
+                    &mut cold,
+                    FiredRecord {
                         target: t,
                         kind,
                         before,
                         after,
                         masked_at_site: masked,
-                    });
-                }
-                ctx.mark_contaminated();
+                    },
+                );
             }
+            contaminate_cold(h, &cold);
         });
     }
-    let out = Tf64::from_parts(v, sh);
-    if out.is_tainted() {
-        CTX.with(|c| {
-            if let Some(ctx) = c.borrow_mut().as_mut() {
-                ctx.observe(out);
-            }
-        });
+
+    if v.to_bits() != sh.to_bits() && !h.contaminated.get() {
+        observe_divergent(h, v, sh);
     }
-    out
+    Tf64::from_parts(v, sh)
 }
 
 #[cfg(test)]
@@ -830,5 +1092,32 @@ mod tests {
         let b = Tf64::new(3.0);
         assert_eq!((a * b).value(), 6.0);
         assert!(!(a * b).is_tainted());
+    }
+
+    #[test]
+    fn install_take_roundtrip_preserves_state() {
+        // Partially advance a context, take it off the thread, reinstall,
+        // and confirm counters/queues survive the explode/re-pack cycle.
+        let plan = InjectionPlan::multi(vec![
+            target(Region::Common, 2, 5, Operand::A),
+            target(Region::Common, 10, 6, Operand::B),
+        ]);
+        let prev = install(RankCtx::new(7, plan).with_taint_threshold(0.25));
+        assert!(prev.is_none());
+        let a = Tf64::new(1.0);
+        let _ = a + a; // common idx 0
+        let _ = a * a; // common idx 1
+        let mid = take().unwrap();
+        assert_eq!(mid.rank(), 7);
+        assert_eq!(mid.taint_threshold(), 0.25);
+        assert!(!is_installed());
+        install(mid);
+        let f = a + a; // common idx 2: fires
+        assert!(f.is_tainted());
+        let report = take().unwrap().into_report();
+        assert_eq!(report.profile.injectable(Region::Common), 3);
+        assert_eq!(report.fired.len(), 1);
+        assert_eq!(report.planned, 2);
+        assert!(report.contaminated);
     }
 }

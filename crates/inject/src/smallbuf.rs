@@ -1,0 +1,98 @@
+//! A tiny fixed-capacity buffer that spills to the heap only past `N`
+//! elements.
+//!
+//! The injection fire path collects the targets due at one dynamic op;
+//! that is almost always one target (multi-bit patterns plan a handful).
+//! Collecting them into a `Vec` put a heap allocation on every fire, and
+//! — worse — forced the *non*-firing path to materialize `Vec::new()`
+//! return values. `InlineVec` keeps the common case entirely on the
+//! stack while staying correct for adversarial plans that stack many
+//! flips on a single op.
+
+/// Fixed-capacity stack buffer with heap spill (cold paths only).
+pub(crate) struct InlineVec<T: Copy, const N: usize> {
+    buf: [Option<T>; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy, const N: usize> InlineVec<T, N> {
+    /// An empty buffer. Does not allocate.
+    pub fn new() -> Self {
+        InlineVec {
+            buf: [None; N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Append an element, spilling to the heap past `N`.
+    pub fn push(&mut self, t: T) {
+        if self.len < N {
+            self.buf[self.len] = Some(t);
+            self.len += 1;
+        } else {
+            self.spill.push(t);
+        }
+    }
+
+    /// Whether no element has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Elements in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[..self.len]
+            .iter()
+            .map(|slot| slot.as_ref().expect("inline slot within len"))
+            .chain(self.spill.iter())
+    }
+
+    /// Mutable elements in push order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.buf[..self.len]
+            .iter_mut()
+            .map(|slot| slot.as_mut().expect("inline slot within len"))
+            .chain(self.spill.iter_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_within_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.is_empty());
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(v.spill.is_empty());
+    }
+
+    #[test]
+    fn spills_past_capacity_preserving_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(v.spill.len(), 3);
+    }
+
+    #[test]
+    fn iter_mut_updates_in_place() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..3 {
+            v.push(i);
+        }
+        for x in v.iter_mut() {
+            *x += 10;
+        }
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![10, 11, 12]);
+    }
+}

@@ -1,10 +1,168 @@
 //! Property-based tests for the tracked-scalar algebra and injection plans.
 
 use proptest::prelude::*;
-use resilim_inject::{ctx, InjectionPlan, Operand, RankCtx, Region, Target, Tf64};
+use resilim_inject::{ctx, InjectionPlan, OpKind, OpMask, Operand, RankCtx, Region, Target, Tf64};
+use std::collections::VecDeque;
 
 fn finite_f64() -> impl Strategy<Value = f64> {
     prop::num::f64::NORMAL | prop::num::f64::SUBNORMAL | prop::num::f64::ZERO
+}
+
+/// One step of the differential programs below: `acc = acc <op> const`,
+/// executed inside `region`.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    op: u8,
+    c: f64,
+    region: Region,
+}
+
+fn step_kind(op: u8) -> OpKind {
+    match op % 6 {
+        0 => OpKind::Add,
+        1 => OpKind::Sub,
+        2 => OpKind::Mul,
+        3 => OpKind::Div,
+        _ => OpKind::Other, // min / max
+    }
+}
+
+fn step_apply(op: u8, a: f64, b: f64) -> f64 {
+    match op % 6 {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        3 => a / b,
+        4 => a.min(b),
+        _ => a.max(b),
+    }
+}
+
+fn step_tf64(op: u8, a: Tf64, b: Tf64) -> Tf64 {
+    match op % 6 {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        3 => a / b,
+        4 => a.min(b),
+        _ => a.max(b),
+    }
+}
+
+/// Execution-order list of injectable (region, op_index) slots for a
+/// program under the default mask, plus which slots sit right after a
+/// region switch.
+fn injectable_slots(steps: &[Step]) -> (Vec<(Region, u64)>, Vec<usize>) {
+    let mut slots = Vec::new();
+    let mut boundary_slots = Vec::new();
+    let mut inj = [0u64; 2];
+    let mut pending_boundary = false;
+    let mut prev_region = None;
+    for s in steps {
+        if prev_region.is_some() && prev_region != Some(s.region) {
+            pending_boundary = true;
+        }
+        prev_region = Some(s.region);
+        if OpMask::FP_ARITH.contains(step_kind(s.op)) {
+            let r = s.region.index();
+            slots.push((s.region, inj[r]));
+            inj[r] += 1;
+            if pending_boundary {
+                boundary_slots.push(slots.len() - 1);
+                pending_boundary = false;
+            }
+        }
+    }
+    (slots, boundary_slots)
+}
+
+/// Reference ("slow-path") interpreter: the same semantics as the hook
+/// machinery, written as straight-line code over plain `(value, shadow)`
+/// pairs with no thread-locals, no `Cell`s, and no outlined fire path.
+/// Returns (value bits, shadow bits, fired, contaminated, injectable
+/// counts per region).
+#[allow(clippy::type_complexity)]
+fn reference_run(
+    init: f64,
+    steps: &[Step],
+    targets: &[Target],
+) -> (u64, u64, Vec<(Target, u64, u64, bool)>, bool, [u64; 2]) {
+    // Same canonical ordering the plan gives the real run.
+    let sorted = InjectionPlan::multi(targets.to_vec());
+    let mut queues: [VecDeque<Target>; 2] = [VecDeque::new(), VecDeque::new()];
+    for &t in sorted.targets() {
+        queues[t.region.index()].push_back(t);
+    }
+    let (mut v, mut sh) = (init, init);
+    let mut inj = [0u64; 2];
+    let mut fired = Vec::new();
+    let mut contaminated = false;
+    for s in steps {
+        let r = s.region.index();
+        let kind = step_kind(s.op);
+        let (mut av, ash) = (v, sh);
+        let (mut bv, bsh) = (s.c, s.c);
+        let mut recs: Vec<(Target, f64, f64)> = Vec::new();
+        if OpMask::FP_ARITH.contains(kind) {
+            let idx = inj[r];
+            inj[r] += 1;
+            while queues[r].front().is_some_and(|t| t.op_index == idx) {
+                let t = queues[r].pop_front().unwrap();
+                match t.operand {
+                    Operand::A => {
+                        let before = av;
+                        av = t.apply(av);
+                        recs.push((t, before, av));
+                    }
+                    Operand::B => {
+                        let before = bv;
+                        bv = t.apply(bv);
+                        recs.push((t, before, bv));
+                    }
+                    Operand::Result => recs.push((t, 0.0, 0.0)),
+                }
+            }
+        }
+        let mut nv = step_apply(s.op, av, bv);
+        let nsh = step_apply(s.op, ash, bsh);
+        for rec in recs.iter_mut() {
+            if matches!(rec.0.operand, Operand::Result) {
+                rec.1 = nv;
+                nv = rec.0.apply(nv);
+                rec.2 = nv;
+            }
+        }
+        if !recs.is_empty() {
+            let masked = nv.to_bits() == nsh.to_bits();
+            for (t, before, after) in recs {
+                fired.push((t, before.to_bits(), after.to_bits(), masked));
+            }
+            contaminated = true;
+        }
+        if nv.to_bits() != nsh.to_bits() {
+            contaminated = true;
+        }
+        v = nv;
+        sh = nsh;
+    }
+    (v.to_bits(), sh.to_bits(), fired, contaminated, inj)
+}
+
+/// Strategy for a short program with region switches scattered through it.
+fn program() -> impl Strategy<Value = (f64, Vec<Step>)> {
+    let step =
+        (0u8..6, 0.1f64..3.0, any::<bool>(), any::<bool>()).prop_map(|(op, mag, neg, parallel)| {
+            Step {
+                op,
+                c: if neg { -mag } else { mag },
+                region: if parallel {
+                    Region::ParallelUnique
+                } else {
+                    Region::Common
+                },
+            }
+        });
+    (-2.0f64..2.0, prop::collection::vec(step, 4..40))
 }
 
 proptest! {
@@ -108,6 +266,80 @@ proptest! {
         if acc.is_tainted() {
             prop_assert!(report.contaminated);
             prop_assert_eq!(report.fired.len(), 1);
+        }
+    }
+
+    /// Differential identity between the optimized hook machinery (the
+    /// "fast path": exploded thread-local cells, precomputed next-pending
+    /// compare, outlined `#[cold]` fire functions) and a straight-line
+    /// reference interpreter with none of those tricks. Final value and
+    /// shadow bits, fired records (order, before/after bits, masked
+    /// flags), contamination, and injectable counts must all match for
+    /// programs with region switches and injection windows placed at
+    /// region boundaries, the first op, the last op, and arbitrary slots.
+    #[test]
+    fn fast_path_matches_reference(
+        (init, steps) in program(),
+        flips in prop::collection::vec(
+            (0usize..4096, 0u8..64, 0u8..3, any::<bool>()),
+            0..4,
+        ),
+    ) {
+        let (slots, boundary_slots) = injectable_slots(&steps);
+        // The adversarial windows: first injectable op, last one, and the
+        // first injectable op after every region switch.
+        let mut windows: Vec<usize> = Vec::new();
+        if !slots.is_empty() {
+            windows.push(0);
+            windows.push(slots.len() - 1);
+            windows.extend(boundary_slots.iter().copied());
+        }
+        let mut targets = Vec::new();
+        for (which, bit, operand, special) in flips {
+            if slots.is_empty() {
+                break;
+            }
+            let slot = if special && !windows.is_empty() {
+                windows[which % windows.len()]
+            } else {
+                which % slots.len()
+            };
+            let (region, op_index) = slots[slot];
+            targets.push(Target {
+                region,
+                op_index,
+                bit,
+                operand: match operand {
+                    0 => Operand::A,
+                    1 => Operand::B,
+                    _ => Operand::Result,
+                },
+            });
+        }
+
+        let (want_v, want_sh, want_fired, want_cont, want_inj) =
+            reference_run(init, &steps, &targets);
+
+        ctx::install(RankCtx::new(0, InjectionPlan::multi(targets.clone())));
+        let mut acc = Tf64::new(init);
+        for s in &steps {
+            let _g = ctx::enter_region(s.region);
+            acc = step_tf64(s.op, acc, Tf64::new(s.c));
+        }
+        let report = ctx::take().unwrap().into_report();
+
+        prop_assert_eq!(acc.value().to_bits(), want_v);
+        prop_assert_eq!(acc.shadow().to_bits(), want_sh);
+        prop_assert_eq!(report.contaminated, want_cont);
+        prop_assert_eq!(report.profile.injectable(Region::Common), want_inj[0]);
+        prop_assert_eq!(report.profile.injectable(Region::ParallelUnique), want_inj[1]);
+        prop_assert_eq!(report.planned, targets.len());
+        prop_assert_eq!(report.fired.len(), want_fired.len());
+        for (got, want) in report.fired.iter().zip(&want_fired) {
+            prop_assert_eq!(got.target, want.0);
+            prop_assert_eq!(got.before.to_bits(), want.1);
+            prop_assert_eq!(got.after.to_bits(), want.2);
+            prop_assert_eq!(got.masked_at_site, want.3);
         }
     }
 

@@ -64,6 +64,9 @@ pub struct ServeConfig {
     pub store: Option<PathBuf>,
     /// Worker threads shared by all campaigns.
     pub workers: usize,
+    /// Trials each worker claims and commits per batch (1 = unbatched;
+    /// aggregates are bitwise identical at every batch size).
+    pub batch: usize,
 }
 
 /// One line of the submission journal.
@@ -138,7 +141,7 @@ impl Daemon {
     /// Bind `config.socket`, replay the journal, and start accepting
     /// connections on a background thread.
     pub fn spawn(config: ServeConfig) -> Result<Daemon, String> {
-        let mut runner = CampaignRunner::new();
+        let mut runner = CampaignRunner::new().with_trial_batch(config.batch.max(1));
         let journal = match &config.store {
             Some(store) => {
                 runner = runner.with_golden_dir(store.join("golden"));

@@ -137,20 +137,35 @@ impl Entry {
     /// Push one completed record and deliver everything that became
     /// in-order; finalize if the campaign reached its end.
     fn deliver(&mut self, rec: TrialRecord) {
+        self.deliver_batch(std::iter::once(rec));
+    }
+
+    /// Push a batch of completed records (one registry-lock hold) and
+    /// deliver everything that became in-order; finalize if the
+    /// campaign reached its end. Delivery order — and therefore every
+    /// aggregate and the adaptive stop position — is identical to
+    /// delivering the records one at a time.
+    fn deliver_batch(&mut self, records: impl IntoIterator<Item = TrialRecord>) {
         if self.state != CampaignState::Running || self.stopped {
             // A late record of a cancelled or already-stopped campaign:
             // dropped, exactly like the one-shot pipeline after a stop.
             return;
         }
-        self.buffer.push(rec);
+        for rec in records {
+            self.buffer.push(rec);
+        }
+        // Ledger appends for this delivery are batched into one write
+        // (order within the batch is the delivery order, so the file
+        // contents are identical to unbatched appends).
+        let mut fresh = Vec::new();
         while !self.stopped {
             let Some(ready) = self.buffer.pop_ready() else {
                 break;
             };
             let stop = self.acc.as_mut().expect("running campaign").consume(&ready);
             if !ready.resumed {
-                if let Some(ledger) = &self.ledger {
-                    ledger.append(ready.index, &ready.outcome, ready.attempts);
+                if self.ledger.is_some() {
+                    fresh.push((ready.index, ready.outcome, ready.attempts));
                 }
                 self.obs_sink.consume(&ready);
                 self.delivered_fresh += 1;
@@ -163,6 +178,9 @@ impl Entry {
             if stop {
                 self.stopped = true;
             }
+        }
+        if let Some(ledger) = &self.ledger {
+            ledger.append_batch(&fresh);
         }
         if self.stopped || self.buffer.is_drained() {
             self.finalize();
@@ -263,14 +281,20 @@ struct Shared {
     /// still complete and deliver (graceful drain).
     shutdown: AtomicBool,
     workers: usize,
+    /// Trials a worker claims (and later delivers) per admission.
+    batch: usize,
     /// Ledger directory (`<store>/ledger`), when durable.
     ledger_dir: Option<PathBuf>,
 }
 
 impl Shared {
-    /// Claim the next admissible `(campaign, trial)` pair, round-robin
-    /// across campaigns starting after the last admitted one.
-    fn claim(&self, st: &mut State) -> Option<(u64, Arc<TrialExecutor>, usize)> {
+    /// Claim the next admissible `(campaign, trials)` batch, round-robin
+    /// across campaigns starting after the last admitted one. Up to
+    /// [`Shared::batch`] consecutive trials of one campaign are claimed
+    /// at once (still bounded by the fair share and the reorder
+    /// window), amortizing the registry lock and admission bookkeeping
+    /// per trial.
+    fn claim(&self, st: &mut State) -> Option<(u64, Arc<TrialExecutor>, Vec<usize>)> {
         let active = st.entries.values().filter(|e| e.has_work()).count();
         if active == 0 {
             return None;
@@ -285,12 +309,15 @@ impl Shared {
             .collect();
         for id in ids {
             let entry = st.entries.get_mut(&id).expect("listed id");
-            if entry.claimable(fair_share) {
-                let test = entry.pending[entry.next];
+            let mut tests = Vec::new();
+            while tests.len() < self.batch && entry.claimable(fair_share) {
+                tests.push(entry.pending[entry.next]);
                 entry.next += 1;
                 entry.in_flight += 1;
+            }
+            if !tests.is_empty() {
                 st.rr_last = id;
-                return Some((id, Arc::clone(&entry.exec), test));
+                return Some((id, Arc::clone(&entry.exec), tests));
             }
         }
         None
@@ -310,8 +337,12 @@ impl Scheduler {
     /// Start `workers` trial workers over `runner`. With a `store`
     /// directory, every campaign is ledgered under `<store>/ledger`
     /// and submissions resume whatever the ledger already holds.
+    /// Admission batch size comes from the runner
+    /// ([`CampaignRunner::with_trial_batch`]); batching is
+    /// observationally invisible (see `Entry::deliver_batch`).
     pub fn new(runner: CampaignRunner, workers: usize, store: Option<PathBuf>) -> Scheduler {
         let workers = workers.max(1);
+        let batch = runner.trial_batch();
         let shared = Arc::new(Shared {
             runner,
             state: Mutex::new(State {
@@ -322,6 +353,7 @@ impl Scheduler {
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             workers,
+            batch,
             ledger_dir: store.map(|dir| dir.join("ledger")),
         });
         let handles = (0..workers)
@@ -597,8 +629,9 @@ impl Drop for Scheduler {
     }
 }
 
-/// One worker: claim a trial, run it outside the lock, deliver the
-/// record, repeat — across *all* campaigns, interleaved.
+/// One worker: claim a batch of trials, run them outside the lock,
+/// deliver the records under one lock hold, repeat — across *all*
+/// campaigns, interleaved.
 fn worker_loop(shared: &Shared) {
     loop {
         let claim = {
@@ -613,21 +646,24 @@ fn worker_loop(shared: &Shared) {
                 shared.cv.wait(&mut st);
             }
         };
-        let Some((id, exec, test)) = claim else {
+        let Some((id, exec, tests)) = claim else {
             return;
         };
-        let busy = obs::timer();
-        let rec = exec.run_trial(test);
-        if let Some(busy) = busy {
-            obs::count(
-                obs::Counter::WorkerBusyNanos,
-                busy.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-            );
+        let mut recs = Vec::with_capacity(tests.len());
+        for test in &tests {
+            let busy = obs::timer();
+            recs.push(exec.run_trial(*test));
+            if let Some(busy) = busy {
+                obs::count(
+                    obs::Counter::WorkerBusyNanos,
+                    busy.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                );
+            }
         }
         let mut st = shared.state.lock();
         if let Some(entry) = st.entries.get_mut(&id) {
-            entry.in_flight -= 1;
-            entry.deliver(rec);
+            entry.in_flight -= tests.len();
+            entry.deliver_batch(recs);
         }
         // A freed slot (or a finished campaign) may unblock peers.
         shared.cv.notify_all();

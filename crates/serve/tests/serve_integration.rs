@@ -180,10 +180,12 @@ fn daemon_socket_round_trip() {
     let s = spec(App::Cg, 2, 12, 9);
     let want = solo(&s);
 
+    // batch > 1 on purpose: the summary must still equal the solo run.
     let daemon = Daemon::spawn(ServeConfig {
         socket: socket.clone(),
         store: None,
         workers: 2,
+        batch: 3,
     })
     .expect("spawn daemon");
 
@@ -234,6 +236,7 @@ fn daemon_restart_replays_journal() {
         socket: socket.clone(),
         store: Some(store.clone()),
         workers: 2,
+        batch: 2,
     };
 
     let daemon = Daemon::spawn(config.clone()).expect("spawn");
@@ -271,6 +274,7 @@ fn daemon_rejects_bad_requests() {
         socket: socket.clone(),
         store: None,
         workers: 1,
+        batch: 1,
     })
     .expect("spawn");
 

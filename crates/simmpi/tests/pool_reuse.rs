@@ -1,10 +1,50 @@
 //! Pool robustness: trials that crash, trip the hang guard, or die on a
 //! poisoned fabric must leave the rank-thread pool reusable, and the
 //! pooled execution path must match the spawn-per-trial path bitwise.
+//!
+//! This binary also audits the tracked-op hot path for heap traffic: a
+//! counting global allocator (per-thread counters, so concurrent rank
+//! threads don't pollute the measurement) asserts that the
+//! zero-injection path performs no allocation per op.
 
-use resilim_inject::{InjectionPlan, Operand, RankCtx, Region, Target, Tf64};
+use resilim_inject::{ctx, InjectionPlan, Operand, RankCtx, Region, Target, Tf64};
 use resilim_simmpi::{PanicKind, ReduceOp, World, WorldConfig, WorldPool};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::time::Duration;
+
+/// Counts this thread's allocations; delegates everything to [`System`].
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's allocation count so far.
+fn allocs_here() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with` so allocation during thread teardown (after the TLS
+        // slot is destroyed) still works.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
 
 fn world(procs: usize) -> World {
     World::with_config(
@@ -122,6 +162,39 @@ fn pooled_matches_spawned_bitwise() {
         assert_eq!(ra.fired, rb.fired);
         assert_eq!(ra.contaminated, rb.contaminated);
     }
+}
+
+/// The zero-injection hot path — context installed, plan empty — must
+/// not touch the heap: not per op (cells only), not in `take()`, and not
+/// in `into_report()` (`CtxReport.fired` stays an unallocated empty
+/// `Vec`, op counters flush into plain arrays).
+#[test]
+fn zero_injection_hot_path_does_not_allocate() {
+    // Warm up the thread-local machinery (first install may lazily
+    // initialize TLS) before taking the baseline.
+    assert!(ctx::install(RankCtx::profiling(0)).is_none());
+    let mut warm = Tf64::new(1.0);
+    for _ in 0..16 {
+        warm = warm * Tf64::new(0.5) + Tf64::new(0.25);
+    }
+    drop(ctx::take().unwrap().into_report());
+
+    ctx::install(RankCtx::new(0, InjectionPlan::none()));
+    let before = allocs_here();
+    let mut acc = Tf64::new(1.0);
+    for i in 0..10_000 {
+        acc = acc * Tf64::new(0.999) + Tf64::new(i as f64 * 1e-9);
+        acc = acc.min(Tf64::new(1e6)) / Tf64::new(1.0000001);
+    }
+    let report = ctx::take().unwrap().into_report();
+    let during = allocs_here() - before;
+    assert!(report.fired.is_empty());
+    assert_eq!(report.profile.total(), 40_000);
+    assert_eq!(
+        during, 0,
+        "zero-injection hot path allocated {during} times in 40k ops"
+    );
+    assert!(acc.value().is_finite());
 }
 
 #[test]
