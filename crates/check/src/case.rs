@@ -16,6 +16,7 @@ use rand::{Rng, SeedableRng};
 use resilim_apps::App;
 use resilim_core::SamplePoints;
 use resilim_harness::{CampaignSpec, ErrorSpec};
+use resilim_inject::FaultModelSpec;
 use serde::{Deserialize, Serialize};
 
 /// One randomized differential-check case (a mini-campaign).
@@ -39,6 +40,11 @@ pub struct CaseSpec {
     pub errors: ErrorSpec,
     /// Serial sample-point strategy the model side uses.
     pub strategy: SamplePoints,
+    /// Fault model of the measured campaign (the model-input campaigns
+    /// always measure the baseline single-bit flip).
+    pub fault_model: FaultModelSpec,
+    /// Run the measured campaign under TeaMPI-style rank replication.
+    pub replicate: bool,
 }
 
 impl CaseSpec {
@@ -65,15 +71,30 @@ impl CaseSpec {
             SamplePoints::PaperEq8,
             SamplePoints::BucketMid,
         ][rng.gen_range(0..3usize)];
+        let seed = rng.gen_range(0..u64::MAX / 2);
+        // The fault-model dimensions are drawn after every legacy field,
+        // so adding them did not reshuffle the cases older master seeds
+        // generate. Burst and msg are only defined for `par` errors.
+        let fault_model = match rng.gen_range(0..10u32) {
+            0 => FaultModelSpec::Due,
+            1 | 2 if errors == ErrorSpec::OneParallel => {
+                FaultModelSpec::Burst([2u8, 3, 4][rng.gen_range(0..3usize)])
+            }
+            3 | 4 if errors == ErrorSpec::OneParallel => FaultModelSpec::Msg,
+            _ => FaultModelSpec::BitFlip,
+        };
+        let replicate = rng.gen_bool(0.25);
         CaseSpec {
             id: index,
-            seed: rng.gen_range(0..u64::MAX / 2),
+            seed,
             app: app.name().to_string(),
             procs,
             s,
             tests,
             errors,
             strategy,
+            fault_model,
+            replicate,
         }
     }
 
@@ -98,6 +119,8 @@ impl CaseSpec {
                         SamplePoints::PaperEq8,
                         SamplePoints::BucketMid,
                     ][i % 3],
+                    fault_model: FaultModelSpec::default(),
+                    replicate: false,
                 }
             })
             .collect()
@@ -127,8 +150,14 @@ impl CaseSpec {
     }
 
     /// The measured ("ground truth") campaign this case checks against.
+    /// Only the measured side carries the case's fault model and
+    /// replication: the model-input campaigns below measure the baseline
+    /// process the paper's predictor is defined over.
     pub fn measured_campaign(&self) -> Result<CampaignSpec, String> {
-        self.campaign(self.procs, self.errors)
+        Ok(self
+            .campaign(self.procs, self.errors)?
+            .with_fault_model(self.fault_model)
+            .with_replication(self.replicate))
     }
 
     /// The small-scale (s-rank, 1-error) campaign the model side uses.
@@ -157,6 +186,7 @@ impl CaseSpec {
         if let ErrorSpec::SerialErrors(_) = self.errors {
             return Err("check cases measure parallel deployments".into());
         }
+        resilim_harness::validate_fault_model(self.fault_model, self.errors, self.procs)?;
         Ok(())
     }
 }
@@ -188,6 +218,16 @@ mod tests {
         assert!(cases
             .iter()
             .any(|c| matches!(c.errors, ErrorSpec::OneParallelMultiBit(_))));
+        // The fault-model dimensions are exercised too.
+        assert!(cases.iter().any(|c| c.fault_model == FaultModelSpec::Due));
+        assert!(cases
+            .iter()
+            .any(|c| matches!(c.fault_model, FaultModelSpec::Burst(_))));
+        assert!(cases.iter().any(|c| c.fault_model == FaultModelSpec::Msg));
+        assert!(cases.iter().any(|c| c.replicate));
+        assert!(cases
+            .iter()
+            .any(|c| c.fault_model.is_default() && !c.replicate));
     }
 
     #[test]

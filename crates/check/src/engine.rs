@@ -10,13 +10,15 @@ use crate::case::CaseSpec;
 use crate::ops::SamplingOps;
 use crate::oracles::{check_case, run_oracle, Oracle, Violation};
 use crate::shrink::shrink;
+use resilim_inject::FaultModelSpec;
 use resilim_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Repro-record format version; bump on incompatible schema change.
-pub const REPRO_VERSION: u32 = 1;
+/// Version 2: [`CaseSpec`] gained `fault_model` and `replicate`.
+pub const REPRO_VERSION: u32 = 2;
 
 /// A self-contained failing-case record: everything needed to replay
 /// the violation deterministically (`resilim check --replay FILE`).
@@ -56,6 +58,11 @@ pub struct CheckConfig {
     pub smoke: bool,
     /// Where to write repro records (skipped when `None`).
     pub repro_dir: Option<PathBuf>,
+    /// Pin every case's fault model (`check --fault-model`, the nightly
+    /// sweep). `None` keeps the generator's randomized model dimension.
+    pub fault_model: Option<FaultModelSpec>,
+    /// Force every case to run replicated (`check --replicate`).
+    pub replicate: bool,
 }
 
 impl Default for CheckConfig {
@@ -66,6 +73,8 @@ impl Default for CheckConfig {
             master_seed: 0xC0FFEE,
             smoke: false,
             repro_dir: None,
+            fault_model: None,
+            replicate: false,
         }
     }
 }
@@ -107,7 +116,7 @@ pub fn run_check(cfg: &CheckConfig, ops: &dyn SamplingOps) -> CheckReport {
     };
     let mut index = 0u64;
     loop {
-        let case = match &roster {
+        let mut case = match &roster {
             Some(r) => {
                 if index as usize >= r.len() {
                     break;
@@ -126,6 +135,18 @@ pub fn run_check(cfg: &CheckConfig, ops: &dyn SamplingOps) -> CheckReport {
             }
         };
         index += 1;
+        if let Some(model) = cfg.fault_model {
+            case.fault_model = model;
+            // burst/msg are only defined for `par` errors; pinning a
+            // model narrows the error dimension rather than generating
+            // invalid cases.
+            if !matches!(model, FaultModelSpec::BitFlip | FaultModelSpec::Due) {
+                case.errors = resilim_harness::ErrorSpec::OneParallel;
+            }
+        }
+        if cfg.replicate {
+            case.replicate = true;
+        }
         let outcome = check_case(&case, ops);
         report.cases_run += 1;
         obs::count(obs::Counter::CheckCasesRun, 1);

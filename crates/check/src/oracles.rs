@@ -10,7 +10,10 @@
 use crate::case::CaseSpec;
 use crate::ops::SamplingOps;
 use resilim_core::{cosine_similarity, ModelInputs, Predictor, SamplePoints};
-use resilim_harness::{aggregate_outcomes, CampaignResult, CampaignRunner, CampaignSummary};
+use resilim_harness::{
+    aggregate_outcomes, CampaignResult, CampaignRunner, CampaignSummary, ErrorSpec,
+};
+use resilim_inject::{FailureKind, FaultModelSpec};
 use resilim_serve::{Client, Daemon, ServeConfig, SubmitSpec};
 use std::collections::BTreeMap;
 
@@ -48,6 +51,14 @@ pub enum Oracle {
     /// the one-shot CLI path — concurrency, the wire protocol, and the
     /// scheduler's delivery pipeline introduce no divergence.
     ServeIdentity,
+    /// Fault-model laws, on model campaigns derived from the case: DUE
+    /// is all-or-nothing (fired ⇒ detected rank-kill failure, not fired
+    /// ⇒ anything but), message corruption always finds a wire to
+    /// corrupt, burst outcomes stay causally consistent, and TeaMPI
+    /// replication observes without perturbing (outcomes identical to
+    /// the unreplicated run modulo the `detected` bit, which it may only
+    /// ever add).
+    FaultModels,
     /// Predicted vs measured: the closed-form prediction from
     /// serial + small-scale inputs is a probability distribution and
     /// stays within a (generous, documented) divergence bound of the
@@ -57,7 +68,7 @@ pub enum Oracle {
 
 impl Oracle {
     /// Every oracle, cheap-first.
-    pub const ALL: [Oracle; 8] = [
+    pub const ALL: [Oracle; 9] = [
         Oracle::BucketCover,
         Oracle::Distribution,
         Oracle::Grouping,
@@ -65,6 +76,7 @@ impl Oracle {
         Oracle::StreamingIdentity,
         Oracle::LedgerRoundtrip,
         Oracle::ServeIdentity,
+        Oracle::FaultModels,
         Oracle::ModelDivergence,
     ];
 
@@ -78,6 +90,7 @@ impl Oracle {
             Oracle::StreamingIdentity => "streaming-identity",
             Oracle::LedgerRoundtrip => "ledger-roundtrip",
             Oracle::ServeIdentity => "serve-identity",
+            Oracle::FaultModels => "fault-models",
             Oracle::ModelDivergence => "model-divergence",
         }
     }
@@ -133,6 +146,7 @@ pub fn check_case(case: &CaseSpec, ops: &dyn SamplingOps) -> Result<(), Violatio
     streaming_identity(case, &measured)?;
     ledger_roundtrip(case, &measured)?;
     serve_identity(case, &measured)?;
+    fault_models(case, &measured)?;
     model_divergence(case, &measured)?;
     Ok(())
 }
@@ -149,6 +163,7 @@ pub fn run_oracle(case: &CaseSpec, oracle: Oracle, ops: &dyn SamplingOps) -> Res
         Oracle::StreamingIdentity => streaming_identity(case, &run_measured(case)?),
         Oracle::LedgerRoundtrip => ledger_roundtrip(case, &run_measured(case)?),
         Oracle::ServeIdentity => serve_identity(case, &run_measured(case)?),
+        Oracle::FaultModels => fault_models(case, &run_measured(case)?),
         Oracle::ModelDivergence => model_divergence(case, &run_measured(case)?),
     }
 }
@@ -559,6 +574,96 @@ fn serve_identity(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> 
     result
 }
 
+/// Fault-model laws (DESIGN.md §12), checked on mini-campaigns derived
+/// from the case (same app, scale, trial count, and seed; `par` errors,
+/// which every non-default model is defined for).
+///
+/// * **Replication is observation**: toggling `--replicate` on the
+///   measured campaign must reproduce every outcome bitwise except the
+///   `detected` bit, and replication may only ever *add* detection.
+/// * **DUE is all-or-nothing**: a trial that fired its fault died as a
+///   detected rank kill; a trial that never fired cannot report one.
+/// * **Message corruption always lands**: every trial of the `msg`
+///   model corrupts exactly one wire payload, so every trial fires.
+/// * **Burst stays causal**: multi-bit corruption obeys the same
+///   per-trial causality the single-bit model does.
+fn fault_models(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> {
+    let o = Oracle::FaultModels;
+    let runner = CampaignRunner::new();
+    let spec = case.measured_campaign().map_err(|e| Violation::new(o, e))?;
+
+    // Replication metamorphic, against the measured run itself.
+    let mut flipped_spec = spec.clone();
+    flipped_spec.replicate = !spec.replicate;
+    let flipped = runner.run_uncached(&flipped_spec);
+    let (plain, repl) = if spec.replicate {
+        (&flipped, m)
+    } else {
+        (m, &flipped)
+    };
+    ensure!(
+        o,
+        plain.outcomes.len() == repl.outcomes.len(),
+        "replication changed the trial count"
+    );
+    for (i, (p, r)) in plain.outcomes.iter().zip(repl.outcomes.iter()).enumerate() {
+        ensure!(
+            o,
+            p.clone().with_detected(false) == r.clone().with_detected(false),
+            "replication perturbed trial {i}: {p:?} vs {r:?}"
+        );
+        ensure!(
+            o,
+            !p.detected || r.detected,
+            "replication lost a detection at trial {i}"
+        );
+    }
+
+    // The model laws, on a baseline-shaped derivation of the case.
+    let mut base = spec;
+    base.errors = ErrorSpec::OneParallel;
+    base.replicate = false;
+
+    let mut due_spec = base.clone();
+    due_spec.fault_model = FaultModelSpec::Due;
+    let due = runner.run_uncached(&due_spec);
+    for (i, out) in due.outcomes.iter().enumerate() {
+        if out.injections_fired > 0 {
+            ensure!(
+                o,
+                out.failure == Some(FailureKind::Due) && out.detected,
+                "due trial {i} fired but did not die detected: {out:?}"
+            );
+        } else {
+            ensure!(
+                o,
+                out.failure != Some(FailureKind::Due),
+                "due trial {i} reported a DUE without firing: {out:?}"
+            );
+        }
+    }
+
+    let mut msg_spec = base.clone();
+    msg_spec.fault_model = FaultModelSpec::Msg;
+    let msg = runner.run_uncached(&msg_spec);
+    for (i, out) in msg.outcomes.iter().enumerate() {
+        ensure!(
+            o,
+            out.injections_fired >= 1,
+            "msg trial {i} never corrupted a wire payload: {out:?}"
+        );
+        ensure!(o, out.is_causally_consistent(), "msg trial {i}: {out:?}");
+    }
+
+    let mut burst_spec = base;
+    burst_spec.fault_model = FaultModelSpec::Burst(3);
+    let burst = runner.run_uncached(&burst_spec);
+    for (i, out) in burst.outcomes.iter().enumerate() {
+        ensure!(o, out.is_causally_consistent(), "burst trial {i}: {out:?}");
+    }
+    Ok(())
+}
+
 /// Maximum tolerated |predicted − measured| success-rate gap.
 ///
 /// The paper reports worst-case divergences around 30% (Figure 7's
@@ -576,6 +681,12 @@ pub fn divergence_bound(tests: usize) -> f64 {
 /// inputs — the end-to-end differential test of the paper's pipeline.
 fn model_divergence(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> {
     let o = Oracle::ModelDivergence;
+    // Eq. 8 models the baseline single-bit-flip process; a measured
+    // campaign under another fault model (or with a detector deployed)
+    // is a different experiment, so the divergence bound does not apply.
+    if !case.fault_model.is_default() || case.replicate {
+        return Ok(());
+    }
     let runner = CampaignRunner::new();
     let mut serial = BTreeMap::new();
     let mut needed: Vec<usize> = resilim_core::sample_cases(case.procs, case.s, case.strategy);

@@ -13,6 +13,7 @@ use crate::oracles::{run_oracle, Violation};
 use resilim_apps::App;
 use resilim_core::SamplePoints;
 use resilim_harness::ErrorSpec;
+use resilim_inject::FaultModelSpec;
 use resilim_obs as obs;
 
 /// Hard cap on shrink attempts — a safety net against a pathological
@@ -78,6 +79,18 @@ fn candidates(case: &CaseSpec) -> Vec<CaseSpec> {
             ..case.clone()
         });
     }
+    if !case.fault_model.is_default() {
+        out.push(CaseSpec {
+            fault_model: FaultModelSpec::default(),
+            ..case.clone()
+        });
+    }
+    if case.replicate {
+        out.push(CaseSpec {
+            replicate: false,
+            ..case.clone()
+        });
+    }
     out.retain(|c| c.validate().is_ok());
     out
 }
@@ -138,6 +151,8 @@ mod tests {
             tests: 16,
             errors: ErrorSpec::OneParallelMultiBit(2),
             strategy: SamplePoints::PaperEq8,
+            fault_model: FaultModelSpec::Due,
+            replicate: true,
         };
         let cands = candidates(&case);
         assert!(!cands.is_empty());
@@ -152,6 +167,8 @@ mod tests {
             .iter()
             .any(|c| c.strategy == SamplePoints::BucketUpper));
         assert!(cands.iter().any(|c| c.errors == ErrorSpec::OneParallel));
+        assert!(cands.iter().any(|c| c.fault_model.is_default()));
+        assert!(cands.iter().any(|c| !c.replicate));
     }
 
     #[test]
@@ -168,6 +185,8 @@ mod tests {
             tests: 16,
             errors: ErrorSpec::OneParallelMultiBit(2),
             strategy: SamplePoints::PaperEq8,
+            fault_model: FaultModelSpec::Due,
+            replicate: true,
         };
         let violation = check_case(&case, &OffByOneBucket).unwrap_err();
         let shrunk = shrink(&case, &violation, &OffByOneBucket);
@@ -178,6 +197,8 @@ mod tests {
         assert_eq!(shrunk.case.app, App::ALL[0].name(), "cheapest app");
         assert_eq!(shrunk.case.strategy, SamplePoints::BucketUpper);
         assert_eq!(shrunk.case.errors, ErrorSpec::OneParallel);
+        assert!(shrunk.case.fault_model.is_default(), "model at floor");
+        assert!(!shrunk.case.replicate, "replication shed");
         assert!(shrunk.attempts > 0 && shrunk.attempts <= MAX_SHRINK_ATTEMPTS);
         // The minimal case still fails under the bug and passes clean.
         run_oracle(&shrunk.case, violation.oracle, &OffByOneBucket).unwrap_err();

@@ -43,15 +43,37 @@ pub fn campaign(opts: &Options, runner: &CampaignRunner) -> Result<(), String> {
         String::new()
     };
     let text = format!(
-        "{app} p={procs} {:?}: success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests, {:.2}s){stopped}\n",
+        "{app} p={procs} {:?}: success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests, {:.2}s){stopped}\n{}",
         errors,
         summary.fi.success_rate() * 100.0,
         summary.fi.sdc_rate() * 100.0,
         summary.fi.failure_rate() * 100.0,
         summary.tests,
         summary.wall_secs,
+        detection_line(&summary),
     );
     emit(opts, text, &summary)
+}
+
+/// One extra text line for non-baseline campaigns: the fault model, the
+/// DUE/detected tallies, and the detection coverage the mitigation
+/// achieved. Empty for baseline campaigns, whose output must stay
+/// byte-identical to pre-fault-model builds.
+fn detection_line(summary: &CampaignSummary) -> String {
+    if summary.fault_model.is_default() && !summary.replicate {
+        return String::new();
+    }
+    let coverage = summary
+        .detection_coverage
+        .map_or("n/a".to_string(), |c| format!("{:.1}%", c * 100.0));
+    format!(
+        "  fault model {}{}: due {}  detected {}  detection coverage {}\n",
+        summary.fault_model.cli_name(),
+        if summary.replicate { " +replicate" } else { "" },
+        summary.due,
+        summary.detected,
+        coverage,
+    )
 }
 
 /// Aggregate a deployment's shard ledgers into one summary (`--store`).
@@ -68,12 +90,13 @@ pub fn merge(opts: &Options, runner: &CampaignRunner) -> Result<(), String> {
         eprintln!("saved {}", path.display());
     }
     let text = format!(
-        "{app} p={procs} {:?} (merged from ledger): success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests)\n",
+        "{app} p={procs} {:?} (merged from ledger): success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests)\n{}",
         errors,
         summary.fi.success_rate() * 100.0,
         summary.fi.sdc_rate() * 100.0,
         summary.fi.failure_rate() * 100.0,
         summary.tests,
+        detection_line(&summary),
     );
     emit(opts, text, &summary)
 }

@@ -41,6 +41,8 @@ pub fn check(opts: &Options) -> Result<(), String> {
         master_seed: opts.cfg.seed,
         budget: opts.budget.map(std::time::Duration::from_secs_f64),
         repro_dir: opts.repro_dir.as_ref().map(std::path::PathBuf::from),
+        fault_model: opts.fault_model,
+        replicate: opts.replicate,
         ..resilim_check::CheckConfig::default()
     };
     if let Some(n) = opts.cases {

@@ -8,6 +8,7 @@ use resilim_apps::App;
 use resilim_core::StopRule;
 use resilim_harness::experiments::ExperimentConfig;
 use resilim_harness::{CampaignSpec, ErrorSpec, Shard};
+use resilim_inject::FaultModelSpec;
 use std::io::Write as _;
 
 /// Parsed command line: the subcommand plus every flag.
@@ -20,6 +21,13 @@ pub struct Options {
     pub small: Option<usize>,
     pub scale: Option<usize>,
     pub errors: Option<String>,
+    /// Fault model injected per trial (`--fault-model
+    /// bitflip|burst[:K]|due|msg`). `None` = not given: campaigns use
+    /// the default single-bit flip, `check` keeps its randomized model
+    /// dimension instead of pinning one.
+    pub fault_model: Option<FaultModelSpec>,
+    /// TeaMPI-style replica payload comparison (`--replicate`).
+    pub replicate: bool,
     pub store: Option<String>,
     pub svg: Option<String>,
     /// Concurrent fault-injection tests; `None` = auto
@@ -75,6 +83,7 @@ pub fn usage() -> &'static str {
      \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
      \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
      \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K|auto]\n\
+     \u{20}       [--fault-model bitflip|burst[:K]|due|msg] [--replicate]\n\
      \u{20}       [--batch N]\n\
      \u{20}       [--adaptive] [--ci HALFWIDTH] [--min-tests N]\n\
      \u{20}       [--trace FILE] [--metrics]\n\
@@ -96,6 +105,8 @@ pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, Str
         small: None,
         scale: None,
         errors: None,
+        fault_model: None,
+        replicate: false,
         store: None,
         svg: None,
         jobs: None,
@@ -158,6 +169,10 @@ pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, Str
                 )
             }
             "--errors" => opts.errors = Some(value("--errors")?),
+            "--fault-model" => {
+                opts.fault_model = Some(FaultModelSpec::parse(&value("--fault-model")?)?)
+            }
+            "--replicate" => opts.replicate = true,
             "--store" => opts.store = Some(value("--store")?),
             "--svg" => opts.svg = Some(value("--svg")?),
             "--jobs" => {
@@ -287,7 +302,8 @@ pub fn parse_errors(spec: &str, procs: usize) -> Result<ErrorSpec, String> {
 }
 
 /// Resolve the single-deployment flags (`--apps`, `--scale`, `--errors`,
-/// `--tests`, `--seed`) shared by the `campaign` and `merge` commands.
+/// `--tests`, `--seed`, `--fault-model`, `--replicate`) shared by the
+/// `campaign` and `merge` commands.
 pub fn one_deployment(opts: &Options) -> Result<(CampaignSpec, App, usize, ErrorSpec), String> {
     let app = *opts
         .apps
@@ -295,7 +311,13 @@ pub fn one_deployment(opts: &Options) -> Result<(CampaignSpec, App, usize, Error
         .ok_or(format!("{} needs --apps <one app>", opts.command))?;
     let procs = opts.scale.unwrap_or(1);
     let errors = parse_errors(opts.errors.as_deref().unwrap_or("par"), procs)?;
-    let spec = opts.cfg.campaign(app.default_spec(), procs, errors);
+    let fault_model = opts.fault_model.unwrap_or_default();
+    resilim_harness::validate_fault_model(fault_model, errors, procs)?;
+    let spec = opts
+        .cfg
+        .campaign(app.default_spec(), procs, errors)
+        .with_fault_model(fault_model)
+        .with_replication(opts.replicate);
     Ok((spec, app, procs, errors))
 }
 
@@ -429,6 +451,55 @@ mod tests {
         assert!(parse(&["campaign", "--adaptive", "--shard", "0/2", "--store", "st"]).is_err());
         // Adaptive + resume is fine: resumed trials replay the prefix.
         assert!(parse(&["campaign", "--adaptive", "--resume", "--store", "st"]).is_ok());
+    }
+
+    #[test]
+    fn parses_fault_model_flags() {
+        let opts = parse(&["campaign", "--fault-model", "burst:4", "--replicate"]).unwrap();
+        assert_eq!(opts.fault_model, Some(FaultModelSpec::Burst(4)));
+        assert!(opts.replicate);
+        assert_eq!(parse(&["campaign"]).unwrap().fault_model, None);
+        assert!(parse(&["campaign", "--fault-model", "cosmic"]).is_err());
+    }
+
+    #[test]
+    fn fault_model_deployment_combinations_are_validated() {
+        let run = |args: &[&str]| one_deployment(&parse(args).unwrap());
+        // burst/msg need par errors; msg needs a communicating world.
+        assert!(run(&[
+            "campaign",
+            "--fault-model",
+            "burst",
+            "--errors",
+            "unique",
+            "--scale",
+            "2"
+        ])
+        .is_err());
+        assert!(run(&[
+            "campaign",
+            "--fault-model",
+            "msg",
+            "--errors",
+            "unique",
+            "--scale",
+            "2"
+        ])
+        .is_err());
+        assert!(run(&["campaign", "--fault-model", "msg"]).is_err());
+        let (spec, ..) = run(&[
+            "campaign",
+            "--fault-model",
+            "msg",
+            "--scale",
+            "2",
+            "--replicate",
+        ])
+        .unwrap();
+        assert_eq!(spec.fault_model, FaultModelSpec::Msg);
+        assert!(spec.replicate);
+        // due works at any deployment shape.
+        assert!(run(&["campaign", "--fault-model", "due", "--errors", "ser:2"]).is_ok());
     }
 
     #[test]

@@ -6,8 +6,10 @@ use crate::golden::GoldenRun;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use resilim_apps::AppOutput;
-use resilim_inject::{FailureKind, InjectionPlan, Operand, RankCtx, Region, Target, TestOutcome};
-use resilim_simmpi::{ExecBackend, PanicKind, World};
+use resilim_inject::{
+    FailureKind, FaultPattern, InjectionPlan, Operand, RankCtx, Region, Target, TestOutcome,
+};
+use resilim_simmpi::{ExecBackend, MsgFault, PanicKind, World};
 use std::collections::HashMap;
 
 /// Plan and execute a single fault-injection test on `backend`. The
@@ -23,11 +25,12 @@ pub(super) fn execute_trial(
 ) -> (TestOutcome, bool) {
     let mut rng =
         SmallRng::seed_from_u64(spec.seed ^ resilim_apps::util::splitmix64(test as u64 + 0x1000));
-    let plans = plan_test(&mut rng, spec, golden);
+    let (plans, msg_fault) = plan_test(&mut rng, spec, golden);
 
-    let world = World::new(spec.procs);
+    let world = World::new(spec.procs).with_msg_fault(msg_fault);
     let app = spec.spec.clone();
     let plans_ref = &plans;
+    let kill_on_fire = spec.fault_model.kills_on_fire();
     let mk_ctx = move |rank: usize| {
         let plan = plans_ref
             .get(&rank)
@@ -37,15 +40,18 @@ pub(super) fn execute_trial(
             RankCtx::new(rank, plan)
                 .with_op_cap(op_cap)
                 .with_taint_threshold(spec.taint_threshold)
-                .with_op_mask(spec.op_mask),
+                .with_op_mask(spec.op_mask)
+                .with_kill_on_fire(kill_on_fire),
         )
     };
     let body = move |comm: &resilim_simmpi::Comm| app.run_rank(comm);
     let (results, tripped) = backend.run(&world, &mk_ctx, &body);
 
-    // Harvest: contamination, fired count, failures, rank-0 output.
+    // Harvest: contamination, fired count, detection, failures, rank-0
+    // output.
     let mut contaminated = 0usize;
     let mut fired = 0usize;
+    let mut detected = false;
     let mut failure: Option<FailureKind> = None;
     let mut output = None;
     for r in &results {
@@ -53,7 +59,10 @@ pub(super) fn execute_trial(
         if report.contaminated {
             contaminated += 1;
         }
-        fired += report.fired.len();
+        // A wire corruption is a fired injection too: the fault reached
+        // a live message even though no op-level target existed.
+        fired += report.fired.len() + report.wire_fired as usize;
+        detected |= report.detected;
         match &r.result {
             Ok(out) => {
                 if r.rank == 0 {
@@ -64,11 +73,16 @@ pub(super) fn execute_trial(
                 let kind = match panic.kind {
                     PanicKind::HangGuard | PanicKind::RecvTimeout => FailureKind::Hang,
                     PanicKind::Crash => FailureKind::Crash,
+                    PanicKind::Due => FailureKind::Due,
                     // Secondary death: keep looking for the primary
                     // cause; default to crash if none found.
                     PanicKind::FabricDead => FailureKind::Crash,
                 };
                 failure = Some(match (failure, panic.kind) {
+                    // A DUE kill is the primary cause by construction
+                    // (the one injected fault halted that rank; every
+                    // other death is fallout), so it is never displaced.
+                    (Some(FailureKind::Due), _) => FailureKind::Due,
                     // A real crash/hang overrides a secondary failure.
                     (Some(prev), PanicKind::FabricDead) => prev,
                     _ => kind,
@@ -76,6 +90,9 @@ pub(super) fn execute_trial(
             }
         }
     }
+    // A DUE kill *is* a detection event even if the killed rank's report
+    // was the only witness.
+    let detected = detected || failure == Some(FailureKind::Due);
     // A watchdog trip only counts when it actually killed the trial:
     // a run that completed before the poison landed has a legitimate
     // outcome and must not be reclassified (or retried).
@@ -84,7 +101,10 @@ pub(super) fn execute_trial(
     // target op was never reached fires nothing and taints nothing.
     // Such tests are aggregated into `uncontaminated`, not `by_contam`.
     if let Some(kind) = failure {
-        return (TestOutcome::failure(kind, contaminated, fired), tripped);
+        return (
+            TestOutcome::failure(kind, contaminated, fired).with_detected(detected),
+            tripped,
+        );
     }
     let output = output.expect("rank 0 finished without failure");
     let outcome = if output.identical(&golden.output) {
@@ -94,16 +114,43 @@ pub(super) fn execute_trial(
     } else {
         TestOutcome::sdc(contaminated, fired)
     };
-    (outcome, false)
+    (outcome.with_detected(detected), false)
 }
 
-/// Draw the injection plan(s) for one test: a map rank → plan.
+/// Draw the injection plan(s) for one test: a map rank → plan, plus the
+/// armed wire fault for message-targeting models (`None` otherwise).
 fn plan_test(
     rng: &mut SmallRng,
     spec: &CampaignSpec,
     golden: &GoldenRun,
-) -> HashMap<usize, InjectionPlan> {
+) -> (HashMap<usize, InjectionPlan>, Option<MsgFault>) {
     let mut plans = HashMap::new();
+    // Message-targeting models corrupt a payload on the wire instead of
+    // an FP operand: the site is a message, drawn uniformly over every
+    // numeric send of the golden execution, and no op plan exists.
+    if spec.fault_model.targets_messages() {
+        let total: u64 = golden.profiles.iter().map(|p| p.msgs_sent).sum();
+        assert!(
+            total > 0,
+            "--fault-model msg needs a communicating deployment (no sends profiled)"
+        );
+        let mut g = rng.gen_range(0..total);
+        let mut src = 0;
+        for (rank, profile) in golden.profiles.iter().enumerate() {
+            if g < profile.msgs_sent {
+                src = rank;
+                break;
+            }
+            g -= profile.msgs_sent;
+        }
+        let fault = MsgFault {
+            src,
+            msg_index: g,
+            elem_sel: rng.next_u64(),
+            bit: rng.gen_range(0..64),
+        };
+        return (plans, Some(fault));
+    }
     match spec.errors {
         ErrorSpec::OneParallel | ErrorSpec::OneParallelMultiBit(_) => {
             // Uniform over every injectable op of the whole execution.
@@ -122,10 +169,28 @@ fn plan_test(
                 }
             }
             let (rank, region, op_index) = chosen.expect("g < total");
-            let targets = draw_targets(rng, spec.errors, region, op_index);
+            // The fault model decides what the fault *is* at the drawn
+            // site. The default model's draws are proven bit-identical
+            // to the pre-trait code, so historical campaigns reproduce.
+            let pattern = match spec.errors {
+                ErrorSpec::OneParallelMultiBit(k) => FaultPattern::MultiBit(k),
+                _ => FaultPattern::SingleBit,
+            };
+            let targets = spec
+                .fault_model
+                .model()
+                .op_targets(rng, pattern, region, op_index);
             plans.insert(rank, InjectionPlan::multi(targets));
         }
         ErrorSpec::OneParallelUnique => {
+            // This arm's draw order predates the fault-model trait (bit
+            // before operand) and is frozen for reproducibility; models
+            // with their own bit geometry are restricted to `par` by
+            // CLI validation, and DUE's draws equal the baseline's.
+            assert!(
+                !matches!(spec.fault_model, resilim_inject::FaultModelSpec::Burst(_)),
+                "--fault-model burst is only defined for --errors par"
+            );
             // Uniform over the parallel-unique ops of the whole execution.
             let total = golden.injectable(Region::ParallelUnique);
             assert!(
@@ -154,6 +219,10 @@ fn plan_test(
             );
         }
         ErrorSpec::SerialErrors(x) => {
+            assert!(
+                !matches!(spec.fault_model, resilim_inject::FaultModelSpec::Burst(_)),
+                "--fault-model burst is only defined for --errors par"
+            );
             let total = golden.profiles[0].injectable(Region::Common);
             assert!(
                 (x as u64) <= total,
@@ -175,7 +244,7 @@ fn plan_test(
             plans.insert(0, InjectionPlan::multi(targets));
         }
     }
-    plans
+    (plans, None)
 }
 
 fn draw_operand(rng: &mut SmallRng) -> Operand {
@@ -184,32 +253,4 @@ fn draw_operand(rng: &mut SmallRng) -> Operand {
     } else {
         Operand::B
     }
-}
-
-/// Targets for the one-error patterns (single- or multi-bit).
-fn draw_targets(
-    rng: &mut SmallRng,
-    errors: ErrorSpec,
-    region: Region,
-    op_index: u64,
-) -> Vec<Target> {
-    let operand = draw_operand(rng);
-    let bits: Vec<u8> = match errors {
-        ErrorSpec::OneParallelMultiBit(k) => {
-            let mut set = std::collections::BTreeSet::new();
-            while set.len() < k as usize {
-                set.insert(rng.gen_range(0..64u8));
-            }
-            set.into_iter().collect()
-        }
-        _ => vec![rng.gen_range(0..64)],
-    };
-    bits.into_iter()
-        .map(|bit| Target {
-            region,
-            op_index,
-            bit,
-            operand,
-        })
-        .collect()
 }

@@ -36,5 +36,7 @@ pub use aggregate::{
     aggregate_outcomes, CampaignAccumulator, ConvergenceSeries, LedgerConsumer, ObsTrialConsumer,
 };
 pub use runner::{auto_worker_count, CampaignRunner, TrialExecutor};
-pub use spec::{CampaignResult, CampaignSpec, ErrorSpec, DEFAULT_TAINT_THRESHOLD};
+pub use spec::{
+    validate_fault_model, CampaignResult, CampaignSpec, ErrorSpec, DEFAULT_TAINT_THRESHOLD,
+};
 pub use stream::{ReorderBuffer, TrialConsumer, TrialPipeline, TrialRecord};

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 use resilim_apps::AppOutput;
 use resilim_inject::{FailureKind, TestOutcome};
 use resilim_obs as obs;
-use resilim_simmpi::{ExecBackend, PooledBackend, SpawnedBackend};
+use resilim_simmpi::{ExecBackend, PooledBackend, ReplicatedBackend, SpawnedBackend};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -219,9 +219,11 @@ impl CampaignRunner {
         &self.golden
     }
 
-    /// The [`ExecBackend`] this runner's configuration selects.
-    fn exec_backend(&self) -> Box<dyn ExecBackend<AppOutput>> {
-        if self.spawn_per_trial {
+    /// The [`ExecBackend`] this runner's configuration selects, wrapped
+    /// with TeaMPI-style replica payload comparison when the spec asks
+    /// for it (`--replicate`).
+    fn exec_backend(&self, replicate: bool) -> Box<dyn ExecBackend<AppOutput>> {
+        let base: Box<dyn ExecBackend<AppOutput>> = if self.spawn_per_trial {
             assert!(
                 self.trial_deadline.is_none(),
                 "spawn-per-trial backend has no watchdog plumbing"
@@ -229,6 +231,11 @@ impl CampaignRunner {
             Box::new(SpawnedBackend)
         } else {
             Box::new(PooledBackend::with_deadline(self.trial_deadline))
+        };
+        if replicate {
+            Box::new(ReplicatedBackend::new(base))
+        } else {
+            base
         }
     }
 
@@ -294,7 +301,7 @@ impl CampaignRunner {
         let executor = TrialExecutor {
             spec: spec.clone(),
             golden: self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask),
-            backend: self.exec_backend(),
+            backend: self.exec_backend(spec.replicate),
             retry: self.retry,
             campaign_id,
         };
@@ -480,7 +487,7 @@ impl CampaignRunner {
         TrialExecutor {
             spec: spec.clone(),
             golden: self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask),
-            backend: self.exec_backend(),
+            backend: self.exec_backend(spec.replicate),
             retry: self.retry,
             campaign_id: obs::next_campaign_id(),
         }
@@ -602,12 +609,14 @@ impl TrialExecutor {
                 continue;
             }
             // Retry budget exhausted: record the wedge as a hang so the
-            // campaign terminates with a classified outcome.
+            // campaign terminates with a classified outcome (keeping any
+            // detection the doomed run still managed to report).
             break TestOutcome::failure(
                 FailureKind::Hang,
                 outcome.contaminated_ranks,
                 outcome.injections_fired,
-            );
+            )
+            .with_detected(outcome.detected);
         };
         obs::count(obs::Counter::TrialsRun, 1);
         let latency_us = match t {
@@ -684,6 +693,63 @@ mod tests {
         assert_eq!(auto_worker_count(4, 1), 4);
         // Degenerate procs never divides by zero.
         assert_eq!(auto_worker_count(8, 0), 8);
+    }
+
+    /// Every non-default fault model runs end-to-end through the
+    /// campaign path and produces causally-consistent, model-shaped
+    /// outcomes.
+    #[test]
+    fn fault_models_run_end_to_end() {
+        use resilim_inject::{FailureKind, FaultModelSpec};
+        let runner = CampaignRunner::new();
+        let base = campaign(App::Lu, 2, ErrorSpec::OneParallel, 12);
+
+        // DUE: a fired fault halts its rank; the trial is a detected
+        // Due failure, never silent corruption.
+        let due = runner.run_uncached(&base.clone().with_fault_model(FaultModelSpec::Due));
+        assert!(due.due_count() > 0, "12 trials with no firing fault");
+        for o in &due.outcomes {
+            assert!(o.is_causally_consistent());
+            if o.injections_fired > 0 {
+                assert_eq!(o.failure, Some(FailureKind::Due));
+                assert!(o.detected);
+            }
+        }
+        assert_eq!(due.detection_coverage(), Some(1.0));
+
+        // Burst: runs to completion under the op-targeting path.
+        let burst = runner.run_uncached(&base.clone().with_fault_model(FaultModelSpec::Burst(3)));
+        assert_eq!(burst.outcomes.len(), 12);
+        assert!(burst.outcomes.iter().all(|o| o.is_causally_consistent()));
+
+        // Msg: the wire fault fires on every trial (the targeted message
+        // is always sent in a deterministic app) and contaminates.
+        let msg = runner.run_uncached(&base.clone().with_fault_model(FaultModelSpec::Msg));
+        assert!(msg.outcomes.iter().all(|o| o.injections_fired > 0));
+        assert!(msg.outcomes.iter().any(|o| o.contaminated_ranks > 0));
+        assert!(msg.outcomes.iter().all(|o| o.is_causally_consistent()));
+
+        // Replication: wire corruption crosses a compare point, so
+        // contaminated msg-model trials are overwhelmingly detected.
+        // Coverage may fall short of 1.0: the compare uses the campaign's
+        // significance threshold θ, and a low-order-bit flip can slip
+        // under it at the compare point yet amplify into contamination
+        // downstream — exactly the blind spot tolerance-based comparison
+        // has in real replicated MPI.
+        let repl = runner.run_uncached(
+            &base
+                .with_fault_model(FaultModelSpec::Msg)
+                .with_replication(true),
+        );
+        let coverage = repl
+            .detection_coverage()
+            .expect("contaminated trials exist");
+        assert!(coverage >= 0.5, "implausibly low coverage {coverage}");
+        // Detection observes, never perturbs: outcome classes match the
+        // unreplicated run bitwise.
+        for (r, m) in repl.outcomes.iter().zip(msg.outcomes.iter()) {
+            assert_eq!(r.with_detected(false), m.with_detected(false));
+        }
     }
 
     #[test]

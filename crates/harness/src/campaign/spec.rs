@@ -4,7 +4,7 @@
 use crate::golden::GoldenRun;
 use resilim_apps::ProblemSpec;
 use resilim_core::{FiResult, PropagationProfile, StopRule};
-use resilim_inject::{OpMask, TestOutcome};
+use resilim_inject::{FailureKind, FaultModelSpec, OpMask, TestOutcome};
 use resilim_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -70,6 +70,30 @@ impl ErrorSpec {
     }
 }
 
+/// Validate a fault-model choice against the deployment shape it will
+/// run in. Shared by the CLI front end and the `resilim serve` wire
+/// protocol so a bad combination is rejected identically everywhere:
+/// burst defines its own bit geometry (no `multi:K`/`unique`/`ser:N`),
+/// and a wire fault needs a communicating (`par`, multi-rank) world.
+pub fn validate_fault_model(
+    model: FaultModelSpec,
+    errors: ErrorSpec,
+    procs: usize,
+) -> Result<(), String> {
+    if matches!(model, FaultModelSpec::Burst(_)) && !matches!(errors, ErrorSpec::OneParallel) {
+        return Err("fault model burst needs errors=par (the burst defines its own bits)".into());
+    }
+    if model.targets_messages() {
+        if !matches!(errors, ErrorSpec::OneParallel) {
+            return Err("fault model msg needs errors=par (the fault site is a message)".into());
+        }
+        if procs < 2 {
+            return Err("fault model msg needs >= 2 ranks (a 1-rank world sends nothing)".into());
+        }
+    }
+    Ok(())
+}
+
 /// Default contamination-significance threshold (relative): a rank counts
 /// as contaminated when it holds a value diverging from the fault-free
 /// shadow by more than this. Mirrors F-SEFI's application-level memory
@@ -97,6 +121,15 @@ pub struct CampaignSpec {
     /// Which operation kinds are injection targets (the paper's default:
     /// floating-point add/sub/mul).
     pub op_mask: OpMask,
+    /// What each injected fault *is* (`--fault-model`): the paper's
+    /// single-bit operand flip by default; burst, DUE, or wire (message)
+    /// corruption otherwise. See [`FaultModelSpec`].
+    pub fault_model: FaultModelSpec,
+    /// TeaMPI-style replication mitigation (`--replicate`): replica pairs
+    /// compare message payloads at communication points, and trials
+    /// report whether the corruption was detected. Observation-only — it
+    /// never changes any trial's outcome class.
+    pub replicate: bool,
     /// Adaptive-stopping rule; `None` (the default) runs exactly
     /// `tests` trials. The rule is evaluated on the in-order trial
     /// prefix only, so a stopped campaign's result is deterministic for
@@ -121,6 +154,8 @@ impl CampaignSpec {
             seed,
             taint_threshold: DEFAULT_TAINT_THRESHOLD,
             op_mask: OpMask::FP_ARITH,
+            fault_model: FaultModelSpec::default(),
+            replicate: false,
             stop: None,
         }
     }
@@ -129,6 +164,18 @@ impl CampaignSpec {
     /// trials (`tests` remains the hard ceiling).
     pub fn with_stop(mut self, rule: StopRule) -> CampaignSpec {
         self.stop = Some(rule);
+        self
+    }
+
+    /// Inject faults under `model` instead of the default single-bit flip.
+    pub fn with_fault_model(mut self, model: FaultModelSpec) -> CampaignSpec {
+        self.fault_model = model;
+        self
+    }
+
+    /// Enable TeaMPI-style replica payload comparison.
+    pub fn with_replication(mut self, replicate: bool) -> CampaignSpec {
+        self.replicate = replicate;
         self
     }
 
@@ -168,6 +215,10 @@ impl CampaignSpec {
     /// * `seed` — the root of every per-trial RNG
     /// * `taint_threshold` (θ) — contamination classification
     /// * `op_mask` — the injectable-op sample space
+    /// * `fault_model` — what a fired fault does to its target (suffixed
+    ///   only when non-default, so pre-existing ledgers keep matching)
+    /// * `replicate` — replica comparison sets the `detected` flag on
+    ///   recorded outcomes (suffixed only when enabled, same reason)
     ///
     /// Deliberately excluded: `tests` (see above) and `stop` — the stop
     /// rule decides *how many* trials aggregate, never how any trial
@@ -179,7 +230,7 @@ impl CampaignSpec {
 
     /// Everything that determines a single trial's outcome.
     fn trial_key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}|p={}|{:?}|seed={}|theta={}|mask={}",
             self.spec.cache_key(),
             self.procs,
@@ -187,7 +238,16 @@ impl CampaignSpec {
             self.seed,
             self.taint_threshold,
             self.op_mask
-        )
+        );
+        // Appended only when non-default so that every key minted before
+        // fault models existed still identifies the same trials.
+        if !self.fault_model.is_default() {
+            key.push_str(&format!("|fm={}", self.fault_model.cli_name()));
+        }
+        if self.replicate {
+            key.push_str("|repl");
+        }
+        key
     }
 }
 
@@ -232,6 +292,38 @@ impl CampaignResult {
             .iter()
             .map(|fi| if fi.total() > 0 { Some(*fi) } else { None })
             .collect()
+    }
+
+    /// Trials a detected-uncorrectable error killed (`--fault-model due`).
+    pub fn due_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.failure == Some(FailureKind::Due))
+            .count()
+    }
+
+    /// Trials where the corruption was detected (DUE kill or replica
+    /// payload comparison).
+    pub fn detected_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.detected).count()
+    }
+
+    /// Detection coverage: `P(detected | at least one rank contaminated)`
+    /// — the fraction of trials with observable corruption that a
+    /// deployed detector (DUE machinery or `--replicate` comparison)
+    /// actually flagged. `None` when no trial contaminated any rank, so
+    /// coverage is undefined rather than misleadingly zero.
+    pub fn detection_coverage(&self) -> Option<f64> {
+        let contaminated: Vec<&TestOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.contaminated_ranks > 0)
+            .collect();
+        if contaminated.is_empty() {
+            return None;
+        }
+        let detected = contaminated.iter().filter(|o| o.detected).count();
+        Some(detected as f64 / contaminated.len() as f64)
     }
 }
 
@@ -289,6 +381,10 @@ mod tests {
                 s.op_mask = OpMask::DIV;
                 s
             }),
+            ("fault-model", {
+                base().with_fault_model(FaultModelSpec::Burst(3))
+            }),
+            ("replicate", base().with_replication(true)),
         ];
         for (field, v) in &variants {
             assert_ne!(
@@ -342,6 +438,77 @@ mod tests {
         assert!(ErrorSpec::parse("ser:x", 1).is_err());
         assert!(ErrorSpec::parse("multi:x", 4).is_err());
         assert!(ErrorSpec::parse("bogus", 4).is_err());
+    }
+
+    /// Keys minted before fault models existed must keep identifying the
+    /// same trials: the default model and no replication add nothing.
+    #[test]
+    fn default_fault_model_leaves_keys_unchanged() {
+        let key = base().ledger_key();
+        assert!(!key.contains("|fm="), "default model must not tag keys");
+        assert!(!key.contains("|repl"), "no replication must not tag keys");
+        let tagged = base()
+            .with_fault_model(FaultModelSpec::Due)
+            .with_replication(true)
+            .ledger_key();
+        assert!(tagged.contains("|fm=due"));
+        assert!(tagged.ends_with("|repl"));
+    }
+
+    #[test]
+    fn detection_stats_count_due_and_detected_trials() {
+        use resilim_core::FiAccumulator;
+        let outcomes = vec![
+            TestOutcome::success(true, 0, 0),
+            TestOutcome::sdc(2, 1),
+            TestOutcome::failure(FailureKind::Due, 1, 1).with_detected(true),
+            TestOutcome::sdc(3, 1).with_detected(true),
+        ];
+        let mut acc = FiAccumulator::new(4);
+        for o in &outcomes {
+            acc.record(o);
+        }
+        let (fi, prop, by_contam, uncontaminated) = acc.into_parts();
+        let result = CampaignResult {
+            procs: 4,
+            fi,
+            prop,
+            by_contam,
+            uncontaminated,
+            outcomes,
+            stopped_early: false,
+            wall: Duration::ZERO,
+            golden: Arc::new(GoldenRun::measure(&App::Cg.default_spec(), 1)),
+            metrics: obs::MetricsSnapshot::default(),
+        };
+        assert_eq!(result.due_count(), 1);
+        assert_eq!(result.detected_count(), 2);
+        // 3 contaminated trials, 2 detected.
+        assert_eq!(result.detection_coverage(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn detection_coverage_is_undefined_without_contamination() {
+        use resilim_core::FiAccumulator;
+        let outcomes = vec![TestOutcome::success(true, 0, 0)];
+        let mut acc = FiAccumulator::new(1);
+        for o in &outcomes {
+            acc.record(o);
+        }
+        let (fi, prop, by_contam, uncontaminated) = acc.into_parts();
+        let result = CampaignResult {
+            procs: 1,
+            fi,
+            prop,
+            by_contam,
+            uncontaminated,
+            outcomes,
+            stopped_early: false,
+            wall: Duration::ZERO,
+            golden: Arc::new(GoldenRun::measure(&App::Cg.default_spec(), 1)),
+            metrics: obs::MetricsSnapshot::default(),
+        };
+        assert_eq!(result.detection_coverage(), None);
     }
 
     #[test]

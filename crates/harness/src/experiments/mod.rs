@@ -75,6 +75,8 @@ impl ExperimentConfig {
             seed: self.seed,
             taint_threshold: self.taint_threshold,
             op_mask: Default::default(),
+            fault_model: Default::default(),
+            replicate: false,
             stop: self.stop,
         }
     }

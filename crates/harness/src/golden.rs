@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 /// Version stamp of the on-disk golden-run record. Bump whenever the
 /// record layout *or the semantics of what a profile counts* changes;
 /// stale-version files are ignored and re-measured, never migrated.
-pub const GOLDEN_CACHE_VERSION: u32 = 1;
+/// Version 2: [`OpProfile`] gained `msgs_sent` (wire-fault site space).
+pub const GOLDEN_CACHE_VERSION: u32 = 2;
 
 /// A fault-free run of one `(problem, scale, mask)` deployment.
 #[derive(Debug, Clone)]

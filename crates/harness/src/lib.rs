@@ -33,9 +33,9 @@ pub mod report;
 pub mod store;
 
 pub use campaign::{
-    aggregate_outcomes, auto_worker_count, CampaignAccumulator, CampaignResult, CampaignRunner,
-    CampaignSpec, ConvergenceSeries, ErrorSpec, TrialConsumer, TrialExecutor, TrialPipeline,
-    TrialRecord,
+    aggregate_outcomes, auto_worker_count, validate_fault_model, CampaignAccumulator,
+    CampaignResult, CampaignRunner, CampaignSpec, ConvergenceSeries, ErrorSpec, TrialConsumer,
+    TrialExecutor, TrialPipeline, TrialRecord,
 };
 pub use golden::{golden_cache_file_name, GoldenRun, GoldenStore, GOLDEN_CACHE_VERSION};
 pub use ledger::{RetryPolicy, Shard, TrialLedger, LEDGER_VERSION};

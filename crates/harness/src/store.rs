@@ -9,11 +9,18 @@
 
 use crate::campaign::{CampaignResult, CampaignSpec, ErrorSpec};
 use resilim_core::{FiResult, PropagationProfile};
-use serde::{Deserialize, Serialize};
+use resilim_inject::FaultModelSpec;
+use serde::{Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
 
 /// The serializable essence of one campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde impls are hand-written: the fault-model fields are emitted only
+/// for non-default models (or under replication), so summaries — and the
+/// `resilim campaign` JSON output built from them — of baseline campaigns
+/// stay byte-identical to records written before fault models existed,
+/// and old files load with the defaults.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSummary {
     /// Application name.
     pub app: String,
@@ -41,6 +48,19 @@ pub struct CampaignSummary {
     pub uncontaminated: FiResult,
     /// Campaign wall-clock seconds.
     pub wall_secs: f64,
+    /// The fault model injected (`--fault-model`; default: single-bit
+    /// flip, the paper baseline).
+    pub fault_model: FaultModelSpec,
+    /// Whether TeaMPI-style replica comparison ran (`--replicate`).
+    pub replicate: bool,
+    /// Trials killed by a detected-uncorrectable error.
+    pub due: u64,
+    /// Trials whose corruption was detected (DUE kill or replica
+    /// comparison).
+    pub detected: u64,
+    /// `P(detected | contaminated)`; `None` when undefined (no trial
+    /// contaminated a rank) — and always `None` in legacy records.
+    pub detection_coverage: Option<f64>,
 }
 
 impl CampaignSummary {
@@ -58,7 +78,24 @@ impl CampaignSummary {
             by_contam: result.by_contam.clone(),
             uncontaminated: result.uncontaminated,
             wall_secs: result.wall.as_secs_f64(),
+            fault_model: spec.fault_model,
+            replicate: spec.replicate,
+            due: result.due_count() as u64,
+            detected: result.detected_count() as u64,
+            // Coverage is a property of a deployed detector (DUE
+            // machinery or replication); without one it is undefined,
+            // not zero.
+            detection_coverage: if spec.fault_model.is_default() && !spec.replicate {
+                None
+            } else {
+                result.detection_coverage()
+            },
         }
+    }
+
+    /// Whether the fault-model fields carry information worth emitting.
+    fn models_faults(&self) -> bool {
+        !self.fault_model.is_default() || self.replicate
     }
 
     /// The conditional results in the model's optional form.
@@ -69,7 +106,9 @@ impl CampaignSummary {
             .collect()
     }
 
-    /// Canonical file name for this deployment.
+    /// Canonical file name for this deployment. Baseline campaigns keep
+    /// their historical names; non-default models (and replication) get
+    /// a suffix so they never clobber a baseline record.
     pub fn file_name(&self) -> String {
         let errors = match self.errors {
             ErrorSpec::OneParallel => "par1".to_string(),
@@ -77,10 +116,92 @@ impl CampaignSummary {
             ErrorSpec::OneParallelUnique => "unique1".to_string(),
             ErrorSpec::OneParallelMultiBit(k) => format!("par1x{k}bit"),
         };
+        let mut tag = String::new();
+        if !self.fault_model.is_default() {
+            // "burst:3" → "burst3": keep file names shell-friendly.
+            tag.push('_');
+            tag.extend(self.fault_model.cli_name().chars().filter(|c| *c != ':'));
+        }
+        if self.replicate {
+            tag.push_str("_repl");
+        }
         format!(
-            "{}_p{}_{}_n{}_s{}.json",
-            self.app, self.procs, errors, self.tests, self.seed
+            "{}_p{}_{}_n{}_s{}{}.json",
+            self.app, self.procs, errors, self.tests, self.seed, tag
         )
+    }
+}
+
+impl Serialize for CampaignSummary {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("app".to_string(), self.app.to_value()),
+            ("procs".to_string(), self.procs.to_value()),
+            ("errors".to_string(), self.errors.to_value()),
+            ("tests".to_string(), self.tests.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            (
+                "taint_threshold".to_string(),
+                self.taint_threshold.to_value(),
+            ),
+            ("fi".to_string(), self.fi.to_value()),
+            ("prop".to_string(), self.prop.to_value()),
+            ("by_contam".to_string(), self.by_contam.to_value()),
+            ("uncontaminated".to_string(), self.uncontaminated.to_value()),
+            ("wall_secs".to_string(), self.wall_secs.to_value()),
+        ];
+        if self.models_faults() {
+            fields.push((
+                "fault_model".to_string(),
+                self.fault_model.cli_name().to_value(),
+            ));
+            fields.push(("replicate".to_string(), self.replicate.to_value()));
+            fields.push(("due".to_string(), self.due.to_value()));
+            fields.push(("detected".to_string(), self.detected.to_value()));
+            fields.push((
+                "detection_coverage".to_string(),
+                self.detection_coverage.to_value(),
+            ));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for CampaignSummary {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let fault_model = match serde::field(v, "fault_model") {
+            Value::Null => FaultModelSpec::default(),
+            other => {
+                FaultModelSpec::parse(&String::from_value(other)?).map_err(serde::Error::new)?
+            }
+        };
+        Ok(CampaignSummary {
+            app: Deserialize::from_value(serde::field(v, "app"))?,
+            procs: Deserialize::from_value(serde::field(v, "procs"))?,
+            errors: Deserialize::from_value(serde::field(v, "errors"))?,
+            tests: Deserialize::from_value(serde::field(v, "tests"))?,
+            seed: Deserialize::from_value(serde::field(v, "seed"))?,
+            taint_threshold: Deserialize::from_value(serde::field(v, "taint_threshold"))?,
+            fi: Deserialize::from_value(serde::field(v, "fi"))?,
+            prop: Deserialize::from_value(serde::field(v, "prop"))?,
+            by_contam: Deserialize::from_value(serde::field(v, "by_contam"))?,
+            uncontaminated: Deserialize::from_value(serde::field(v, "uncontaminated"))?,
+            wall_secs: Deserialize::from_value(serde::field(v, "wall_secs"))?,
+            fault_model,
+            replicate: match serde::field(v, "replicate") {
+                Value::Null => false,
+                other => Deserialize::from_value(other)?,
+            },
+            due: match serde::field(v, "due") {
+                Value::Null => 0,
+                other => Deserialize::from_value(other)?,
+            },
+            detected: match serde::field(v, "detected") {
+                Value::Null => 0,
+                other => Deserialize::from_value(other)?,
+            },
+            detection_coverage: Deserialize::from_value(serde::field(v, "detection_coverage"))?,
+        })
     }
 }
 
@@ -156,8 +277,12 @@ pub fn model_inputs_from_store(
     let all = store
         .load_all()
         .map_err(|e| format!("cannot read store: {e}"))?;
+    // The paper's model is calibrated on baseline (single-bit, unmitigated)
+    // measurements only; summaries from other fault models never feed it.
+    let baseline = |sum: &&CampaignSummary| sum.fault_model.is_default() && !sum.replicate;
     let serial_at = |x: usize| -> Option<FiResult> {
         all.iter()
+            .filter(baseline)
             .find(|sum| {
                 sum.app == app && sum.procs == 1 && sum.errors == ErrorSpec::SerialErrors(x)
             })
@@ -172,12 +297,14 @@ pub fn model_inputs_from_store(
     }
     let small = all
         .iter()
+        .filter(baseline)
         .find(|sum| sum.app == app && sum.procs == s && sum.errors == ErrorSpec::OneParallel)
         .ok_or(format!(
             "store is missing the {s}-rank 1-error campaign for {app}"
         ))?;
     let fi_unique = all
         .iter()
+        .filter(baseline)
         .find(|sum| sum.app == app && sum.procs == s && sum.errors == ErrorSpec::OneParallelUnique)
         .map(|sum| sum.fi);
     let unique_share = if fi_unique.is_some() {
@@ -291,9 +418,8 @@ mod tests {
         std::fs::remove_dir_all(store.dir()).unwrap();
     }
 
-    #[test]
-    fn file_names_distinguish_deployments() {
-        let mk = |errors| CampaignSummary {
+    fn summary(errors: ErrorSpec) -> CampaignSummary {
+        CampaignSummary {
             app: "cg".into(),
             procs: 4,
             errors,
@@ -305,17 +431,69 @@ mod tests {
             by_contam: vec![],
             uncontaminated: FiResult::new(),
             wall_secs: 0.0,
-        };
-        let names: Vec<String> = [
+            fault_model: FaultModelSpec::default(),
+            replicate: false,
+            due: 0,
+            detected: 0,
+            detection_coverage: None,
+        }
+    }
+
+    #[test]
+    fn file_names_distinguish_deployments() {
+        let mut variants: Vec<CampaignSummary> = [
             ErrorSpec::OneParallel,
             ErrorSpec::SerialErrors(16),
             ErrorSpec::OneParallelUnique,
             ErrorSpec::OneParallelMultiBit(3),
         ]
         .into_iter()
-        .map(|e| mk(e).file_name())
+        .map(summary)
         .collect();
+        // Every fault model (and replication) is its own deployment too.
+        for fm in FaultModelSpec::ALL {
+            let mut s = summary(ErrorSpec::OneParallel);
+            s.fault_model = fm;
+            variants.push(s);
+        }
+        let mut repl = summary(ErrorSpec::OneParallel);
+        repl.replicate = true;
+        variants.push(repl);
+        let names: Vec<String> = variants.iter().map(CampaignSummary::file_name).collect();
+        // The default-model variant appears twice by construction (first
+        // array + ALL[0]); dedup that one expected collision.
         let unique: std::collections::HashSet<&String> = names.iter().collect();
-        assert_eq!(unique.len(), names.len(), "{names:?}");
+        assert_eq!(unique.len(), names.len() - 1, "{names:?}");
+        assert!(names.iter().any(|n| n.contains("burst3")));
+        assert!(names.iter().any(|n| n.ends_with("_repl.json")));
+    }
+
+    /// Baseline summaries must serialize without any fault-model field:
+    /// the `resilim campaign` JSON of a default campaign is byte-identical
+    /// to what pre-fault-model builds emitted.
+    #[test]
+    fn baseline_summary_serializes_like_legacy() {
+        let s = summary(ErrorSpec::OneParallel);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("fault_model"), "{json}");
+        assert!(!json.contains("replicate"), "{json}");
+        assert!(!json.contains("detection_coverage"), "{json}");
+        // And a legacy record (no fault-model fields) loads with defaults.
+        let back: CampaignSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn modeled_summary_roundtrips_with_fault_fields() {
+        let mut s = summary(ErrorSpec::OneParallel);
+        s.fault_model = FaultModelSpec::Due;
+        s.replicate = true;
+        s.due = 12;
+        s.detected = 30;
+        s.detection_coverage = Some(0.75);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"fault_model\":\"due\""), "{json}");
+        let back: CampaignSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 }

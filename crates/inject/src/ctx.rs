@@ -76,11 +76,21 @@ pub struct CtxReport {
     pub contaminated: bool,
     /// Whether the hang guard tripped (op budget exceeded).
     pub hang_guard_tripped: bool,
+    /// Whether the corruption was detected on this rank — by a DUE kill or
+    /// a replica payload comparison (see [`note_msg_send`]).
+    pub detected: bool,
+    /// Wire (message-payload) faults fired while this rank was sending.
+    pub wire_fired: u64,
 }
 
 /// Panic payload message used by the hang guard; the runtime recognises it
 /// to classify the outcome as a hang rather than a crash.
 pub const HANG_GUARD_MSG: &str = "resilim: hang guard tripped (op budget exceeded)";
+
+/// Panic payload message used by a DUE (detected-uncorrectable error) rank
+/// kill; the runtime recognises it to classify the outcome as a Due
+/// failure rather than a crash.
+pub const DUE_MSG: &str = "resilim: detected uncorrectable error (rank killed)";
 
 /// Per-rank fault-injection context.
 pub struct RankCtx {
@@ -114,6 +124,18 @@ pub struct RankCtx {
     op_cap: u64,
     total_ops: u64,
     hang_guard_tripped: bool,
+    /// DUE semantics: panic (with [`DUE_MSG`]) at the firing op instead of
+    /// continuing with the corrupted value.
+    kill_on_fire: bool,
+    /// Replica-compare detection (TeaMPI-style): the shadow world doubles
+    /// as the clean replica, and every message payload is compared between
+    /// worlds at the send/receive points.
+    replicate: bool,
+    detected: bool,
+    /// Numeric messages this rank sent through the fabric.
+    msgs_sent: u64,
+    /// Wire faults fired on this rank's outgoing messages.
+    wire_fired: u64,
 }
 
 /// Whether a (corrupted, shadow) pair differs *significantly* at relative
@@ -158,6 +180,11 @@ impl RankCtx {
             op_cap: u64::MAX,
             total_ops: 0,
             hang_guard_tripped: false,
+            kill_on_fire: false,
+            replicate: false,
+            detected: false,
+            msgs_sent: 0,
+            wire_fired: 0,
         }
     }
 
@@ -199,6 +226,22 @@ impl RankCtx {
         self.op_mask
     }
 
+    /// Arm DUE semantics: a fired fault kills the rank (panic with
+    /// [`DUE_MSG`]) instead of silently continuing. The fault is recorded
+    /// and the rank marked contaminated before the kill.
+    pub fn with_kill_on_fire(mut self, kill: bool) -> Self {
+        self.kill_on_fire = kill;
+        self
+    }
+
+    /// Enable replica payload comparison: every message payload this rank
+    /// sends or receives is compared against the shadow (replica) world,
+    /// and the first significant divergence sets the `detected` flag.
+    pub fn with_replication(mut self, replicate: bool) -> Self {
+        self.replicate = replicate;
+        self
+    }
+
     /// Mark the rank contaminated if the value pair diverges significantly.
     #[inline]
     pub fn observe(&mut self, value: Tf64) {
@@ -236,6 +279,8 @@ impl RankCtx {
             planned: self.planned,
             contaminated: self.contaminated,
             hang_guard_tripped: self.hang_guard_tripped,
+            detected: self.detected,
+            wire_fired: self.wire_fired,
         }
     }
 
@@ -247,6 +292,7 @@ impl RankCtx {
             p.regions[i].injectable = self.injectable[i];
             p.regions[i].per_kind = self.per_kind[i];
         }
+        p.msgs_sent = self.msgs_sent;
         p
     }
 
@@ -281,6 +327,9 @@ struct ColdCtx {
     fired: Vec<FiredRecord>,
     planned: usize,
     hang_guard_tripped: bool,
+    /// DUE semantics: kill the rank at the firing op. Only read on the
+    /// already-cold fire paths.
+    kill_on_fire: bool,
 }
 
 /// The installed context in exploded form (see module docs): `Cell`s for
@@ -300,6 +349,12 @@ struct HotCtx {
     injectable: [Cell<u64>; 2],
     next_pending: [Cell<u64>; 2],
     per_kind: [[Cell<u64>; 5]; 2],
+    /// Replica-compare detection state. Touched per *message*, never per
+    /// op — the hook fast path does not read these.
+    replicate: Cell<bool>,
+    detected: Cell<bool>,
+    msgs_sent: Cell<u64>,
+    wire_fired: Cell<u64>,
 }
 
 impl HotCtx {
@@ -320,6 +375,10 @@ impl HotCtx {
                 self.per_kind[i][k].set(ctx.per_kind[i][k]);
             }
         }
+        self.replicate.set(ctx.replicate);
+        self.detected.set(ctx.detected);
+        self.msgs_sent.set(ctx.msgs_sent);
+        self.wire_fired.set(ctx.wire_fired);
         COLD.with(|c| {
             *c.borrow_mut() = ColdCtx {
                 rank: ctx.rank,
@@ -327,6 +386,7 @@ impl HotCtx {
                 fired: ctx.fired,
                 planned: ctx.planned,
                 hang_guard_tripped: ctx.hang_guard_tripped,
+                kill_on_fire: ctx.kill_on_fire,
             }
         });
     }
@@ -368,6 +428,11 @@ impl HotCtx {
             op_cap: self.op_cap.get(),
             total_ops: self.total_ops.get(),
             hang_guard_tripped: cold.hang_guard_tripped,
+            kill_on_fire: cold.kill_on_fire,
+            replicate: self.replicate.get(),
+            detected: self.detected.get(),
+            msgs_sent: self.msgs_sent.get(),
+            wire_fired: self.wire_fired.get(),
         })
     }
 }
@@ -390,6 +455,10 @@ thread_local! {
                 [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
                 [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
             ],
+            replicate: Cell::new(false),
+            detected: Cell::new(false),
+            msgs_sent: Cell::new(0),
+            wire_fired: Cell::new(0),
         }
     };
 
@@ -402,6 +471,7 @@ thread_local! {
             fired: Vec::new(),
             planned: 0,
             hang_guard_tripped: false,
+            kill_on_fire: false,
         })
     };
 }
@@ -476,17 +546,101 @@ pub fn note_taint(tainted: bool) {
 /// contamination).
 pub fn note_values(values: &[Tf64]) {
     ACTIVE.with(|h| {
-        if !h.installed.get() || h.contaminated.get() {
+        if !h.installed.get() {
+            return;
+        }
+        // Two consumers of the same scan: contamination marking (first
+        // divergent value held) and replica-compare detection (receive-side
+        // compare point under `--replicate`). Each latches, so once both
+        // have latched the scan is skipped entirely.
+        let need_mark = !h.contaminated.get();
+        let need_detect = h.replicate.get() && !h.detected.get();
+        if !need_mark && !need_detect {
             return;
         }
         let theta = h.taint_threshold.get();
         for &v in values {
             if v.is_tainted() && significant_divergence(v.value(), v.shadow(), theta) {
-                contaminate(h);
+                if need_mark {
+                    contaminate(h);
+                }
+                if need_detect {
+                    replica_detect(h);
+                }
                 break;
             }
         }
     });
+}
+
+/// Note an outgoing numeric message on the current rank's context: counts
+/// it into the per-rank send profile (the sample space of the
+/// message-corruption fault model) and, under replication, compares the
+/// payload against the shadow replica (send-side compare point). Returns
+/// the zero-based index of this message among the rank's sends, or `None`
+/// when no context is installed.
+///
+/// The fabric calls this *before* applying any wire corruption: the
+/// replica compare sees what the application handed to the network, and
+/// corruption on the wire is only observable at the receiver.
+pub fn note_msg_send(values: &[Tf64]) -> Option<u64> {
+    ACTIVE.with(|h| {
+        if !h.installed.get() {
+            return None;
+        }
+        let idx = h.msgs_sent.get();
+        h.msgs_sent.set(idx + 1);
+        if h.replicate.get() && !h.detected.get() {
+            let theta = h.taint_threshold.get();
+            for &v in values {
+                if v.is_tainted() && significant_divergence(v.value(), v.shadow(), theta) {
+                    replica_detect(h);
+                    break;
+                }
+            }
+        }
+        Some(idx)
+    })
+}
+
+/// Record a wire (message-payload) fault fired on one of this rank's
+/// outgoing messages. Called by the fabric after corrupting the payload.
+pub fn note_wire_fired(msg_index: u64, bit: u8) {
+    ACTIVE.with(|h| {
+        if !h.installed.get() {
+            return;
+        }
+        h.wire_fired.set(h.wire_fired.get() + 1);
+        #[cfg(feature = "obs")]
+        if obs::enabled() {
+            obs::count(obs::Counter::MsgFaultsFired, 1);
+            obs::emit(&obs::Event::WireFaultFired {
+                rank: COLD.with(|c| c.borrow().rank),
+                msg_index,
+                bit,
+            });
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (msg_index, bit);
+    });
+}
+
+/// First replica-compare detection (idempotent). Must not be called while
+/// the cold half is borrowed.
+#[cold]
+#[inline(never)]
+fn replica_detect(h: &HotCtx) {
+    if h.detected.get() {
+        return;
+    }
+    h.detected.set(true);
+    #[cfg(feature = "obs")]
+    if obs::enabled() {
+        obs::count(obs::Counter::ReplicaDetections, 1);
+        obs::emit(&obs::Event::ReplicaDetection {
+            rank: COLD.with(|c| c.borrow().rank),
+        });
+    }
 }
 
 /// First-contamination marking (idempotent). Must not be called while the
@@ -551,6 +705,25 @@ fn hang_trip(_h: &HotCtx) -> ! {
         }
     });
     panic!("{HANG_GUARD_MSG}");
+}
+
+/// DUE rank kill: the hardware detected the corruption and halted the
+/// rank. The firing was already recorded and contamination marked; all
+/// cold borrows are released before the panic so harvest sees a
+/// consistent context.
+#[cold]
+#[inline(never)]
+fn due_trip(h: &HotCtx) -> ! {
+    // The kill is itself a detection event.
+    h.detected.set(true);
+    #[cfg(feature = "obs")]
+    if obs::enabled() {
+        obs::count(obs::Counter::DueKills, 1);
+        obs::emit(&obs::Event::DueKill {
+            rank: COLD.with(|c| c.borrow().rank),
+        });
+    }
+    panic!("{DUE_MSG}");
 }
 
 /// Divergent-result observation: mark contamination when the divergence is
@@ -641,8 +814,10 @@ fn fire_binop(
     f: &impl Fn(f64, f64) -> f64,
 ) -> Tf64 {
     let mut recs: InlineVec<(Target, f64, f64), 8> = InlineVec::new();
+    let mut kill = false;
     COLD.with(|c| {
         let mut cold = c.borrow_mut();
+        kill = cold.kill_on_fire;
         while matches!(cold.queues[r].front(), Some(t) if t.op_index == idx) {
             let t = cold.queues[r].pop_front().expect("front just matched");
             // Apply input-operand flips to the corrupted world only;
@@ -696,6 +871,9 @@ fn fire_binop(
             }
             contaminate_cold(h, &cold);
         });
+        if kill {
+            due_trip(h);
+        }
     }
 
     if v.to_bits() != sh.to_bits() && !h.contaminated.get() {
@@ -744,8 +922,10 @@ fn fire_unop(
     f: &impl Fn(f64) -> f64,
 ) -> Tf64 {
     let mut due: InlineVec<Target, 8> = InlineVec::new();
+    let mut kill = false;
     COLD.with(|c| {
         let mut cold = c.borrow_mut();
+        kill = cold.kill_on_fire;
         while matches!(cold.queues[r].front(), Some(t) if t.op_index == idx) {
             due.push(cold.queues[r].pop_front().expect("front just matched"));
         }
@@ -811,6 +991,10 @@ fn fire_unop(
             }
             contaminate_cold(h, &cold);
         });
+    }
+
+    if kill && !due.is_empty() {
+        due_trip(h);
     }
 
     if v.to_bits() != sh.to_bits() && !h.contaminated.get() {
@@ -1061,6 +1245,94 @@ mod tests {
         assert!(msg.contains("hang guard"));
         let report = take().unwrap().into_report();
         assert!(report.hang_guard_tripped);
+    }
+
+    #[test]
+    fn due_kill_panics_at_firing_op_with_recognisable_payload() {
+        let plan = InjectionPlan::single(target(Region::Common, 1, 55, Operand::A));
+        let prev = install(RankCtx::new(0, plan).with_kill_on_fire(true));
+        assert!(prev.is_none());
+        let result = std::panic::catch_unwind(|| {
+            let a = Tf64::new(1.0);
+            let b = a + a; // idx 0: clean
+            let c = b + a; // idx 1: fires -> rank killed
+            c
+        });
+        assert!(result.is_err());
+        let msg = result
+            .unwrap_err()
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, DUE_MSG);
+        let report = take().unwrap().into_report();
+        // The firing was recorded and contamination marked before the kill,
+        // and the kill counts as a detection.
+        assert_eq!(report.fired.len(), 1);
+        assert!(report.contaminated);
+        assert!(report.detected);
+    }
+
+    #[test]
+    fn due_kill_is_inert_when_nothing_fires() {
+        let plan = InjectionPlan::single(target(Region::Common, 100, 5, Operand::A));
+        let (_, report) = with_clean_ctx(RankCtx::new(0, plan).with_kill_on_fire(true), || {
+            let a = Tf64::new(1.0);
+            let _ = a + a; // target at 100 never reached
+        });
+        assert!(report.fired.is_empty());
+        assert!(!report.detected);
+    }
+
+    #[test]
+    fn note_msg_send_counts_messages() {
+        let (idx, report) = with_clean_ctx(RankCtx::profiling(0), || {
+            let vals = [Tf64::new(1.0), Tf64::new(2.0)];
+            assert_eq!(note_msg_send(&vals), Some(0));
+            assert_eq!(note_msg_send(&vals), Some(1));
+            note_msg_send(&vals)
+        });
+        assert_eq!(idx, Some(2));
+        assert_eq!(report.profile.msgs_sent, 3);
+        assert!(!report.detected);
+        // Without a context the fabric gets no index back.
+        assert_eq!(note_msg_send(&[Tf64::new(1.0)]), None);
+    }
+
+    #[test]
+    fn replication_detects_divergent_payloads_at_both_compare_points() {
+        // Send side: a tainted value in an outgoing payload is caught.
+        let (_, report) = with_clean_ctx(RankCtx::profiling(0).with_replication(true), || {
+            note_msg_send(&[Tf64::new(1.0), Tf64::from_parts(2.5, 2.0)]);
+        });
+        assert!(report.detected);
+
+        // Receive side: note_values catches it too, alongside the usual
+        // contamination marking.
+        let (_, report) = with_clean_ctx(RankCtx::profiling(1).with_replication(true), || {
+            note_values(&[Tf64::from_parts(3.5, 3.0)]);
+        });
+        assert!(report.detected);
+        assert!(report.contaminated);
+
+        // Without replication the same payloads contaminate but never detect.
+        let (_, report) = with_clean_ctx(RankCtx::profiling(2), || {
+            note_msg_send(&[Tf64::from_parts(2.5, 2.0)]);
+            note_values(&[Tf64::from_parts(3.5, 3.0)]);
+        });
+        assert!(!report.detected);
+        assert!(report.contaminated);
+    }
+
+    #[test]
+    fn wire_fired_is_counted_and_survives_roundtrip() {
+        let (_, report) = with_clean_ctx(RankCtx::profiling(0), || {
+            note_wire_fired(4, 17);
+            let mid = take().unwrap();
+            install(mid); // explode/re-pack must preserve the counter
+            note_wire_fired(9, 3);
+        });
+        assert_eq!(report.wire_fired, 2);
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //! ```
 
 pub mod ctx;
+pub mod fault;
 pub mod mask;
 pub mod outcome;
 pub mod plan;
@@ -62,6 +63,7 @@ mod smallbuf;
 pub mod tf64;
 
 pub use ctx::{CtxReport, FiredRecord, RankCtx};
+pub use fault::{FaultModel, FaultModelSpec};
 pub use mask::OpMask;
 pub use outcome::{FailureKind, OutcomeKind, TestOutcome};
 pub use plan::{FaultPattern, InjectionPlan, Operand, Target};

@@ -18,6 +18,10 @@ pub enum FailureKind {
     /// The hang guard tripped: the run executed far more FP ops than the
     /// fault-free run, or a receive timed out.
     Hang,
+    /// A detected-uncorrectable error killed a rank (`--fault-model due`):
+    /// the hardware flagged the corruption and halted the rank instead of
+    /// letting it continue with a wrong value.
+    Due,
 }
 
 /// The three paper-defined outcome classes.
@@ -72,6 +76,11 @@ pub struct TestOutcome {
     pub contaminated_ranks: usize,
     /// Number of planned faults that actually fired.
     pub injections_fired: usize,
+    /// Whether the corruption was *detected* during the run — by the DUE
+    /// machinery (the kill is the detection) or by a replica payload
+    /// comparison under `--replicate`. Always `false` for undetectable
+    /// silent corruption without a detector deployed.
+    pub detected: bool,
 }
 
 impl TestOutcome {
@@ -83,6 +92,7 @@ impl TestOutcome {
             masked,
             contaminated_ranks: contaminated,
             injections_fired: fired,
+            detected: false,
         }
     }
 
@@ -94,6 +104,7 @@ impl TestOutcome {
             masked: false,
             contaminated_ranks: contaminated,
             injections_fired: fired,
+            detected: false,
         }
     }
 
@@ -105,7 +116,15 @@ impl TestOutcome {
             masked: false,
             contaminated_ranks: contaminated,
             injections_fired: fired,
+            detected: false,
         }
+    }
+
+    /// Mark whether the corruption was detected (DUE kill or replica
+    /// payload comparison).
+    pub fn with_detected(mut self, detected: bool) -> Self {
+        self.detected = detected;
+        self
     }
 
     /// Causality invariant every recorded outcome must satisfy: a test
@@ -116,7 +135,15 @@ impl TestOutcome {
     pub fn is_causally_consistent(&self) -> bool {
         let fired_implies_taint = self.injections_fired > 0 || self.contaminated_ranks == 0;
         let failure_detail_matches = (self.kind == OutcomeKind::Failure) == self.failure.is_some();
-        fired_implies_taint && failure_detail_matches
+        // Detection is an observation of a real corruption: it cannot
+        // happen in a trial where nothing fired. And a DUE kill *is* a
+        // detection, so a Due failure must carry `detected`.
+        let detected_implies_fired = !self.detected || self.injections_fired > 0;
+        let due_implies_detected = self.failure != Some(FailureKind::Due) || self.detected;
+        fired_implies_taint
+            && failure_detail_matches
+            && detected_implies_fired
+            && due_implies_detected
     }
 }
 
@@ -165,6 +192,22 @@ mod tests {
         let mut missing = TestOutcome::failure(FailureKind::Hang, 1, 1);
         missing.failure = None;
         assert!(!missing.is_causally_consistent());
+    }
+
+    #[test]
+    fn detection_causality() {
+        // A DUE kill is itself a detection event.
+        let due = TestOutcome::failure(FailureKind::Due, 1, 1);
+        assert!(!due.is_causally_consistent());
+        assert!(due.with_detected(true).is_causally_consistent());
+        // Replica detection on a fired trial is fine; detection with no
+        // fired injection is impossible.
+        assert!(TestOutcome::sdc(2, 1)
+            .with_detected(true)
+            .is_causally_consistent());
+        assert!(!TestOutcome::success(true, 0, 0)
+            .with_detected(true)
+            .is_causally_consistent());
     }
 
     #[test]

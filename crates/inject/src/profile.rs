@@ -94,6 +94,11 @@ impl RegionCounts {
 pub struct OpProfile {
     /// Counts per region, indexed by [`Region::index`].
     pub regions: [RegionCounts; 2],
+    /// Numeric (F64-payload) messages this rank sent through the fabric.
+    /// The message-corruption fault model draws its injection site
+    /// uniformly from `0..msgs_sent` across ranks, exactly as op faults
+    /// draw from `0..injectable`.
+    pub msgs_sent: u64,
 }
 
 impl OpProfile {
@@ -140,6 +145,7 @@ impl OpProfile {
                 *m += *t;
             }
         }
+        self.msgs_sent += other.msgs_sent;
     }
 }
 
@@ -192,10 +198,13 @@ mod tests {
     #[test]
     fn merge_sums_counters() {
         let mut a = sample_profile();
-        let b = sample_profile();
+        a.msgs_sent = 5;
+        let mut b = sample_profile();
+        b.msgs_sent = 7;
         a.merge(&b);
         assert_eq!(a.injectable_total(), 200);
         assert_eq!(a.total(), 222);
+        assert_eq!(a.msgs_sent, 12);
         assert!((a.parallel_unique_share() - 0.10).abs() < 1e-12);
     }
 }

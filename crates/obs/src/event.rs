@@ -134,6 +134,28 @@ pub enum Event {
         /// Terminal state: `"done"` or `"cancelled"`.
         state: &'static str,
     },
+    /// A message-payload fault was applied on the wire
+    /// (`--fault-model msg`).
+    WireFaultFired {
+        /// Sending rank whose payload was corrupted.
+        rank: usize,
+        /// The sender's numeric-message index that was hit.
+        msg_index: u64,
+        /// Bit flipped in the chosen element.
+        bit: u8,
+    },
+    /// A rank was killed by a detected-uncorrectable error
+    /// (`--fault-model due`).
+    DueKill {
+        /// The killed rank.
+        rank: usize,
+    },
+    /// A replica payload comparison flagged a divergence
+    /// (`--replicate` detection).
+    ReplicaDetection {
+        /// Rank on which the comparison fired.
+        rank: usize,
+    },
     /// One shrink attempt while minimizing a failing check case.
     CheckShrink {
         /// Case index of the original failing case.
@@ -166,6 +188,9 @@ impl Event {
             Event::CheckCase { .. } => "check_case",
             Event::ServeSubmit { .. } => "serve_submit",
             Event::ServeCampaignDone { .. } => "serve_campaign_done",
+            Event::WireFaultFired { .. } => "wire_fault_fired",
+            Event::DueKill { .. } => "due_kill",
+            Event::ReplicaDetection { .. } => "replica_detection",
             Event::CheckShrink { .. } => "check_shrink",
         }
     }
@@ -215,8 +240,20 @@ impl Event {
                 line.num("op_index", *op_index);
                 line.num("bit", *bit as u64);
             }
-            Event::TaintBorn { rank } | Event::HangGuardTrip { rank } => {
+            Event::TaintBorn { rank }
+            | Event::HangGuardTrip { rank }
+            | Event::DueKill { rank }
+            | Event::ReplicaDetection { rank } => {
                 line.num("rank", *rank as u64);
+            }
+            Event::WireFaultFired {
+                rank,
+                msg_index,
+                bit,
+            } => {
+                line.num("rank", *rank as u64);
+                line.num("msg_index", *msg_index);
+                line.num("bit", *bit as u64);
             }
             Event::CacheLookup { cache, hit } => {
                 line.str("cache", cache);
@@ -439,6 +476,23 @@ mod tests {
             d.to_json(),
             "{\"ev\":\"serve_campaign_done\",\"id\":4,\"trials\":16,\"state\":\"done\"}"
         );
+    }
+
+    #[test]
+    fn fault_model_events_encode_all_fields() {
+        let w = Event::WireFaultFired {
+            rank: 1,
+            msg_index: 42,
+            bit: 55,
+        };
+        assert_eq!(
+            w.to_json(),
+            "{\"ev\":\"wire_fault_fired\",\"rank\":1,\"msg_index\":42,\"bit\":55}"
+        );
+        let d = Event::DueKill { rank: 3 };
+        assert_eq!(d.to_json(), "{\"ev\":\"due_kill\",\"rank\":3}");
+        let r = Event::ReplicaDetection { rank: 0 };
+        assert_eq!(r.to_json(), "{\"ev\":\"replica_detection\",\"rank\":0}");
     }
 
     #[test]

@@ -75,11 +75,19 @@ pub enum Counter {
     ServeCampaignsDone,
     /// Campaigns cancelled by a client before completion.
     ServeCampaignsCancelled,
+    /// Message-payload faults applied on the wire (`--fault-model msg`).
+    MsgFaultsFired,
+    /// Ranks killed by a detected-uncorrectable error
+    /// (`--fault-model due`).
+    DueKills,
+    /// Replica payload comparisons that flagged a divergence
+    /// (`--replicate` detection events, one per rank per trial).
+    ReplicaDetections,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 32] = [
         Counter::InjectionsFired,
         Counter::TaintBorn,
         Counter::OpsCommon,
@@ -109,6 +117,9 @@ impl Counter {
         Counter::ServeDedupHits,
         Counter::ServeCampaignsDone,
         Counter::ServeCampaignsCancelled,
+        Counter::MsgFaultsFired,
+        Counter::DueKills,
+        Counter::ReplicaDetections,
     ];
 
     /// Stable snake_case name (used in reports and traces).
@@ -143,6 +154,9 @@ impl Counter {
             Counter::ServeDedupHits => "serve_dedup_hits",
             Counter::ServeCampaignsDone => "serve_campaigns_done",
             Counter::ServeCampaignsCancelled => "serve_campaigns_cancelled",
+            Counter::MsgFaultsFired => "msg_faults_fired",
+            Counter::DueKills => "due_kills",
+            Counter::ReplicaDetections => "replica_detections",
         }
     }
 }

@@ -11,6 +11,7 @@
 use resilim_apps::App;
 use resilim_core::StopRule;
 use resilim_harness::{CampaignSpec, CampaignSummary, ErrorSpec};
+use resilim_inject::FaultModelSpec;
 use serde::{Deserialize, Serialize};
 
 /// Wire protocol version. Bump on incompatible changes; the daemon
@@ -40,6 +41,12 @@ pub struct SubmitSpec {
     /// Minimum trials before adaptive stopping may fire
     /// (`--min-tests`); only meaningful with `ci`.
     pub min_tests: Option<u64>,
+    /// Fault model, CLI spelling (`--fault-model`; see
+    /// [`resilim_inject::FaultModelSpec::parse`]). Absent = the default
+    /// single-bit flip, so pre-fault-model clients keep working.
+    pub fault_model: Option<String>,
+    /// Rank replication (`--replicate`). Absent reads as `false`.
+    pub replicate: Option<bool>,
 }
 
 impl SubmitSpec {
@@ -60,13 +67,20 @@ impl SubmitSpec {
             return Err("tests must be >= 1".into());
         }
         let errors = ErrorSpec::parse(&self.errors, self.procs)?;
+        let fault_model = match &self.fault_model {
+            None => FaultModelSpec::default(),
+            Some(name) => FaultModelSpec::parse(name)?,
+        };
+        resilim_harness::validate_fault_model(fault_model, errors, self.procs)?;
         let mut spec = CampaignSpec::new(
             app.default_spec(),
             self.procs,
             errors,
             self.tests,
             self.seed,
-        );
+        )
+        .with_fault_model(fault_model)
+        .with_replication(self.replicate.unwrap_or(false));
         if let Some(ci) = self.ci {
             if !ci.is_finite() || ci <= 0.0 || ci >= 0.5 {
                 return Err("ci must be a half-width in (0, 0.5)".into());
@@ -94,6 +108,10 @@ impl SubmitSpec {
             seed: spec.seed,
             ci: spec.stop.map(|rule| rule.ci_halfwidth),
             min_tests: spec.stop.map(|rule| rule.min_tests),
+            // Defaults read back as `None`, matching a submission that
+            // never mentioned the fields (pre-fault-model clients).
+            fault_model: (!spec.fault_model.is_default()).then(|| spec.fault_model.cli_name()),
+            replicate: spec.replicate.then_some(true),
         }
     }
 }
@@ -321,6 +339,8 @@ mod tests {
             seed: 7,
             ci: None,
             min_tests: None,
+            fault_model: None,
+            replicate: None,
         }
     }
 
@@ -396,6 +416,35 @@ mod tests {
         assert!(bad(|s| s.min_tests = Some(5)).contains("needs ci"));
         // ser:N requires a serial deployment, same as the CLI.
         assert!(bad(|s| s.errors = "ser:2".into()).contains("--scale 1"));
+        // Fault-model combinations are rejected by the shared harness
+        // validator, exactly like the CLI front end.
+        assert!(bad(|s| s.fault_model = Some("bogus".into())).contains("unknown fault model"));
+        assert!(bad(|s| {
+            s.fault_model = Some("burst:3".into());
+            s.errors = "unique".into();
+        })
+        .contains("errors=par"));
+        assert!(bad(|s| {
+            s.fault_model = Some("msg".into());
+            s.procs = 1;
+        })
+        .contains(">= 2 ranks"));
+    }
+
+    #[test]
+    fn submit_spec_carries_fault_model_and_replication() {
+        let mut wire = spec();
+        wire.fault_model = Some("due".into());
+        wire.replicate = Some(true);
+        let campaign = wire.to_campaign().unwrap();
+        assert_eq!(campaign.fault_model, FaultModelSpec::Due);
+        assert!(campaign.replicate);
+        assert_eq!(SubmitSpec::of_campaign(&campaign), wire);
+
+        // A baseline campaign reads back with both fields `None`, the
+        // same shape a pre-fault-model client would have submitted.
+        let baseline = SubmitSpec::of_campaign(&spec().to_campaign().unwrap());
+        assert_eq!(baseline, spec());
     }
 
     #[test]
@@ -405,6 +454,8 @@ mod tests {
         let spec = req.spec.unwrap();
         assert_eq!(spec.ci, None);
         assert_eq!(spec.min_tests, None);
+        assert_eq!(spec.fault_model, None);
+        assert_eq!(spec.replicate, None);
         assert!(spec.to_campaign().is_ok());
     }
 }

@@ -95,6 +95,58 @@ impl<T: Send> ExecBackend<T> for SpawnedBackend {
     }
 }
 
+/// Boxed backends are backends: campaign runners hold
+/// `Box<dyn ExecBackend<T>>` and wrappers like [`ReplicatedBackend`] can
+/// compose over them without knowing the concrete inner type.
+impl<T: Send, B: ExecBackend<T> + ?Sized> ExecBackend<T> for Box<B> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn run(
+        &self,
+        world: &World,
+        mk_ctx: &CtxFactory<'_>,
+        body: &RankBody<'_, T>,
+    ) -> (Vec<RankOutcome<T>>, bool) {
+        (**self).run(world, mk_ctx, body)
+    }
+}
+
+/// TeaMPI-style rank replication as a backend wrapper: every rank context
+/// is armed with replica payload comparison ([`RankCtx::with_replication`]),
+/// so the shadow world acts as the clean replica and message payloads are
+/// compared between worlds at every send and receive point. Divergence
+/// surfaces as the `detected` flag in the rank's context report — the
+/// mitigation *detects* corruption, it never alters execution, so outcomes
+/// are bitwise identical to the unreplicated run modulo that flag.
+pub struct ReplicatedBackend<B> {
+    inner: B,
+}
+
+impl<B> ReplicatedBackend<B> {
+    /// Wrap a backend with replica payload comparison.
+    pub fn new(inner: B) -> ReplicatedBackend<B> {
+        ReplicatedBackend { inner }
+    }
+}
+
+impl<T: Send, B: ExecBackend<T>> ExecBackend<T> for ReplicatedBackend<B> {
+    fn name(&self) -> &'static str {
+        "replicated"
+    }
+
+    fn run(
+        &self,
+        world: &World,
+        mk_ctx: &CtxFactory<'_>,
+        body: &RankBody<'_, T>,
+    ) -> (Vec<RankOutcome<T>>, bool) {
+        let replicated = move |rank: usize| mk_ctx(rank).map(|c| c.with_replication(true));
+        self.inner.run(world, &replicated, body)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +174,52 @@ mod tests {
         assert_eq!(pooled, spawned);
         assert_eq!(ExecBackend::<f64>::name(&PooledBackend::new()), "pooled");
         assert_eq!(ExecBackend::<f64>::name(&SpawnedBackend), "spawned");
+    }
+
+    #[test]
+    fn boxed_backend_delegates() {
+        let boxed: Box<dyn ExecBackend<f64>> = Box::new(PooledBackend::new());
+        assert_eq!(boxed.name(), "pooled");
+        assert_eq!(sum_under(&boxed), vec![10.0; 4]);
+    }
+
+    #[test]
+    fn replicated_backend_detects_divergent_payloads() {
+        use resilim_inject::{InjectionPlan, Operand, Region, Target};
+        let world = World::new(2);
+        let mk_ctx = |rank: usize| {
+            let plan = if rank == 0 {
+                InjectionPlan::single(Target {
+                    region: Region::Common,
+                    op_index: 0,
+                    bit: 55,
+                    operand: Operand::A,
+                })
+            } else {
+                InjectionPlan::none()
+            };
+            Some(resilim_inject::RankCtx::new(rank, plan))
+        };
+        let body = |comm: &Comm| {
+            let mine = Tf64::new(1.0) + Tf64::new(2.0); // corrupted on rank 0
+            comm.allreduce_scalar(ReduceOp::Sum, mine).value()
+        };
+
+        let backend = ReplicatedBackend::new(PooledBackend::new());
+        assert_eq!(ExecBackend::<f64>::name(&backend), "replicated");
+        let (outcomes, tripped) = backend.run(&world, &mk_ctx, &body);
+        assert!(!tripped);
+        // The corrupted payload crossed the fabric: both the sender's and
+        // the receiver's replica compare points saw the divergence.
+        for o in &outcomes {
+            assert!(o.ctx_report.as_ref().unwrap().detected, "rank {}", o.rank);
+        }
+
+        // Replication only observes: values are identical to the plain run.
+        let (plain, _) = PooledBackend::new().run(&world, &mk_ctx, &body);
+        for (r, p) in outcomes.iter().zip(plain.iter()) {
+            assert_eq!(r.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+            assert!(!p.ctx_report.as_ref().unwrap().detected);
+        }
     }
 }

@@ -72,6 +72,9 @@ pub enum PanicKind {
     /// Secondary failure: this rank died only because the fabric was
     /// poisoned by another rank's failure.
     FabricDead,
+    /// A detected-uncorrectable error killed the rank
+    /// (`--fault-model due`).
+    Due,
     /// Any other panic: models an application crash.
     Crash,
 }
@@ -101,6 +104,8 @@ impl RankPanic {
             PanicKind::RecvTimeout
         } else if message.contains(FABRIC_DEAD_MSG) {
             PanicKind::FabricDead
+        } else if message.contains(resilim_inject::ctx::DUE_MSG) {
+            PanicKind::Due
         } else {
             PanicKind::Crash
         };
@@ -136,6 +141,11 @@ mod tests {
     #[test]
     fn classify_fabric_dead() {
         assert_eq!(classify(FABRIC_DEAD_MSG), PanicKind::FabricDead);
+    }
+
+    #[test]
+    fn classify_due() {
+        assert_eq!(classify(resilim_inject::ctx::DUE_MSG), PanicKind::Due);
     }
 
     #[test]

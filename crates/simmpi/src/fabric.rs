@@ -32,6 +32,25 @@ fn note_recv(payload: &Payload) {
     }
 }
 
+/// A planned wire fault (`--fault-model msg`): flip `bit` of one element
+/// of the `msg_index`-th numeric message sent by rank `src`.
+///
+/// The corruption happens *on the wire*: the sender's replica compare
+/// point ([`resilim_inject::ctx::note_msg_send`]) sees the payload before
+/// the flip, so only the receiver can observe it. The element is selected
+/// as `elem_sel % len`, so one uniform draw covers payloads of any length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgFault {
+    /// Sending rank whose message is corrupted.
+    pub src: usize,
+    /// Zero-based index among that rank's numeric sends.
+    pub msg_index: u64,
+    /// Element selector, reduced modulo the payload length.
+    pub elem_sel: u64,
+    /// Bit to flip in the element's IEEE-754 representation (0..64).
+    pub bit: u8,
+}
+
 /// A message in flight.
 #[derive(Debug)]
 pub struct Envelope {
@@ -54,11 +73,17 @@ pub struct Fabric {
     boxes: Vec<Mailbox>,
     dead: AtomicBool,
     timeout: Duration,
+    msg_fault: Option<MsgFault>,
 }
 
 impl Fabric {
     /// A fabric for `size` ranks with the given receive timeout.
     pub fn new(size: usize, timeout: Duration) -> Fabric {
+        Fabric::with_fault(size, timeout, None)
+    }
+
+    /// A fabric with an armed wire fault (see [`MsgFault`]).
+    pub fn with_fault(size: usize, timeout: Duration, msg_fault: Option<MsgFault>) -> Fabric {
         Fabric {
             boxes: (0..size)
                 .map(|_| Mailbox {
@@ -68,6 +93,7 @@ impl Fabric {
                 .collect(),
             dead: AtomicBool::new(false),
             timeout,
+            msg_fault,
         }
     }
 
@@ -92,6 +118,30 @@ impl Fabric {
         }
     }
 
+    /// Route an outgoing payload through the sender-side hooks: count the
+    /// numeric send into the rank's profile (and replica-compare it), then
+    /// apply the armed wire fault if this is its message. Order matters —
+    /// the replica compare must see the pre-corruption payload.
+    fn outbound(&self, src: usize, payload: Payload) -> Payload {
+        match payload {
+            Payload::F64(mut values) => {
+                let idx = resilim_inject::ctx::note_msg_send(&values);
+                if let (Some(idx), Some(fault)) = (idx, self.msg_fault) {
+                    if fault.src == src && fault.msg_index == idx && !values.is_empty() {
+                        let e = (fault.elem_sel % values.len() as u64) as usize;
+                        let v = values[e];
+                        let corrupted =
+                            f64::from_bits(v.value().to_bits() ^ (1u64 << (fault.bit & 63)));
+                        values[e] = resilim_inject::Tf64::from_parts(corrupted, v.shadow());
+                        resilim_inject::ctx::note_wire_fired(idx, fault.bit & 63);
+                    }
+                }
+                Payload::F64(values)
+            }
+            p => p,
+        }
+    }
+
     /// Deliver a message to `dst`'s mailbox. Never blocks.
     pub fn send(&self, src: usize, dst: usize, tag: u64, payload: Payload) -> Result<(), MpiError> {
         if self.is_dead() {
@@ -101,6 +151,7 @@ impl Fabric {
             rank: dst,
             size: self.size(),
         })?;
+        let payload = self.outbound(src, payload);
         #[cfg(feature = "obs")]
         if obs::enabled() {
             obs::count(obs::Counter::MsgsSent, 1);
@@ -240,5 +291,61 @@ mod tests {
             f.send(0, 5, 0, Payload::Bytes(vec![])),
             Err(MpiError::InvalidRank { rank: 5, size: 2 })
         ));
+    }
+
+    #[test]
+    fn armed_wire_fault_corrupts_the_indexed_message_only() {
+        use resilim_inject::{ctx, RankCtx};
+        let fault = MsgFault {
+            src: 0,
+            msg_index: 1,
+            elem_sel: 5,
+            bit: 52,
+        };
+        let f = Arc::new(Fabric::with_fault(
+            2,
+            Duration::from_millis(200),
+            Some(fault),
+        ));
+        let prev = ctx::install(RankCtx::profiling(0));
+        assert!(prev.is_none(), "leaked context from another test");
+        let msg = || Payload::F64(vec![Tf64::new(1.0), Tf64::new(2.0)]);
+        f.send(0, 1, 0, msg()).unwrap(); // send 0: clean
+        f.send(0, 1, 1, msg()).unwrap(); // send 1: corrupted on the wire
+        f.send(0, 1, 2, Payload::Bytes(vec![9])).unwrap(); // not numeric: uncounted
+        let report = ctx::take().unwrap().into_report();
+        assert_eq!(report.profile.msgs_sent, 2);
+        assert_eq!(report.wire_fired, 1);
+        // The sender never saw the corruption (it happened on the wire).
+        assert!(!report.detected);
+
+        let clean = f.recv(1, 0, 0).unwrap().into_f64().unwrap();
+        assert!(clean.iter().all(|v| !v.is_tainted()));
+        let bad = f.recv(1, 0, 1).unwrap().into_f64().unwrap();
+        // elem_sel 5 % len 2 = element 1; shadow keeps the true value.
+        assert!(!bad[0].is_tainted());
+        assert!(bad[1].is_tainted());
+        assert_eq!(bad[1].shadow(), 2.0);
+        assert_eq!(bad[1].value(), f64::from_bits(2.0f64.to_bits() ^ (1 << 52)));
+    }
+
+    #[test]
+    fn wire_fault_without_context_stays_unarmed() {
+        // Golden (profiling-free) sends outside a rank context must not
+        // consume the fault: there is no message index to match.
+        let fault = MsgFault {
+            src: 0,
+            msg_index: 0,
+            elem_sel: 0,
+            bit: 52,
+        };
+        let f = Arc::new(Fabric::with_fault(
+            2,
+            Duration::from_millis(200),
+            Some(fault),
+        ));
+        f.send(0, 1, 0, Payload::F64(vec![Tf64::new(1.0)])).unwrap();
+        let p = f.recv(1, 0, 0).unwrap().into_f64().unwrap();
+        assert!(!p[0].is_tainted());
     }
 }

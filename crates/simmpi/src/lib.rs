@@ -40,9 +40,10 @@ pub mod payload;
 pub mod pool;
 pub mod world;
 
-pub use backend::{ExecBackend, PooledBackend, SpawnedBackend};
+pub use backend::{ExecBackend, PooledBackend, ReplicatedBackend, SpawnedBackend};
 pub use comm::{Comm, ReduceOp};
 pub use error::{MpiError, PanicKind, RankPanic};
+pub use fabric::MsgFault;
 pub use payload::Payload;
 pub use pool::WorldPool;
 pub use world::{RankOutcome, World, WorldConfig};

@@ -49,6 +49,7 @@ pub struct RankOutcome<T> {
 pub struct World {
     size: usize,
     cfg: WorldConfig,
+    msg_fault: Option<crate::fabric::MsgFault>,
 }
 
 thread_local! {
@@ -80,7 +81,18 @@ impl World {
     /// A world of `size` ranks with explicit configuration.
     pub fn with_config(size: usize, cfg: WorldConfig) -> World {
         assert!(size >= 1, "a world needs at least one rank");
-        World { size, cfg }
+        World {
+            size,
+            cfg,
+            msg_fault: None,
+        }
+    }
+
+    /// Arm a wire fault: every fabric this world creates corrupts the
+    /// matching message (see [`crate::fabric::MsgFault`]).
+    pub fn with_msg_fault(mut self, fault: Option<crate::fabric::MsgFault>) -> World {
+        self.msg_fault = fault;
+        self
     }
 
     /// Number of ranks.
@@ -173,7 +185,7 @@ impl World {
         M: Fn(usize) -> Option<RankCtx> + Send + Sync,
     {
         install_quiet_hook();
-        let fabric = Fabric::new(self.size, self.cfg.recv_timeout);
+        let fabric = Fabric::with_fault(self.size, self.cfg.recv_timeout, self.msg_fault);
         let slots: Vec<Mutex<Option<RankOutcome<T>>>> =
             (0..self.size).map(|_| Mutex::new(None)).collect();
 
@@ -238,7 +250,7 @@ impl World {
         M: Fn(usize) -> Option<RankCtx> + Send + Sync,
     {
         install_quiet_hook();
-        let fabric = Fabric::new(self.size, self.cfg.recv_timeout);
+        let fabric = Fabric::with_fault(self.size, self.cfg.recv_timeout, self.msg_fault);
         let mut outcomes: Vec<Option<RankOutcome<T>>> = Vec::new();
         for _ in 0..self.size {
             outcomes.push(None);
