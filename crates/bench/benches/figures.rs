@@ -14,6 +14,7 @@ use resilim_harness::{experiments, CampaignRunner};
 use std::time::Instant;
 
 fn main() {
+    resilim_core::verifies!(FIG3, FIG8, O3, O4);
     let cfg = bench_config();
     let runner = CampaignRunner::new();
     println!(

@@ -12,6 +12,7 @@ use resilim_harness::{experiments, CampaignRunner};
 use std::time::Instant;
 
 fn main() {
+    resilim_core::verifies!(TABLE1, TABLE2, O1, O2, O3);
     let cfg = bench_config();
     let runner = CampaignRunner::new();
     println!(

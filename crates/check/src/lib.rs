@@ -28,6 +28,11 @@
 //!   fewer ranks → smaller app → simpler plan), re-checking only the
 //!   violated oracle.
 //!
+//! * [`trace`] — the claims-to-oracle traceability matrix: scans the
+//!   workspace for `verifies!` attestations, joins them against the
+//!   claims registry (`resilim_core::claims`), and renders the matrix
+//!   `resilim trace-matrix` commits as `docs/TRACEABILITY.md`.
+//!
 //! The CLI front-end is `resilim check` (`--smoke`, `--budget`,
 //! `--replay FILE`).
 
@@ -36,9 +41,11 @@ pub mod engine;
 pub mod ops;
 pub mod oracles;
 pub mod shrink;
+pub mod trace;
 
 pub use case::CaseSpec;
 pub use engine::{replay, run_check, CheckConfig, CheckReport, ReproRecord, REPRO_VERSION};
 pub use ops::{CoreOps, OffByOneBucket, SamplingOps};
 pub use oracles::{check_case, run_oracle, Oracle, Violation};
 pub use shrink::{shrink, ShrinkResult, MAX_SHRINK_ATTEMPTS};
+pub use trace::{build_matrix, scan_attestations, ArtifactKind, Attestation, Matrix};

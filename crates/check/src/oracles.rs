@@ -180,6 +180,7 @@ fn run_measured(case: &CaseSpec) -> Result<CampaignResult, Violation> {
 /// at the case's own scale and at a larger virtual scale (pure math —
 /// a mis-bucketing bug is caught without running a single campaign).
 fn bucket_cover(case: &CaseSpec, ops: &dyn SamplingOps) -> Result<(), Violation> {
+    resilim_core::verifies!(EQ7, EQ8);
     let o = Oracle::BucketCover;
     let virtual_p = (case.procs * 16).max(64);
     for (p, s) in [(case.procs, case.s), (virtual_p, case.s), (64, 8)] {
@@ -277,6 +278,7 @@ fn bucket_cover(case: &CaseSpec, ops: &dyn SamplingOps) -> Result<(), Violation>
 
 /// Distribution-sum and partition invariants of the measured campaign.
 fn distribution(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> {
+    resilim_core::verifies!(EQ2, EQ3);
     let o = Oracle::Distribution;
     let n = case.tests as u64;
     ensure!(
@@ -346,6 +348,7 @@ fn distribution(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> {
 /// propagation profile (metamorphic: real data, relations that must
 /// hold regardless of its values).
 fn grouping(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> {
+    resilim_core::verifies!(EQ5, O3, TABLE2);
     let o = Oracle::Grouping;
     let r = m.prop.r_vec();
     let sum: f64 = r.iter().sum();
@@ -442,6 +445,7 @@ fn replay_identity(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation>
 /// pipeline: a reordering bug, a dropped record, or a divergent
 /// accumulator shows up as streamed ≠ batch.
 fn streaming_identity(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> {
+    resilim_core::verifies!(INV_MERGE);
     let o = Oracle::StreamingIdentity;
     let spec = case.measured_campaign().map_err(|e| Violation::new(o, e))?;
     let compare = |name: &str, r: &CampaignResult| -> Result<(), Violation> {
@@ -680,6 +684,7 @@ pub fn divergence_bound(tests: usize) -> f64 {
 /// invariants, using the case's serial + small-scale campaigns as model
 /// inputs — the end-to-end differential test of the paper's pipeline.
 fn model_divergence(case: &CaseSpec, m: &CampaignResult) -> Result<(), Violation> {
+    resilim_core::verifies!(EQ1, EQ4, EQ6, O4);
     let o = Oracle::ModelDivergence;
     // Eq. 8 models the baseline single-bit-flip process; a measured
     // campaign under another fault model (or with a detector deployed)

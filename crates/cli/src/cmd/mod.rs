@@ -10,6 +10,7 @@ pub mod metrics;
 pub mod model;
 pub mod serve;
 pub mod tables;
+pub mod trace_matrix;
 
 use crate::opts::{usage, Options};
 use resilim_harness::CampaignRunner;
@@ -32,6 +33,7 @@ pub fn run_command(opts: &Options, runner: &CampaignRunner, command: &str) -> Re
         "model" => model::model(opts),
         "metrics" => metrics::metrics(opts),
         "check" => check::check(opts),
+        "trace-matrix" => trace_matrix::trace_matrix(opts),
         "serve" => serve::serve(opts),
         "submit" => serve::submit(opts),
         "status" => serve::status(opts),

@@ -1,0 +1,121 @@
+//! `resilim trace-matrix` — the claims-to-oracle traceability matrix.
+//!
+//! Scans the workspace for `verifies!` attestations, joins them against
+//! the claims registry, and renders the matrix (Markdown by default,
+//! `--json` for machines). Exits non-zero when any claim is unverified
+//! or any attestation names an unregistered claim, so coverage erosion
+//! fails CI rather than rotting silently.
+//!
+//! Modes:
+//!
+//! * default — print the matrix to stdout;
+//! * `--write FILE` — write the matrix to `FILE` (the committed copy
+//!   lives at `docs/TRACEABILITY.md`);
+//! * `--check` — re-render and require the committed copy (the
+//!   `--write` path, default `docs/TRACEABILITY.md`) to be
+//!   byte-identical; any drift is an error.
+
+use crate::opts::Options;
+use resilim_check::trace;
+use std::path::{Path, PathBuf};
+
+/// The committed matrix location, relative to the workspace root.
+const DEFAULT_MATRIX_PATH: &str = "docs/TRACEABILITY.md";
+
+/// A file whose presence identifies the workspace root.
+const ROOT_SENTINEL: &str = "crates/core/src/claims.rs";
+
+/// Resolve the workspace root: `--root` if given, else walk up from the
+/// current directory until the claims registry is found.
+fn resolve_root(opts: &Options) -> Result<PathBuf, String> {
+    if let Some(root) = &opts.root {
+        let root = PathBuf::from(root);
+        if root.join(ROOT_SENTINEL).exists() {
+            return Ok(root);
+        }
+        return Err(format!(
+            "--root {}: not a resilim workspace ({ROOT_SENTINEL} missing)",
+            root.display()
+        ));
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    for dir in cwd.ancestors() {
+        if dir.join(ROOT_SENTINEL).exists() {
+            return Ok(dir.to_path_buf());
+        }
+    }
+    Err(format!(
+        "no workspace root above {} (pass --root DIR)",
+        cwd.display()
+    ))
+}
+
+/// Run the subcommand.
+pub fn trace_matrix(opts: &Options) -> Result<(), String> {
+    let root = resolve_root(opts)?;
+    let attestations = trace::scan_attestations(&root).map_err(|e| format!("scan: {e}"))?;
+    let matrix = trace::build_matrix(attestations);
+    let rendered = if opts.json {
+        matrix.render_json()
+    } else {
+        matrix.render_markdown()
+    };
+
+    if opts.check_drift {
+        let target = committed_path(opts, &root);
+        let committed = std::fs::read_to_string(&target)
+            .map_err(|e| format!("{}: {e} (generate it with --write)", target.display()))?;
+        if committed != matrix.render_markdown() {
+            return Err(format!(
+                "{} is out of date: regenerate with `resilim trace-matrix --write {DEFAULT_MATRIX_PATH}`",
+                target.display()
+            ));
+        }
+        eprintln!("{} is in sync", target.display());
+    } else if let Some(path) = &opts.write {
+        let target = absolute_under(&root, path);
+        if let Some(parent) = target.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+        std::fs::write(&target, &rendered).map_err(|e| format!("{}: {e}", target.display()))?;
+        eprintln!("wrote {}", target.display());
+    } else {
+        print!("{rendered}");
+    }
+
+    // The exit-code contract, applied in every mode: an unverified
+    // claim or a dangling attestation is a failure even when the
+    // rendering itself succeeded.
+    if !matrix.is_clean() {
+        let mut why = Vec::new();
+        for claim in matrix.unverified() {
+            why.push(format!("claim {} has no attesting artifact", claim.id));
+        }
+        for att in &matrix.dangling {
+            why.push(format!(
+                "{}::{} attests unknown claim {}",
+                att.file, att.function, att.claim_id
+            ));
+        }
+        return Err(why.join("\n"));
+    }
+    Ok(())
+}
+
+/// The committed matrix path for `--check`: the `--write` value if
+/// given, else the default, both resolved under the root.
+fn committed_path(opts: &Options, root: &Path) -> PathBuf {
+    match &opts.write {
+        Some(path) => absolute_under(root, path),
+        None => root.join(DEFAULT_MATRIX_PATH),
+    }
+}
+
+fn absolute_under(root: &Path, path: &str) -> PathBuf {
+    let p = Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        root.join(p)
+    }
+}

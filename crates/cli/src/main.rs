@@ -22,6 +22,7 @@
 //!   model               predict from a --store directory (offline)
 //!   metrics             aggregate report from a --trace JSONL file
 //!   check               differential/metamorphic validation of the model
+//!   trace-matrix        claims-to-oracle traceability matrix (--write/--check)
 //!   serve               campaign daemon on a unix socket (--socket)
 //!   submit              submit a campaign to a daemon (--watch streams)
 //!   status              one campaign (--campaign ID) or the listing
@@ -38,6 +39,13 @@
 //! replayable with `--replay FILE`. `--inject-bug bucket-off-by-one`
 //! swaps in a deliberately broken bucket map to demonstrate the
 //! pipeline end to end.
+//!
+//! Traceability: `resilim trace-matrix` scans the workspace for
+//! `verifies!` attestations, joins them against the claims registry
+//! (`resilim_core::claims`), and renders the claims-to-oracle matrix
+//! (`--json` for machines). `--write docs/TRACEABILITY.md` refreshes
+//! the committed copy; `--check` fails on drift, on unverified claims,
+//! and on attestations naming unregistered claims.
 //!
 //! Adaptive stopping: `--adaptive` ends each campaign as soon as every
 //! outcome class's Wilson interval is narrower than `--ci HALFWIDTH`

@@ -75,11 +75,20 @@ pub struct Options {
     /// `submit`: stream progress and wait for the final summary
     /// (`--watch`).
     pub watch: bool,
+    /// `trace-matrix`: write the rendered matrix to this path instead
+    /// of stdout (`--write docs/TRACEABILITY.md`).
+    pub write: Option<String>,
+    /// `trace-matrix`: compare the committed matrix against a fresh
+    /// render and fail on drift (`--check`).
+    pub check_drift: bool,
+    /// `trace-matrix`: workspace root to scan (`--root DIR`; default:
+    /// walk up from the current directory to the claims registry).
+    pub root: Option<String>,
 }
 
 /// One-screen usage text.
 pub fn usage() -> &'static str {
-    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|campaign|merge|model|metrics|check|serve|submit|status|cancel|shutdown|all>\n\
+    "usage: resilim <table1|table2|fig1|fig2|fig3|fig5|fig6|fig7|fig8|motivation|apps|campaign|merge|model|metrics|check|trace-matrix|serve|submit|status|cancel|shutdown|all>\n\
      \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
      \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
      \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K|auto]\n\
@@ -90,7 +99,8 @@ pub fn usage() -> &'static str {
      \u{20}       [--resume] [--shard i/N] [--trial-timeout SECS] [--retries N]\n\
      \u{20}       [--smoke] [--budget SECS] [--cases N] [--replay FILE] [--repro-dir DIR]\n\
      \u{20}       [--inject-bug NAME]\n\
-     \u{20}       [--socket PATH] [--campaign ID] [--watch]"
+     \u{20}       [--socket PATH] [--campaign ID] [--watch]\n\
+     \u{20}       [--write FILE] [--check] [--root DIR]"
 }
 
 /// Parse the argument vector (program name already stripped).
@@ -129,6 +139,9 @@ pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, Str
         socket: None,
         campaign_id: None,
         watch: false,
+        write: None,
+        check_drift: false,
+        root: None,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -260,6 +273,9 @@ pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, Str
                 )
             }
             "--watch" => opts.watch = true,
+            "--write" => opts.write = Some(value("--write")?),
+            "--check" => opts.check_drift = true,
+            "--root" => opts.root = Some(value("--root")?),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -500,6 +516,23 @@ mod tests {
         assert!(spec.replicate);
         // due works at any deployment shape.
         assert!(run(&["campaign", "--fault-model", "due", "--errors", "ser:2"]).is_ok());
+    }
+
+    #[test]
+    fn parses_trace_matrix_flags() {
+        let opts = parse(&[
+            "trace-matrix",
+            "--write",
+            "docs/TRACEABILITY.md",
+            "--root",
+            "/tmp/ws",
+        ])
+        .unwrap();
+        assert_eq!(opts.write.as_deref(), Some("docs/TRACEABILITY.md"));
+        assert_eq!(opts.root.as_deref(), Some("/tmp/ws"));
+        assert!(!opts.check_drift);
+        assert!(parse(&["trace-matrix", "--check"]).unwrap().check_drift);
+        assert!(parse(&["trace-matrix", "--write"]).is_err());
     }
 
     #[test]

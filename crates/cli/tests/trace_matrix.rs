@@ -1,0 +1,113 @@
+//! End-to-end `resilim trace-matrix` through the real binary: the live
+//! tree renders a clean matrix, `--write`/`--check` round-trip
+//! byte-identically, drift fails `--check`, and the committed
+//! `docs/TRACEABILITY.md` is in sync with the source tree.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn resilim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_resilim"))
+        .args(args)
+        .output()
+        .expect("spawn resilim")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn renders_a_clean_matrix_for_the_live_tree() {
+    let root = workspace_root();
+    let run = resilim(&["trace-matrix", "--root", root.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    assert!(stdout.contains("| EQ8 |"), "stdout: {stdout}");
+    assert!(stdout.contains("| INV_WILSON |"));
+    assert!(!stdout.contains("UNVERIFIED"));
+}
+
+#[test]
+fn json_mode_reports_clean() {
+    let root = workspace_root();
+    let run = resilim(&["trace-matrix", "--json", "--root", root.to_str().unwrap()]);
+    assert!(run.status.success());
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("\"clean\": true"), "stdout: {stdout}");
+    assert!(stdout.contains("\"id\": \"EQ1\""));
+}
+
+#[test]
+fn committed_matrix_is_in_sync() {
+    // The acceptance criterion: docs/TRACEABILITY.md is byte-identical
+    // to a fresh render (CI runs the same command).
+    let root = workspace_root();
+    let run = resilim(&["trace-matrix", "--check", "--root", root.to_str().unwrap()]);
+    assert!(
+        run.status.success(),
+        "committed docs/TRACEABILITY.md is stale — regenerate with \
+         `resilim trace-matrix --write docs/TRACEABILITY.md`; stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+}
+
+#[test]
+fn write_then_check_round_trips_and_drift_fails() {
+    let root = workspace_root();
+    let root_s = root.to_str().unwrap();
+    let out = std::env::temp_dir().join(format!("resilim-trace-matrix-{}.md", std::process::id()));
+    let out_s = out.to_str().unwrap();
+
+    let write = resilim(&["trace-matrix", "--root", root_s, "--write", out_s]);
+    assert!(
+        write.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&write.stderr)
+    );
+    let check = resilim(&[
+        "trace-matrix",
+        "--root",
+        root_s,
+        "--write",
+        out_s,
+        "--check",
+    ]);
+    assert!(check.status.success(), "fresh write must pass --check");
+
+    // Any byte of drift fails.
+    let mut text = std::fs::read_to_string(&out).unwrap();
+    text.push_str("stale\n");
+    std::fs::write(&out, text).unwrap();
+    let drift = resilim(&[
+        "trace-matrix",
+        "--root",
+        root_s,
+        "--write",
+        out_s,
+        "--check",
+    ]);
+    assert!(!drift.status.success(), "drift must fail --check");
+    let stderr = String::from_utf8_lossy(&drift.stderr);
+    assert!(stderr.contains("out of date"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
+fn missing_root_is_a_clear_error() {
+    let run = resilim(&["trace-matrix", "--root", "/nonexistent-resilim"]);
+    assert!(!run.status.success());
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(
+        stderr.contains("not a resilim workspace"),
+        "stderr: {stderr}"
+    );
+}

@@ -214,6 +214,7 @@ mod tests {
 
     #[test]
     fn accumulator_matches_batch_fold_bitwise() {
+        crate::verifies!(INV_MERGE);
         for procs in [1usize, 2, 4, 8] {
             let outcomes = mixed_outcomes(40);
             let mut acc = FiAccumulator::new(procs);
@@ -233,6 +234,7 @@ mod tests {
 
     #[test]
     fn stop_rule_respects_min_tests_floor() {
+        crate::verifies!(INV_STOP);
         let rule = StopRule::new(0.9).with_min_tests(10);
         let mut fi = FiResult::new();
         for _ in 0..9 {
@@ -264,6 +266,7 @@ mod tests {
 
     #[test]
     fn empty_result_never_satisfies_a_sub_half_target() {
+        crate::verifies!(INV_STOP);
         // Even with a zero floor, the empty interval is (0, 1): half-width 0.5.
         assert!(!StopRule::new(0.4)
             .with_min_tests(0)

@@ -29,20 +29,41 @@ mod tests {
 
     #[test]
     fn error_is_symmetric_and_absolute() {
+        crate::verifies!(EQ9);
         assert_eq!(prediction_error(0.8, 0.7), prediction_error(0.7, 0.8));
         assert!((prediction_error(0.8, 0.72) - 0.08).abs() < 1e-12);
     }
 
     #[test]
+    fn error_of_exact_prediction_is_zero() {
+        crate::verifies!(EQ9);
+        for v in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(prediction_error(v, v), 0.0);
+        }
+    }
+
+    #[test]
     fn rmse_matches_hand_computation() {
+        crate::verifies!(EQ9);
         let pairs = [(1.0, 0.0), (0.0, 1.0)];
         assert!((rmse(&pairs) - 1.0).abs() < 1e-12);
         let pairs = [(0.5, 0.5)];
+        assert_eq!(rmse(&pairs), 0.0);
+        // Mixed magnitudes: sqrt((0.3² + 0.1² + 0²)/3) = sqrt(0.1/3).
+        let pairs = [(0.8, 0.5), (0.2, 0.3), (0.4, 0.4)];
+        assert!((rmse(&pairs) - (0.1f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_of_exact_match_is_zero() {
+        crate::verifies!(EQ9);
+        let pairs = [(0.1, 0.1), (0.9, 0.9), (0.5, 0.5)];
         assert_eq!(rmse(&pairs), 0.0);
     }
 
     #[test]
     fn rmse_of_empty_is_zero() {
+        crate::verifies!(EQ9);
         assert_eq!(rmse(&[]), 0.0);
     }
 

@@ -126,6 +126,7 @@ mod tests {
 
     #[test]
     fn rates_sum_to_one() {
+        crate::verifies!(EQ2, EQ3);
         let fi = sample();
         assert_eq!(fi.total(), 5);
         let sum: f64 = fi.rates().iter().sum();
@@ -138,6 +139,7 @@ mod tests {
 
     #[test]
     fn empty_result_is_nan_free() {
+        crate::verifies!(EQ3);
         let fi = FiResult::new();
         assert_eq!(fi.total(), 0);
         assert_eq!(fi.success_rate(), 0.0);
@@ -146,6 +148,7 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
+        crate::verifies!(INV_MERGE);
         let mut a = sample();
         let b = sample();
         a.merge(&b);
@@ -156,6 +159,7 @@ mod tests {
 
     #[test]
     fn wilson_ci_contains_point_estimate() {
+        crate::verifies!(INV_WILSON);
         let fi = sample();
         let (lo, hi) = fi.wilson_ci(OutcomeKind::Success, 1.96);
         assert!(lo < fi.success_rate() && fi.success_rate() < hi);
@@ -164,6 +168,7 @@ mod tests {
 
     #[test]
     fn wilson_ci_narrows_with_more_tests() {
+        crate::verifies!(INV_WILSON);
         let mut small = FiResult::new();
         let mut large = FiResult::new();
         for i in 0..20 {

@@ -27,6 +27,7 @@
 
 pub mod accum;
 pub mod accuracy;
+pub mod claims;
 pub mod fi;
 pub mod model;
 pub mod propagation;
@@ -34,6 +35,7 @@ pub mod sampling;
 
 pub use accum::{FiAccumulator, StopRule};
 pub use accuracy::{prediction_error, rmse};
+pub use claims::{Claim, ClaimKind};
 pub use fi::FiResult;
 pub use model::{ModelInputs, Prediction, Predictor};
 pub use propagation::{cosine_similarity, PropagationProfile};

@@ -276,6 +276,7 @@ mod tests {
 
     #[test]
     fn eq8_weighted_sum() {
+        crate::verifies!(EQ4, EQ8);
         let pred = Predictor::new(base_inputs()).predict();
         // No tuning (divergence |0.88-0.90|/0.88 ≈ 2 % < 20 %):
         // success = 0.7·0.9 + 0·0.6 + 0·0.5 + 0.3·0.4 = 0.75.
@@ -288,6 +289,7 @@ mod tests {
 
     #[test]
     fn rates_sum_to_one_when_inputs_do() {
+        crate::verifies!(EQ2);
         let pred = Predictor::new(base_inputs()).predict();
         let sum: f64 = pred.rates.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
@@ -295,6 +297,7 @@ mod tests {
 
     #[test]
     fn alpha_tuning_activates_on_divergence() {
+        crate::verifies!(EQ6, O4);
         let mut inputs = base_inputs();
         // Serial says 90 % success at x = 1 but the small scale says 50 %.
         inputs.small_by_contam[0] = Some(fi(50, 50, 0));
@@ -311,6 +314,7 @@ mod tests {
 
     #[test]
     fn unique_term_mixes_eq1() {
+        crate::verifies!(EQ1);
         let mut inputs = base_inputs();
         inputs.unique_share = 0.10;
         inputs.fi_unique = Some(fi(20, 80, 0));
@@ -338,6 +342,7 @@ mod tests {
 
     #[test]
     fn s_equals_p_degenerates_to_direct_measurement() {
+        crate::verifies!(EQ8);
         // When S = p, the bucket map is identity and the prediction with
         // α tuning equals the small-scale conditional mixture.
         let mut serial = BTreeMap::new();

@@ -129,6 +129,7 @@ mod tests {
 
     #[test]
     fn r_values_normalize() {
+        crate::verifies!(EQ3);
         let prof = profile(8, &[(1, 77), (8, 22), (3, 1)]);
         assert_eq!(prof.total(), 100);
         assert!((prof.r(1) - 0.77).abs() < 1e-12);
@@ -149,6 +150,7 @@ mod tests {
 
     #[test]
     fn grouping_preserves_mass() {
+        crate::verifies!(EQ5);
         let prof = profile(64, &[(1, 70), (2, 5), (33, 3), (64, 22)]);
         let g = prof.group(8);
         assert_eq!(g.len(), 8);
@@ -162,6 +164,7 @@ mod tests {
 
     #[test]
     fn paper_fig1_grouping_scenario() {
+        crate::verifies!(EQ5, O3);
         // CG-style bimodal: the grouped 64-rank profile must match the
         // 8-rank profile almost perfectly.
         let small = profile(8, &[(1, 77), (8, 22), (4, 1)]);
@@ -172,6 +175,7 @@ mod tests {
 
     #[test]
     fn divergent_profiles_have_low_similarity() {
+        crate::verifies!(O3, TABLE2);
         // Paper's CG 4V64 case: 4-rank execution propagates almost always,
         // 64-rank execution mostly does not.
         let small = profile(4, &[(4, 95), (1, 5)]);
@@ -190,6 +194,7 @@ mod tests {
 
     #[test]
     fn merge_profiles() {
+        crate::verifies!(INV_MERGE);
         let mut a = profile(4, &[(1, 10)]);
         let b = profile(4, &[(1, 5), (4, 5)]);
         a.merge(&b);

@@ -103,6 +103,7 @@ mod tests {
 
     #[test]
     fn buckets_partition_uniformly() {
+        crate::verifies!(EQ8);
         // p = 64, S = 4: buckets are 1..16, 17..32, 33..48, 49..64.
         assert_eq!(bucket_of(1, 64, 4), 1);
         assert_eq!(bucket_of(16, 64, 4), 1);
@@ -116,6 +117,7 @@ mod tests {
 
     #[test]
     fn eq7_sample_points() {
+        crate::verifies!(EQ7);
         assert_eq!(
             sample_cases(64, 4, SamplePoints::BucketUpper),
             vec![1, 32, 48, 64]
@@ -128,6 +130,7 @@ mod tests {
 
     #[test]
     fn eq8_sample_points() {
+        crate::verifies!(EQ7, EQ8);
         assert_eq!(
             sample_cases(64, 4, SamplePoints::PaperEq8),
             vec![1, 16, 32, 64]
@@ -175,6 +178,7 @@ mod tests {
 
     #[test]
     fn sample_for_matches_paper_example() {
+        crate::verifies!(EQ7, EQ8);
         // Paper §4.2: FI_ser_2..16 ≈ FI_ser_1; FI_ser_17..31 ≈ FI_ser_32.
         for x in 1..=16 {
             assert_eq!(sample_for(x, 64, 4, SamplePoints::BucketUpper), 1);
@@ -189,6 +193,7 @@ mod tests {
 
     #[test]
     fn sample_points_are_within_their_buckets_or_anchor() {
+        crate::verifies!(EQ7);
         for s in [2usize, 4, 8, 16] {
             for strategy in [
                 SamplePoints::BucketUpper,

@@ -129,6 +129,7 @@ mod tests {
 
     #[test]
     fn fig3_wiring_small() {
+        resilim_core::verifies!(FIG3, O4);
         let runner = CampaignRunner::new();
         let cfg = ExperimentConfig {
             tests: 15,

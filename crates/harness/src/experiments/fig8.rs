@@ -148,6 +148,7 @@ mod tests {
 
     #[test]
     fn fig8_rendering() {
+        resilim_core::verifies!(FIG8);
         let fig = Fig8 {
             p: 64,
             points: vec![

@@ -77,6 +77,7 @@ mod tests {
 
     #[test]
     fn table1_shape_matches_paper() {
+        resilim_core::verifies!(TABLE1, O1, O2);
         let runner = CampaignRunner::new();
         let table = table1(&runner);
         // 6 default rows + 3 large rows (CG, FT, MiniFE).

@@ -91,6 +91,7 @@ mod tests {
 
     #[test]
     fn table2_small_campaign_similarity() {
+        resilim_core::verifies!(TABLE2, O3);
         // Full 64-rank campaigns are exercised by the bench/CLI path; unit
         // test the wiring at reduced scales with few tests.
         let runner = CampaignRunner::new();
