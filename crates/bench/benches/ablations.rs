@@ -17,7 +17,7 @@
 
 use resilim_apps::App;
 use resilim_bench::bench_config;
-use resilim_core::{prediction_error, Predictor, SamplePoints};
+use resilim_core::{prediction_error, PaperEq8, SamplePoints};
 use resilim_harness::experiments::build_inputs;
 use resilim_harness::{CampaignRunner, CampaignSpec, ErrorSpec};
 use resilim_inject::OpMask;
@@ -58,7 +58,7 @@ fn main() {
             // and every strategy coincides).
             let mut inputs = build_inputs(&runner, &cfg, app, 64, 4, strategy);
             inputs.alpha_threshold = f64::INFINITY;
-            let pred = Predictor::new(inputs).predict();
+            let pred = PaperEq8::new(inputs).predict();
             row.push_str(&format!(
                 "{:>13.1}pp",
                 prediction_error(measured, pred.success()) * 100.0
@@ -90,7 +90,7 @@ fn main() {
         for threshold in [0.20, f64::INFINITY, 0.0] {
             let mut inputs = build_inputs(&runner, &cfg, app, 64, 4, SamplePoints::BucketUpper);
             inputs.alpha_threshold = threshold;
-            let pred = Predictor::new(inputs).predict();
+            let pred = PaperEq8::new(inputs).predict();
             row.push_str(&format!(
                 "{:>13.1}pp",
                 prediction_error(measured, pred.success()) * 100.0

@@ -20,7 +20,8 @@
 //! * [`oracles`] — the oracle library: distribution/partition
 //!   invariants, bucket-cover, grouping conservation & refinement
 //!   consistency, bitwise replay identity across execution backends,
-//!   predicted-vs-measured divergence, and ledger round-trip.
+//!   predicted-vs-measured divergence, learned-vs-closed-form
+//!   predictor divergence, and ledger round-trip.
 //! * [`engine`] — the case loop (budgeted or counted), obs events
 //!   (`check_case` / `check_shrink`) and counters, repro-record
 //!   emission, and deterministic replay.

@@ -1,5 +1,5 @@
 //! The `campaign` and `merge` commands: run one deployment, or
-//! reassemble its shard ledgers.
+//! reassemble its shard ledgers (and feature shards, in the same pass).
 
 use crate::opts::{emit, one_deployment, Options};
 use resilim_harness::store::{CampaignSummary, ResultStore};
@@ -89,8 +89,20 @@ pub fn merge(opts: &Options, runner: &CampaignRunner) -> Result<(), String> {
         let path = store.save(&summary).map_err(|e| e.to_string())?;
         eprintln!("saved {}", path.display());
     }
+    // Feature shards merge in the same pass (corruption-tolerant load):
+    // report how many per-trial records the shards recovered so partial
+    // feature coverage is visible, not silent.
+    let features = if result.features.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "  merged {} of {} per-trial feature records\n",
+            result.features.len(),
+            summary.tests,
+        )
+    };
     let text = format!(
-        "{app} p={procs} {:?} (merged from ledger): success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests)\n{}",
+        "{app} p={procs} {:?} (merged from ledger): success {:.1}%  SDC {:.1}%  failure {:.1}%  ({} tests)\n{features}{}",
         errors,
         summary.fi.success_rate() * 100.0,
         summary.fi.sdc_rate() * 100.0,

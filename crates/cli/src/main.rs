@@ -59,11 +59,18 @@
 //! Either flag also enables a live progress line on stderr.
 //!
 //! Durability: with `--store DIR`, every completed trial is appended to a
-//! crash-tolerant ledger under `DIR/ledger/`. `--resume` skips trials
-//! already ledgered (a killed campaign restarts where it stopped,
-//! bitwise-identically); `--shard i/N` runs only every N-th trial so N
-//! processes/machines can split one campaign, and `resilim merge`
-//! reassembles their ledgers into the whole-campaign result.
+//! crash-tolerant ledger under `DIR/ledger/`, and its per-trial feature
+//! record to `DIR/features/`. `--resume` skips trials already ledgered
+//! (a killed campaign restarts where it stopped, bitwise-identically);
+//! `--shard i/N` runs only every N-th trial so N processes/machines can
+//! split one campaign, and `resilim merge` reassembles their ledgers
+//! (and feature shards) into the whole-campaign result.
+//!
+//! Prediction: `resilim model` predicts from a `--store` directory.
+//! `--predictor eq8` (default) is the paper's closed form from stored
+//! serial + small-scale summaries; `--predictor logistic|stumps` trains
+//! the registry's learned predictors on the per-trial feature store and
+//! reports measured-vs-predicted curves with eq8 alongside.
 //! `--trial-timeout SECS` arms a per-trial watchdog that kills and
 //! retries wedged trials (`--retries N` bounds the attempts).
 //!
@@ -115,7 +122,8 @@ fn build_runner(opts: &Options) -> CampaignRunner {
         // appended durably so `--resume`/`merge` can pick it up.
         runner = runner
             .with_golden_dir(std::path::Path::new(dir).join("golden"))
-            .with_ledger_dir(std::path::Path::new(dir).join("ledger"));
+            .with_ledger_dir(std::path::Path::new(dir).join("ledger"))
+            .with_feature_dir(std::path::Path::new(dir).join("features"));
     }
     runner = runner.with_resume(opts.resume);
     if let Some(shard) = opts.shard {

@@ -5,7 +5,7 @@
 //! [`parse_args`] so subcommands can trust the combination they see.
 
 use resilim_apps::App;
-use resilim_core::StopRule;
+use resilim_core::{PredictorKind, StopRule};
 use resilim_harness::experiments::ExperimentConfig;
 use resilim_harness::{CampaignSpec, ErrorSpec, Shard};
 use resilim_inject::FaultModelSpec;
@@ -29,6 +29,10 @@ pub struct Options {
     /// TeaMPI-style replica payload comparison (`--replicate`).
     pub replicate: bool,
     pub store: Option<String>,
+    /// `model`: which registry predictor to run (`--predictor
+    /// eq8|logistic|stumps`; default eq8). Learned predictors train on
+    /// the feature store under `--store DIR/features/`.
+    pub predictor: PredictorKind,
     pub svg: Option<String>,
     /// Concurrent fault-injection tests; `None` = auto
     /// (`available_parallelism() / procs`, the default).
@@ -92,6 +96,7 @@ pub fn usage() -> &'static str {
      \u{20}       [--tests N] [--seed S] [--json] [--out FILE]\n\
      \u{20}       [--apps cg,ft,...] [--small S] [--scale P]\n\
      \u{20}       [--errors par|ser:N|unique|multi:K] [--store DIR] [--svg FILE] [--jobs K|auto]\n\
+     \u{20}       [--predictor eq8|logistic|stumps]\n\
      \u{20}       [--fault-model bitflip|burst[:K]|due|msg] [--replicate]\n\
      \u{20}       [--batch N]\n\
      \u{20}       [--adaptive] [--ci HALFWIDTH] [--min-tests N]\n\
@@ -118,6 +123,7 @@ pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, Str
         fault_model: None,
         replicate: false,
         store: None,
+        predictor: PredictorKind::Eq8,
         svg: None,
         jobs: None,
         batch: None,
@@ -187,6 +193,7 @@ pub fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, Str
             }
             "--replicate" => opts.replicate = true,
             "--store" => opts.store = Some(value("--store")?),
+            "--predictor" => opts.predictor = PredictorKind::parse(&value("--predictor")?)?,
             "--svg" => opts.svg = Some(value("--svg")?),
             "--jobs" => {
                 let v = value("--jobs")?;
@@ -516,6 +523,24 @@ mod tests {
         assert!(spec.replicate);
         // due works at any deployment shape.
         assert!(run(&["campaign", "--fault-model", "due", "--errors", "ser:2"]).is_ok());
+    }
+
+    #[test]
+    fn parses_predictor_flag() {
+        assert_eq!(parse(&["model"]).unwrap().predictor, PredictorKind::Eq8);
+        assert_eq!(
+            parse(&["model", "--predictor", "logistic"])
+                .unwrap()
+                .predictor,
+            PredictorKind::Logistic
+        );
+        assert_eq!(
+            parse(&["model", "--predictor", "stumps"])
+                .unwrap()
+                .predictor,
+            PredictorKind::Stumps
+        );
+        assert!(parse(&["model", "--predictor", "oracle"]).is_err());
     }
 
     #[test]

@@ -161,6 +161,13 @@ declare_claims! {
     INV_WILSON: Invariant = "wilson_ci bounds lie in [0, 1], bracket the \
         point estimate, and the interval width is monotone non-increasing \
         in the number of trials at a fixed rate.";
+    /// Predictor-registry agreement.
+    INV_PREDICT: Invariant = "PaperEq8 routed through the Predictor trait \
+        is bitwise identical to the pre-registry implementation, and the \
+        learned predictors (logistic, stumps) trained on a campaign's own \
+        per-trial features reproduce its outcome rates within a bounded \
+        disagreement of PaperEq8 on seeded mini-campaigns (the \
+        predictor-divergence oracle's bound).";
 }
 
 impl Claim {
@@ -236,6 +243,7 @@ mod tests {
             "INV_MERGE",
             "INV_STOP",
             "INV_WILSON",
+            "INV_PREDICT",
         ] {
             assert!(Claim::by_id(id).is_some(), "missing claim {id}");
         }

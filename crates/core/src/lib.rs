@@ -28,7 +28,9 @@
 pub mod accum;
 pub mod accuracy;
 pub mod claims;
+pub mod features;
 pub mod fi;
+pub mod learn;
 pub mod model;
 pub mod propagation;
 pub mod sampling;
@@ -36,8 +38,10 @@ pub mod sampling;
 pub use accum::{FiAccumulator, StopRule};
 pub use accuracy::{prediction_error, rmse};
 pub use claims::{Claim, ClaimKind};
+pub use features::{TrialFeatures, FEATURE_DIM, FEATURE_SCHEMA_VERSION, SPREAD_WINDOWS};
 pub use fi::FiResult;
-pub use model::{ModelInputs, Prediction, Predictor};
+pub use learn::{empirical_rates, fit_predictor, LogisticModel, StumpsModel};
+pub use model::{flat_prediction, ModelInputs, PaperEq8, Prediction, Predictor, PredictorKind};
 pub use propagation::{cosine_similarity, PropagationProfile};
 pub use sampling::{bucket_of, sample_cases, sample_for, SamplePoints};
 

@@ -1,4 +1,6 @@
-//! The large-scale resilience predictor (paper §4, Equations 1–8).
+//! Resilience predictors: the [`Predictor`] trait, its registry
+//! ([`PredictorKind`]), and the paper's closed-form model [`PaperEq8`]
+//! (paper §4, Equations 1–8).
 //!
 //! `FI_par = prob₁ · FI_common + prob₂ · FI_unique` where
 //! `FI_common = Σⱼ r'ⱼ · FI_ser(xⱼ)`:
@@ -16,6 +18,12 @@
 //! * `prob₂` — the probability an error lands in the parallel-unique
 //!   computation (its share of injectable operations), with `FI_unique`
 //!   measured by region-targeted injection at the small scale.
+//!
+//! The learned predictors of the registry (logistic regression and
+//! gradient-boosted stumps over per-trial [`TrialFeatures`]
+//! (crate::TrialFeatures)) live in [`crate::learn`]; they implement the
+//! same [`Predictor`] trait, so `resilim model` and the
+//! `predictor-divergence` check oracle treat all three uniformly.
 
 use crate::fi::FiResult;
 use crate::propagation::PropagationProfile;
@@ -100,19 +108,86 @@ impl Prediction {
     }
 }
 
-/// The predictor: validates inputs once, predicts any number of times.
+/// A resilience predictor: anything that can produce the outcome-rate
+/// distribution of a deployment.
+///
+/// [`PaperEq8`] is the paper's closed-form model; the learned models in
+/// [`crate::learn`] implement the same trait from per-trial features. The
+/// registry ([`PredictorKind`]) enumerates the available implementations
+/// so front ends can select one by name.
+pub trait Predictor {
+    /// Stable registry name (`eq8`, `logistic`, `stumps`).
+    fn name(&self) -> &'static str;
+    /// Produce the predicted outcome-rate distribution.
+    fn predict(&self) -> Prediction;
+}
+
+/// The predictor registry: every [`Predictor`] implementation, by stable
+/// CLI name. `resilim model --predictor <name>` and the check suite's
+/// `predictor-divergence` oracle select implementations through this
+/// enum, so adding a predictor means adding a variant here (and the
+/// compiler then points at every front end that must learn about it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// The paper's closed-form sparse model ([`PaperEq8`]).
+    Eq8,
+    /// Multinomial logistic regression over per-trial features
+    /// ([`crate::learn::LogisticModel`]).
+    Logistic,
+    /// Gradient-boosted decision stumps over per-trial features
+    /// ([`crate::learn::StumpsModel`]).
+    Stumps,
+}
+
+impl PredictorKind {
+    /// Every registered predictor, in presentation order.
+    pub const ALL: [PredictorKind; 3] = [
+        PredictorKind::Eq8,
+        PredictorKind::Logistic,
+        PredictorKind::Stumps,
+    ];
+
+    /// Stable CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Eq8 => "eq8",
+            PredictorKind::Logistic => "logistic",
+            PredictorKind::Stumps => "stumps",
+        }
+    }
+
+    /// Parse the CLI spelling.
+    pub fn parse(name: &str) -> Result<PredictorKind, String> {
+        PredictorKind::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| {
+                let names: Vec<&str> = PredictorKind::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown predictor '{name}' ({})", names.join("|"))
+            })
+    }
+
+    /// Whether this predictor trains on a per-trial feature store (the
+    /// learned models) rather than on campaign-level model inputs.
+    pub fn needs_features(self) -> bool {
+        !matches!(self, PredictorKind::Eq8)
+    }
+}
+
+/// The paper's closed-form predictor (Eq. 1 + Eq. 8): validates inputs
+/// once, predicts any number of times.
 #[derive(Debug, Clone)]
-pub struct Predictor {
+pub struct PaperEq8 {
     inputs: ModelInputs,
 }
 
-impl Predictor {
+impl PaperEq8 {
     /// Wrap validated inputs.
     ///
     /// # Panics
     /// If `s ∤ p`, a serial sample case is missing, the small profile has
     /// the wrong scale, or `unique_share > 0` without `fi_unique`.
-    pub fn new(inputs: ModelInputs) -> Predictor {
+    pub fn new(inputs: ModelInputs) -> PaperEq8 {
         assert!(
             inputs.s >= 1 && inputs.p.is_multiple_of(inputs.s),
             "need s | p"
@@ -135,7 +210,7 @@ impl Predictor {
             (0.0..=1.0).contains(&inputs.unique_share),
             "unique_share must be a probability"
         );
-        Predictor { inputs }
+        PaperEq8 { inputs }
     }
 
     /// The inputs.
@@ -229,6 +304,29 @@ impl Predictor {
     }
 }
 
+impl Predictor for PaperEq8 {
+    fn name(&self) -> &'static str {
+        PredictorKind::Eq8.name()
+    }
+
+    fn predict(&self) -> Prediction {
+        PaperEq8::predict(self)
+    }
+}
+
+/// A [`Prediction`] carrying only an outcome-rate distribution — how the
+/// learned predictors (which have no bucket structure or α machinery)
+/// report through the shared [`Prediction`] type.
+pub fn flat_prediction(rates: [f64; 3]) -> Prediction {
+    Prediction {
+        rates,
+        used_alpha: false,
+        divergence: 0.0,
+        per_bucket: Vec::new(),
+        common_rates: rates,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,7 +375,7 @@ mod tests {
     #[test]
     fn eq8_weighted_sum() {
         crate::verifies!(EQ4, EQ8);
-        let pred = Predictor::new(base_inputs()).predict();
+        let pred = PaperEq8::new(base_inputs()).predict();
         // No tuning (divergence |0.88-0.90|/0.88 ≈ 2 % < 20 %):
         // success = 0.7·0.9 + 0·0.6 + 0·0.5 + 0.3·0.4 = 0.75.
         assert!(!pred.used_alpha);
@@ -290,7 +388,7 @@ mod tests {
     #[test]
     fn rates_sum_to_one_when_inputs_do() {
         crate::verifies!(EQ2);
-        let pred = Predictor::new(base_inputs()).predict();
+        let pred = PaperEq8::new(base_inputs()).predict();
         let sum: f64 = pred.rates.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }
@@ -301,7 +399,7 @@ mod tests {
         let mut inputs = base_inputs();
         // Serial says 90 % success at x = 1 but the small scale says 50 %.
         inputs.small_by_contam[0] = Some(fi(50, 50, 0));
-        let predictor = Predictor::new(inputs);
+        let predictor = PaperEq8::new(inputs);
         assert!(predictor.divergence() > 0.20);
         let pred = predictor.predict();
         assert!(pred.used_alpha);
@@ -318,7 +416,7 @@ mod tests {
         let mut inputs = base_inputs();
         inputs.unique_share = 0.10;
         inputs.fi_unique = Some(fi(20, 80, 0));
-        let pred = Predictor::new(inputs).predict();
+        let pred = PaperEq8::new(inputs).predict();
         // common success = 0.75; mixed = 0.9·0.75 + 0.1·0.2 = 0.695.
         assert!((pred.success() - 0.695).abs() < 1e-12, "{}", pred.success());
         assert!((pred.common_rates[0] - 0.75).abs() < 1e-12);
@@ -329,7 +427,7 @@ mod tests {
     fn missing_sample_case_rejected() {
         let mut inputs = base_inputs();
         inputs.serial.remove(&48);
-        Predictor::new(inputs);
+        PaperEq8::new(inputs);
     }
 
     #[test]
@@ -337,7 +435,7 @@ mod tests {
     fn unique_share_without_fi_unique_rejected() {
         let mut inputs = base_inputs();
         inputs.unique_share = 0.1;
-        Predictor::new(inputs);
+        PaperEq8::new(inputs);
     }
 
     #[test]
@@ -362,7 +460,71 @@ mod tests {
             fi_unique: None,
             alpha_threshold: 0.20,
         };
-        let pred = Predictor::new(inputs).predict();
+        let pred = PaperEq8::new(inputs).predict();
         assert!((pred.success() - 0.8).abs() < 1e-12);
+    }
+
+    /// Golden snapshot of the pre-refactor `Predictor` output: routing
+    /// `PaperEq8` through the new trait must stay *bitwise* identical.
+    /// The expected values are the exact IEEE-754 bit patterns the
+    /// concrete pre-trait implementation produced on `base_inputs()`
+    /// (with and without α tuning and the Eq. 1 unique term).
+    #[test]
+    fn paper_eq8_via_trait_is_bitwise_identical_to_snapshot() {
+        crate::verifies!(EQ8, INV_PREDICT);
+        let snapshot = |inputs: ModelInputs| -> [u64; 3] {
+            let p: &dyn Predictor = &PaperEq8::new(inputs);
+            let pred = p.predict();
+            [
+                pred.rates[0].to_bits(),
+                pred.rates[1].to_bits(),
+                pred.rates[2].to_bits(),
+            ]
+        };
+        // Plain Eq. 8: success = 0.7·0.9 + 0.3·0.4 = 0.75 exactly as the
+        // f64 sum evaluates it.
+        assert_eq!(
+            snapshot(base_inputs()),
+            [0.75f64.to_bits(), 0.25f64.to_bits(), 0.0f64.to_bits()]
+        );
+        // α-tuned: 0.7·0.5 + 0.3·0.42 — committed bit patterns.
+        let mut tuned = base_inputs();
+        tuned.small_by_contam[0] = Some(fi(50, 50, 0));
+        assert_eq!(
+            snapshot(tuned),
+            [0x3FDE76C8B4395810, 0x3FE0C49BA5E353F8, 0],
+            "α-tuned rates drifted from the pre-refactor snapshot"
+        );
+        // Eq. 1 mixture: 0.9·0.75 + 0.1·0.2 — committed bit patterns.
+        let mut mixed = base_inputs();
+        mixed.unique_share = 0.10;
+        mixed.fi_unique = Some(fi(20, 80, 0));
+        assert_eq!(
+            snapshot(mixed),
+            [0x3FE63D70A3D70A3E, 0x3FD3851EB851EB86, 0],
+            "Eq. 1-mixed rates drifted from the pre-refactor snapshot"
+        );
+    }
+
+    #[test]
+    fn registry_names_round_trip() {
+        for kind in PredictorKind::ALL {
+            assert_eq!(PredictorKind::parse(kind.name()), Ok(kind));
+        }
+        assert!(PredictorKind::parse("crystal-ball").is_err());
+        assert!(!PredictorKind::Eq8.needs_features());
+        assert!(PredictorKind::Logistic.needs_features());
+        assert!(PredictorKind::Stumps.needs_features());
+        let via_trait: &dyn Predictor = &PaperEq8::new(base_inputs());
+        assert_eq!(via_trait.name(), "eq8");
+    }
+
+    #[test]
+    fn flat_prediction_carries_rates_only() {
+        let pred = flat_prediction([0.5, 0.3, 0.2]);
+        assert_eq!(pred.rates, [0.5, 0.3, 0.2]);
+        assert_eq!(pred.common_rates, [0.5, 0.3, 0.2]);
+        assert!(!pred.used_alpha);
+        assert!(pred.per_bucket.is_empty());
     }
 }

@@ -11,7 +11,7 @@
 //! `.github/workflows/nightly-check.yml`).
 
 use resilim_core::{
-    prediction_error, rmse, verifies, FiResult, ModelInputs, Predictor, PropagationProfile,
+    prediction_error, rmse, verifies, FiResult, ModelInputs, PaperEq8, PropagationProfile,
     SamplePoints, StopRule,
 };
 use resilim_inject::{FailureKind, OutcomeKind, TestOutcome};
@@ -430,7 +430,7 @@ fn proof_eq8_is_the_weighted_sum() {
                         fi_unique: None,
                         alpha_threshold: f64::INFINITY,
                     };
-                    let pred = Predictor::new(inputs).predict();
+                    let pred = PaperEq8::new(inputs).predict();
                     let total = (w1 + w2) as f64;
                     let (r1, r2) = (w1 as f64 / total, w2 as f64 / total);
                     for k in 0..3 {
@@ -461,7 +461,7 @@ fn proof_eq8_monotone_in_serial_success() {
         serial.insert(4, s2);
         let mut small_prop = PropagationProfile::new(2);
         small_prop.counts = vec![3, 1];
-        Predictor::new(ModelInputs {
+        PaperEq8::new(ModelInputs {
             p: 4,
             s: 2,
             strategy: SamplePoints::BucketUpper,
@@ -514,7 +514,7 @@ fn proof_eq8_degenerates_when_s_equals_p() {
                     }
                     let total: u64 = prop.counts.iter().sum();
                     let weights = prop.r_vec();
-                    let pred = Predictor::new(ModelInputs {
+                    let pred = PaperEq8::new(ModelInputs {
                         p,
                         s: p,
                         strategy: SamplePoints::BucketUpper,
@@ -560,7 +560,7 @@ fn proof_eq1_mixture_is_convex() {
                 serial.insert(1, *common);
                 let mut small_prop = PropagationProfile::new(1);
                 small_prop.counts = vec![1];
-                let pred = Predictor::new(ModelInputs {
+                let pred = PaperEq8::new(ModelInputs {
                     p: 1,
                     s: 1,
                     strategy: SamplePoints::BucketUpper,
@@ -607,7 +607,7 @@ fn proof_alpha_zero_divergence_never_tunes() {
         serial.insert(4, serial_fi);
         let mut small_prop = PropagationProfile::new(2);
         small_prop.counts = vec![1, 1];
-        let predictor = Predictor::new(ModelInputs {
+        let predictor = PaperEq8::new(ModelInputs {
             p: 4,
             s: 2,
             strategy: SamplePoints::BucketUpper,

@@ -4,8 +4,9 @@
 //! path and the check oracles re-derive results with.
 
 use super::stream::{TrialConsumer, TrialRecord};
+use crate::features::FeatureStore;
 use crate::ledger::TrialLedger;
-use resilim_core::{FiAccumulator, FiResult, PropagationProfile, StopRule};
+use resilim_core::{FiAccumulator, FiResult, PropagationProfile, StopRule, TrialFeatures};
 use resilim_inject::{OutcomeKind, TestOutcome};
 use resilim_obs as obs;
 
@@ -36,6 +37,9 @@ pub fn aggregate_outcomes(
 pub struct CampaignAccumulator {
     acc: FiAccumulator,
     outcomes: Vec<TestOutcome>,
+    /// Feature records of freshly executed trials, in delivery order
+    /// (resumed records carry none — theirs are in the feature store).
+    features: Vec<TrialFeatures>,
     stop: Option<StopRule>,
     satisfied: bool,
 }
@@ -47,6 +51,7 @@ impl CampaignAccumulator {
         CampaignAccumulator {
             acc: FiAccumulator::new(procs),
             outcomes: Vec::new(),
+            features: Vec::new(),
             stop,
             satisfied: false,
         }
@@ -62,18 +67,27 @@ impl CampaignAccumulator {
         &self.outcomes
     }
 
-    /// Consume into `(outcomes, fi, prop, by_contam, uncontaminated)`.
+    /// Consume into `(outcomes, features, fi, prop, by_contam,
+    /// uncontaminated)`.
     pub fn into_parts(
         self,
     ) -> (
         Vec<TestOutcome>,
+        Vec<TrialFeatures>,
         FiResult,
         PropagationProfile,
         Vec<FiResult>,
         FiResult,
     ) {
         let (fi, prop, by_contam, uncontaminated) = self.acc.into_parts();
-        (self.outcomes, fi, prop, by_contam, uncontaminated)
+        (
+            self.outcomes,
+            self.features,
+            fi,
+            prop,
+            by_contam,
+            uncontaminated,
+        )
     }
 }
 
@@ -81,6 +95,9 @@ impl TrialConsumer for CampaignAccumulator {
     fn consume(&mut self, rec: &TrialRecord) -> bool {
         self.acc.record(&rec.outcome);
         self.outcomes.push(rec.outcome);
+        if let Some(features) = rec.features {
+            self.features.push(features);
+        }
         if let Some(rule) = &self.stop {
             if !self.satisfied && rule.satisfied(self.acc.fi()) {
                 self.satisfied = true;
@@ -148,6 +165,66 @@ impl TrialConsumer for LedgerConsumer<'_> {
         self.flush();
         if let Some(ledger) = self.ledger {
             ledger.sync();
+        }
+    }
+}
+
+/// Feature-store consumer: persists every freshly executed record's
+/// [`TrialFeatures`] (resumed records carry none — the run that
+/// executed them already persisted theirs). Appends happen in
+/// trial-index delivery order, so the stored `features.jsonl` contents
+/// for a given `(spec, seed)` are byte-identical across worker counts,
+/// batch sizes, and one-shot vs daemon execution.
+///
+/// Batching mirrors [`LedgerConsumer`]: records buffer up to `batch`
+/// per write and drain on [`TrialConsumer::finish`], so batch size
+/// changes durability lag, never file contents.
+pub struct FeatureConsumer<'a> {
+    store: Option<&'a FeatureStore>,
+    batch: usize,
+    buffered: Vec<(usize, TrialFeatures)>,
+}
+
+impl<'a> FeatureConsumer<'a> {
+    /// Consumer appending to `store` (no-op when `None`), one write per
+    /// record.
+    pub fn new(store: Option<&'a FeatureStore>) -> FeatureConsumer<'a> {
+        FeatureConsumer {
+            store,
+            batch: 1,
+            buffered: Vec::new(),
+        }
+    }
+
+    /// Buffer up to `batch` records per store write (1 = unbuffered).
+    pub fn with_batch(mut self, batch: usize) -> FeatureConsumer<'a> {
+        self.batch = batch.max(1);
+        self
+    }
+
+    fn flush(&mut self) {
+        if let Some(store) = self.store {
+            store.append_batch(&self.buffered);
+        }
+        self.buffered.clear();
+    }
+}
+
+impl TrialConsumer for FeatureConsumer<'_> {
+    fn consume(&mut self, rec: &TrialRecord) -> bool {
+        if let (Some(features), false, Some(_)) = (rec.features, rec.resumed, self.store) {
+            self.buffered.push((rec.index, features));
+            if self.buffered.len() >= self.batch {
+                self.flush();
+            }
+        }
+        false
+    }
+
+    fn finish(&mut self) {
+        self.flush();
+        if let Some(store) = self.store {
+            store.sync();
         }
     }
 }
@@ -233,6 +310,12 @@ mod tests {
             attempts: 1,
             resumed: false,
             latency_us: 0,
+            features: Some(TrialFeatures::quiet(
+                outcome.kind,
+                4,
+                100,
+                [1.0, 0.0, 0.0, 0.0, 0.0],
+            )),
         }
     }
 
@@ -248,9 +331,10 @@ mod tests {
         for (i, o) in outcomes.iter().enumerate() {
             assert!(!acc.consume(&rec(i, *o)));
         }
-        let (streamed, fi, prop, by_contam, uncontaminated) = acc.into_parts();
+        let (streamed, features, fi, prop, by_contam, uncontaminated) = acc.into_parts();
         let (bfi, bprop, bby, bunc) = aggregate_outcomes(4, &outcomes);
         assert_eq!(streamed, outcomes);
+        assert_eq!(features.len(), outcomes.len());
         assert_eq!(fi, bfi);
         assert_eq!(prop.counts, bprop.counts);
         assert_eq!(by_contam, bby);

@@ -6,6 +6,7 @@ use crate::golden::GoldenRun;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use resilim_apps::AppOutput;
+use resilim_core::{TrialFeatures, SPREAD_WINDOWS};
 use resilim_inject::{
     FailureKind, FaultPattern, InjectionPlan, Operand, RankCtx, Region, Target, TestOutcome,
 };
@@ -15,17 +16,36 @@ use std::collections::HashMap;
 /// Plan and execute a single fault-injection test on `backend`. The
 /// second return is whether the wall-clock watchdog tripped *and* the
 /// trial failed because of it — a trial that completes despite a late
-/// trip is classified normally.
+/// trip is classified normally. The third is the trial's extracted
+/// [`TrialFeatures`], harvested from the same per-rank context reports
+/// the classification reads (no extra instrumentation pass).
 pub(super) fn execute_trial(
     spec: &CampaignSpec,
     golden: &GoldenRun,
     op_cap: u64,
     test: usize,
     backend: &dyn ExecBackend<AppOutput>,
-) -> (TestOutcome, bool) {
+) -> (TestOutcome, bool, TrialFeatures) {
     let mut rng =
         SmallRng::seed_from_u64(spec.seed ^ resilim_apps::util::splitmix64(test as u64 + 0x1000));
     let (plans, msg_fault) = plan_test(&mut rng, spec, golden);
+
+    // Comm-graph position of the injecting rank: its share of the
+    // deployment's golden-run message sends. Every plan shape has at
+    // most one injecting rank (op models key a single rank; message
+    // models name the corrupted send's source).
+    let inject_rank = if plans.len() == 1 {
+        plans.keys().next().copied()
+    } else {
+        msg_fault.as_ref().map(|f| f.src)
+    };
+    let golden_sends: u64 = golden.profiles.iter().map(|p| p.msgs_sent).sum();
+    let inject_rank_msg_share = match inject_rank {
+        Some(rank) if golden_sends > 0 => {
+            golden.profiles[rank].msgs_sent as f64 / golden_sends as f64
+        }
+        _ => 0.0,
+    };
 
     let world = World::new(spec.procs).with_msg_fault(msg_fault);
     let app = spec.spec.clone();
@@ -54,10 +74,37 @@ pub(super) fn execute_trial(
     let mut detected = false;
     let mut failure: Option<FailureKind> = None;
     let mut output = None;
+    // Feature accumulators, reduced from the same reports.
+    let mut per_kind = [0u64; 5];
+    let mut unique_ops = 0u64;
+    let mut total_ops = 0u64;
+    let mut max_rank_ops = 0u64;
+    let mut taint_crossings = 0u64;
+    // First-contamination op indices, plus the earliest-contaminated
+    // rank's message counters at that moment (rank order breaks ties,
+    // deterministically, because `results` is rank-ordered).
+    let mut contam_ops: Vec<u64> = Vec::new();
+    let mut earliest: Option<(u64, u64, u64)> = None;
     for r in &results {
         let report = r.ctx_report.as_ref().expect("ctx always installed");
         if report.contaminated {
             contaminated += 1;
+        }
+        let rank_ops = report.profile.total();
+        total_ops += rank_ops;
+        max_rank_ops = max_rank_ops.max(rank_ops);
+        unique_ops += report.profile.region(Region::ParallelUnique).total();
+        for region in &report.profile.regions {
+            for (acc, n) in per_kind.iter_mut().zip(region.per_kind.iter()) {
+                *acc += n;
+            }
+        }
+        taint_crossings += report.tainted_msgs_recvd;
+        if let Some(op) = report.first_contam_op {
+            contam_ops.push(op);
+            if earliest.is_none_or(|(e, _, _)| op < e) {
+                earliest = Some((op, report.msgs_sent_at_contam, report.msgs_recvd_at_contam));
+            }
         }
         // A wire corruption is a fired injection too: the fault reached
         // a live message even though no op-level target existed.
@@ -97,14 +144,58 @@ pub(super) fn execute_trial(
     // a run that completed before the poison landed has a legitimate
     // outcome and must not be reclassified (or retried).
     let tripped = tripped && failure.is_some();
+
+    // Reduce the accumulators into the feature record. The label and
+    // detection flag are stamped below once the outcome is classified.
+    let mut spread_window = [0u32; SPREAD_WINDOWS];
+    for &op in &contam_ops {
+        let w = ((op as u128 * SPREAD_WINDOWS as u128) / max_rank_ops.max(1) as u128) as usize;
+        spread_window[w.min(SPREAD_WINDOWS - 1)] += 1;
+    }
+    let spread_rate = match (contam_ops.iter().min(), contam_ops.iter().max()) {
+        (Some(&lo), Some(&hi)) if contam_ops.len() >= 2 && hi > lo => {
+            (contam_ops.len() - 1) as f64 / (hi - lo) as f64
+        }
+        _ => 0.0,
+    };
+    let (first_contam_op, msgs_sent_before, msgs_recvd_before) = match earliest {
+        Some((op, sent, recvd)) => (op as i64, sent, recvd),
+        None => (-1, 0, 0),
+    };
+    let mut features = TrialFeatures {
+        label: 0,
+        detected,
+        procs: spec.procs as u32,
+        contaminated_ranks: contaminated as u32,
+        total_ops,
+        op_mix: per_kind.map(|n| {
+            if total_ops > 0 {
+                n as f64 / total_ops as f64
+            } else {
+                0.0
+            }
+        }),
+        unique_frac: if total_ops > 0 {
+            unique_ops as f64 / total_ops as f64
+        } else {
+            0.0
+        },
+        first_contam_op,
+        spread_window,
+        spread_rate,
+        inject_rank_msg_share,
+        msgs_sent_before_contam: msgs_sent_before,
+        msgs_recvd_before_contam: msgs_recvd_before,
+        taint_crossings,
+    };
+
     // `contaminated` may legitimately be 0: a planned fault whose
     // target op was never reached fires nothing and taints nothing.
     // Such tests are aggregated into `uncontaminated`, not `by_contam`.
     if let Some(kind) = failure {
-        return (
-            TestOutcome::failure(kind, contaminated, fired).with_detected(detected),
-            tripped,
-        );
+        let outcome = TestOutcome::failure(kind, contaminated, fired).with_detected(detected);
+        features.label = outcome.kind.index() as u8;
+        return (outcome, tripped, features);
     }
     let output = output.expect("rank 0 finished without failure");
     let outcome = if output.identical(&golden.output) {
@@ -114,7 +205,9 @@ pub(super) fn execute_trial(
     } else {
         TestOutcome::sdc(contaminated, fired)
     };
-    (outcome.with_detected(detected), false)
+    let outcome = outcome.with_detected(detected);
+    features.label = outcome.kind.index() as u8;
+    (outcome, false, features)
 }
 
 /// Draw the injection plan(s) for one test: a map rank → plan, plus the

@@ -33,7 +33,8 @@ pub mod spec;
 pub mod stream;
 
 pub use aggregate::{
-    aggregate_outcomes, CampaignAccumulator, ConvergenceSeries, LedgerConsumer, ObsTrialConsumer,
+    aggregate_outcomes, CampaignAccumulator, ConvergenceSeries, FeatureConsumer, LedgerConsumer,
+    ObsTrialConsumer,
 };
 pub use runner::{auto_worker_count, CampaignRunner, TrialExecutor};
 pub use spec::{

@@ -2,10 +2,13 @@
 //! (ledger/resume/shard/watchdog), and the streaming pipeline that
 //! turns completed trials into a [`CampaignResult`].
 
-use super::aggregate::{aggregate_outcomes, CampaignAccumulator, LedgerConsumer, ObsTrialConsumer};
+use super::aggregate::{
+    aggregate_outcomes, CampaignAccumulator, FeatureConsumer, LedgerConsumer, ObsTrialConsumer,
+};
 use super::exec;
 use super::spec::{CampaignResult, CampaignSpec, ErrorSpec};
 use super::stream::{TrialConsumer, TrialPipeline, TrialRecord};
+use crate::features::FeatureStore;
 use crate::golden::{Flights, GoldenRun, GoldenStore};
 use crate::ledger::{RetryPolicy, Shard, TrialLedger};
 use parking_lot::Mutex;
@@ -60,6 +63,9 @@ pub struct CampaignRunner {
     parallelism: Parallelism,
     /// Durable per-trial ledger directory (`--store DIR/ledger`).
     ledger_dir: Option<PathBuf>,
+    /// Durable per-trial feature-store directory
+    /// (`--store DIR/features`).
+    feature_dir: Option<PathBuf>,
     /// Skip trials already present in the ledger (`--resume`).
     resume: bool,
     /// Deterministic trial partition this runner executes (`--shard`).
@@ -91,6 +97,7 @@ impl CampaignRunner {
             flights: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Fixed(1),
             ledger_dir: None,
+            feature_dir: None,
             resume: false,
             shard: None,
             trial_deadline: None,
@@ -129,6 +136,15 @@ impl CampaignRunner {
     /// `--store DIR` to `DIR/ledger`). See [`crate::ledger`].
     pub fn with_ledger_dir(mut self, dir: impl Into<PathBuf>) -> CampaignRunner {
         self.ledger_dir = Some(dir.into());
+        self
+    }
+
+    /// Persist every freshly executed trial's [`TrialFeatures`] under
+    /// `dir` (the CLI wires `--store DIR` to `DIR/features`) — the
+    /// learned predictors' training data, keyed exactly like the
+    /// ledger. See [`crate::features`].
+    pub fn with_feature_dir(mut self, dir: impl Into<PathBuf>) -> CampaignRunner {
+        self.feature_dir = Some(dir.into());
         self
     }
 
@@ -328,11 +344,23 @@ impl CampaignRunner {
             .ledger_dir
             .as_ref()
             .and_then(|dir| TrialLedger::open(dir, &ledger_key, spec.seed).ok());
+        let feature_store = self
+            .feature_dir
+            .as_ref()
+            .and_then(|dir| FeatureStore::open(dir, &ledger_key, spec.seed).ok());
         let mut resumed: HashMap<usize, TestOutcome> = match (&self.ledger_dir, self.resume) {
             (Some(dir), true) => TrialLedger::load(dir, &ledger_key, spec.seed),
             _ => HashMap::new(),
         };
         resumed.retain(|&t, _| t < spec.tests);
+        // Resumed trials' features were persisted by the run that
+        // executed them: reload them so the in-memory result still
+        // carries a full training set, without re-appending them (the
+        // feature consumer skips resumed records).
+        let resumed_features = match (&self.feature_dir, self.resume) {
+            (Some(dir), true) => FeatureStore::load(dir, &ledger_key, spec.seed),
+            _ => HashMap::new(),
+        };
         let pending: Vec<usize> = owned
             .iter()
             .copied()
@@ -345,10 +373,16 @@ impl CampaignRunner {
 
         let mut aggregator = CampaignAccumulator::new(spec.procs, spec.stop);
         let mut ledger_sink = LedgerConsumer::new(ledger.as_ref()).with_batch(self.trial_batch);
+        let mut feature_sink =
+            FeatureConsumer::new(feature_store.as_ref()).with_batch(self.trial_batch);
         let mut obs_sink = ObsTrialConsumer::new(campaign_id);
         let (stopped_early, delivered) = {
-            let consumers: Vec<&mut dyn TrialConsumer> =
-                vec![&mut aggregator, &mut ledger_sink, &mut obs_sink];
+            let consumers: Vec<&mut dyn TrialConsumer> = vec![
+                &mut aggregator,
+                &mut ledger_sink,
+                &mut feature_sink,
+                &mut obs_sink,
+            ];
             let mut pipeline = TrialPipeline::new(owned.clone(), consumers);
             // Seed resumed records first: they may satisfy the stop rule
             // before any fresh trial runs.
@@ -360,6 +394,7 @@ impl CampaignRunner {
                         attempts: 0,
                         resumed: true,
                         latency_us: 0,
+                        features: resumed_features.get(&t).copied(),
                     });
                 }
             }
@@ -461,7 +496,7 @@ impl CampaignRunner {
                 trials: delivered,
             });
         }
-        let (outcomes, fi, prop, by_contam, uncontaminated) = aggregator.into_parts();
+        let (outcomes, features, fi, prop, by_contam, uncontaminated) = aggregator.into_parts();
         CampaignResult {
             procs: spec.procs,
             fi,
@@ -469,6 +504,7 @@ impl CampaignRunner {
             by_contam,
             uncontaminated,
             outcomes,
+            features,
             stopped_early,
             wall,
             golden,
@@ -523,6 +559,19 @@ impl CampaignRunner {
         }
         let golden = self.golden.get_masked(&spec.spec, spec.procs, spec.op_mask);
         let outcomes: Vec<TestOutcome> = (0..spec.tests).map(|t| records[&t]).collect();
+        // Feature shards merge alongside the ledger (lenient loader:
+        // trials whose features were lost to corruption are simply
+        // absent from the merged training set — unlike outcomes, the
+        // aggregate statistics do not depend on them).
+        let features = match &self.feature_dir {
+            Some(dir) => {
+                let stored = FeatureStore::load(dir, &spec.ledger_key(), spec.seed);
+                (0..spec.tests)
+                    .filter_map(|t| stored.get(&t).copied())
+                    .collect()
+            }
+            None => Vec::new(),
+        };
         let (fi, prop, by_contam, uncontaminated) = aggregate_outcomes(spec.procs, &outcomes);
         Ok(CampaignResult {
             procs: spec.procs,
@@ -531,6 +580,7 @@ impl CampaignRunner {
             by_contam,
             uncontaminated,
             outcomes,
+            features,
             stopped_early: false,
             wall: start.elapsed(),
             golden,
@@ -585,8 +635,8 @@ impl TrialExecutor {
     pub fn run_trial(&self, test: usize) -> TrialRecord {
         let t = obs::timer();
         let mut attempt: u32 = 0;
-        let outcome = loop {
-            let (outcome, tripped) = exec::execute_trial(
+        let (outcome, features) = loop {
+            let (outcome, tripped, features) = exec::execute_trial(
                 &self.spec,
                 &self.golden,
                 self.golden.op_cap(),
@@ -594,7 +644,7 @@ impl TrialExecutor {
                 self.backend.as_ref(),
             );
             if !tripped {
-                break outcome;
+                break (outcome, features);
             }
             obs::count(obs::Counter::TrialDeadlineTrips, 1);
             if attempt < self.retry.max_retries {
@@ -610,13 +660,17 @@ impl TrialExecutor {
             }
             // Retry budget exhausted: record the wedge as a hang so the
             // campaign terminates with a classified outcome (keeping any
-            // detection the doomed run still managed to report).
-            break TestOutcome::failure(
+            // detection the doomed run still managed to report). The
+            // feature label follows the reclassification.
+            let outcome = TestOutcome::failure(
                 FailureKind::Hang,
                 outcome.contaminated_ranks,
                 outcome.injections_fired,
             )
             .with_detected(outcome.detected);
+            let mut features = features;
+            features.label = outcome.kind.index() as u8;
+            break (outcome, features);
         };
         obs::count(obs::Counter::TrialsRun, 1);
         let latency_us = match t {
@@ -633,6 +687,7 @@ impl TrialExecutor {
             attempts: attempt + 1,
             resumed: false,
             latency_us,
+            features: Some(features),
         }
     }
 }

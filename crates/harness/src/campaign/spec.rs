@@ -3,7 +3,7 @@
 
 use crate::golden::GoldenRun;
 use resilim_apps::ProblemSpec;
-use resilim_core::{FiResult, PropagationProfile, StopRule};
+use resilim_core::{FiResult, PropagationProfile, StopRule, TrialFeatures};
 use resilim_inject::{FailureKind, FaultModelSpec, OpMask, TestOutcome};
 use resilim_obs as obs;
 use serde::{Deserialize, Serialize};
@@ -270,6 +270,12 @@ pub struct CampaignResult {
     pub uncontaminated: FiResult,
     /// Raw per-test outcomes (test `i` used seed `hash(seed, i)`).
     pub outcomes: Vec<TestOutcome>,
+    /// Per-trial feature records in delivery order — the learned
+    /// predictors' training data. May be shorter than `outcomes` when
+    /// resumed trials' features are not on disk (feature extraction
+    /// postdates the ledger), and empty for merged results without a
+    /// feature store.
+    pub features: Vec<TrialFeatures>,
     /// Whether an adaptive [`StopRule`] ended the campaign before its
     /// `tests` ceiling (always `false` in fixed mode).
     pub stopped_early: bool,
@@ -476,6 +482,7 @@ mod tests {
             by_contam,
             uncontaminated,
             outcomes,
+            features: Vec::new(),
             stopped_early: false,
             wall: Duration::ZERO,
             golden: Arc::new(GoldenRun::measure(&App::Cg.default_spec(), 1)),
@@ -503,6 +510,7 @@ mod tests {
             by_contam,
             uncontaminated,
             outcomes,
+            features: Vec::new(),
             stopped_early: false,
             wall: Duration::ZERO,
             golden: Arc::new(GoldenRun::measure(&App::Cg.default_spec(), 1)),

@@ -17,6 +17,7 @@
 //! every statistic — is a pure function of `(spec, seed, config)`,
 //! never of timing.
 
+use resilim_core::TrialFeatures;
 use resilim_inject::TestOutcome;
 use std::collections::BTreeMap;
 
@@ -37,6 +38,9 @@ pub struct TrialRecord {
     /// Trial execution latency in microseconds (0 for resumed records
     /// or when observability is disabled).
     pub latency_us: u64,
+    /// The trial's extracted feature record (`None` for resumed records
+    /// — the run that executed the trial already persisted them).
+    pub features: Option<TrialFeatures>,
 }
 
 /// A sink folding in-order trial records; implementations compose into
@@ -204,6 +208,7 @@ mod tests {
             attempts: 1,
             resumed: false,
             latency_us: 0,
+            features: None,
         }
     }
 

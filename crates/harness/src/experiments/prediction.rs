@@ -7,9 +7,7 @@ use crate::campaign::{CampaignRunner, ErrorSpec};
 use crate::experiments::ExperimentConfig;
 use crate::report::{pct, Table};
 use resilim_apps::App;
-use resilim_core::{
-    prediction_error, sample_cases, FiResult, ModelInputs, Predictor, SamplePoints,
-};
+use resilim_core::{prediction_error, sample_cases, FiResult, ModelInputs, PaperEq8, SamplePoints};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -74,7 +72,7 @@ pub fn prediction(
             "{app} does not decompose to {p} ranks"
         );
         let inputs = build_inputs(runner, cfg, app, p, s, strategy);
-        let pred = Predictor::new(inputs).predict();
+        let pred = PaperEq8::new(inputs).predict();
 
         // Validation: the actually measured large-scale campaign.
         let measured = runner.run(&cfg.campaign(app.default_spec(), p, ErrorSpec::OneParallel));

@@ -12,7 +12,7 @@ use crate::campaign::{CampaignRunner, CampaignSpec, ErrorSpec};
 use crate::experiments::{build_inputs_spec, ExperimentConfig};
 use crate::report::{pct, Table};
 use resilim_apps::App;
-use resilim_core::{prediction_error, Predictor, SamplePoints};
+use resilim_core::{prediction_error, PaperEq8, SamplePoints};
 use serde::{Deserialize, Serialize};
 
 /// One app at one weak-scaled target.
@@ -63,7 +63,7 @@ pub fn weak_scaling(
                 cfg.seed,
             ));
             let inputs = build_inputs_spec(runner, cfg, &problem, p, s, SamplePoints::default());
-            let pred = Predictor::new(inputs).predict();
+            let pred = PaperEq8::new(inputs).predict();
             let m = measured.fi.rates();
             rows.push(WeakRow {
                 app: app.name().to_string(),

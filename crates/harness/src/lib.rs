@@ -19,6 +19,9 @@
 //! * [`ledger`] — durable per-trial ledger (append-only JSONL): crash
 //!   recovery (`--resume`), deterministic sharding (`--shard i/N` +
 //!   `resilim merge`), and the watchdog retry policy.
+//! * [`features`] — durable per-trial feature store (the learned
+//!   predictors' training data), keyed and sharded exactly like the
+//!   ledger.
 //! * [`report`] — plain-text table rendering.
 //! * [`store`] — JSON persistence of campaign summaries ("measure once,
 //!   model later").
@@ -26,6 +29,7 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod features;
 pub mod golden;
 pub mod ledger;
 pub mod plot;
@@ -37,6 +41,7 @@ pub use campaign::{
     CampaignResult, CampaignRunner, CampaignSpec, ConvergenceSeries, ErrorSpec, TrialConsumer,
     TrialExecutor, TrialPipeline, TrialRecord,
 };
+pub use features::FeatureStore;
 pub use golden::{golden_cache_file_name, GoldenRun, GoldenStore, GOLDEN_CACHE_VERSION};
 pub use ledger::{RetryPolicy, Shard, TrialLedger, LEDGER_VERSION};
 pub use store::{CampaignSummary, ResultStore};

@@ -400,7 +400,7 @@ mod tests {
             0.0,
         )
         .unwrap();
-        let pred = resilim_core::Predictor::new(inputs).predict();
+        let pred = resilim_core::PaperEq8::new(inputs).predict();
         let total: f64 = pred.rates.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
 

@@ -61,12 +61,13 @@ proptest! {
                     attempts: 1,
                     resumed: false,
                     latency_us: 0,
+                    features: None,
                 });
             }
             pipeline.finish();
             prop_assert!(pipeline.is_drained());
         }
-        let (streamed_outcomes, fi, prop, by_contam, unc) = acc.into_parts();
+        let (streamed_outcomes, _features, fi, prop, by_contam, unc) = acc.into_parts();
         prop_assert_eq!(&streamed_outcomes[..], &outcomes[..]);
         let (bfi, bprop, bby, bunc) = aggregate_outcomes(PROCS, &outcomes);
         prop_assert_eq!(fi, bfi);
@@ -97,12 +98,13 @@ proptest! {
                         attempts: 1,
                         resumed: false,
                         latency_us: 0,
+                        features: None,
                     });
                 }
                 pipeline.finish();
                 delivered = pipeline.delivered();
             }
-            (delivered, acc.into_parts().1)
+            (delivered, acc.into_parts().2)
         };
         let sequential: Vec<usize> = (0..n).collect();
         let (d1, fi1) = run(&sequential);

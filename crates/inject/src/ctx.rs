@@ -81,6 +81,20 @@ pub struct CtxReport {
     pub detected: bool,
     /// Wire (message-payload) faults fired while this rank was sending.
     pub wire_fired: u64,
+    /// Numeric messages this rank received through the fabric.
+    pub msgs_recvd: u64,
+    /// Taint crossings: received numeric messages whose payload carried at
+    /// least one significantly divergent element (the feature pipeline's
+    /// per-message fabric stamp).
+    pub tainted_msgs_recvd: u64,
+    /// Tracked-op index at which this rank first became contaminated
+    /// (`None` when it never was).
+    pub first_contam_op: Option<u64>,
+    /// Messages sent by this rank when it first became contaminated.
+    pub msgs_sent_at_contam: u64,
+    /// Numeric messages received by this rank when it first became
+    /// contaminated.
+    pub msgs_recvd_at_contam: u64,
 }
 
 /// Panic payload message used by the hang guard; the runtime recognises it
@@ -136,6 +150,18 @@ pub struct RankCtx {
     msgs_sent: u64,
     /// Wire faults fired on this rank's outgoing messages.
     wire_fired: u64,
+    /// Numeric messages this rank received through the fabric.
+    msgs_recvd: u64,
+    /// Received messages carrying significant taint (crossings).
+    tainted_msgs_recvd: u64,
+    /// Tracked-op index at first contamination (`u64::MAX` = never): the
+    /// snapshot behind the feature pipeline's spread trajectory. Written
+    /// only inside the already-cold first-contamination paths.
+    first_contam_op: u64,
+    /// Messages sent when first contaminated.
+    msgs_sent_at_contam: u64,
+    /// Messages received when first contaminated.
+    msgs_recvd_at_contam: u64,
 }
 
 /// Whether a (corrupted, shadow) pair differs *significantly* at relative
@@ -185,6 +211,11 @@ impl RankCtx {
             detected: false,
             msgs_sent: 0,
             wire_fired: 0,
+            msgs_recvd: 0,
+            tainted_msgs_recvd: 0,
+            first_contam_op: u64::MAX,
+            msgs_sent_at_contam: 0,
+            msgs_recvd_at_contam: 0,
         }
     }
 
@@ -281,6 +312,11 @@ impl RankCtx {
             hang_guard_tripped: self.hang_guard_tripped,
             detected: self.detected,
             wire_fired: self.wire_fired,
+            msgs_recvd: self.msgs_recvd,
+            tainted_msgs_recvd: self.tainted_msgs_recvd,
+            first_contam_op: (self.first_contam_op != u64::MAX).then_some(self.first_contam_op),
+            msgs_sent_at_contam: self.msgs_sent_at_contam,
+            msgs_recvd_at_contam: self.msgs_recvd_at_contam,
         }
     }
 
@@ -307,6 +343,11 @@ impl RankCtx {
     pub fn mark_contaminated(&mut self) {
         if !self.contaminated {
             self.contaminated = true;
+            if self.first_contam_op == u64::MAX {
+                self.first_contam_op = self.total_ops;
+                self.msgs_sent_at_contam = self.msgs_sent;
+                self.msgs_recvd_at_contam = self.msgs_recvd;
+            }
             #[cfg(feature = "obs")]
             if obs::enabled() {
                 obs::count(obs::Counter::TaintBorn, 1);
@@ -355,9 +396,25 @@ struct HotCtx {
     detected: Cell<bool>,
     msgs_sent: Cell<u64>,
     wire_fired: Cell<u64>,
+    /// Feature counters (see [`CtxReport`]). Touched per message or inside
+    /// the already-`#[cold]` first-contamination paths — never per op.
+    msgs_recvd: Cell<u64>,
+    tainted_msgs_recvd: Cell<u64>,
+    first_contam_op: Cell<u64>,
+    msgs_sent_at_contam: Cell<u64>,
+    msgs_recvd_at_contam: Cell<u64>,
 }
 
 impl HotCtx {
+    /// Snapshot the first-contamination feature counters (idempotent; part
+    /// of every first-contamination path).
+    fn snapshot_first_contam(&self) {
+        if self.first_contam_op.get() == u64::MAX {
+            self.first_contam_op.set(self.total_ops.get());
+            self.msgs_sent_at_contam.set(self.msgs_sent.get());
+            self.msgs_recvd_at_contam.set(self.msgs_recvd.get());
+        }
+    }
     /// Explode a packed context into the cells. Caller must have cleared
     /// any previously installed context.
     fn set(&self, ctx: RankCtx) {
@@ -379,6 +436,11 @@ impl HotCtx {
         self.detected.set(ctx.detected);
         self.msgs_sent.set(ctx.msgs_sent);
         self.wire_fired.set(ctx.wire_fired);
+        self.msgs_recvd.set(ctx.msgs_recvd);
+        self.tainted_msgs_recvd.set(ctx.tainted_msgs_recvd);
+        self.first_contam_op.set(ctx.first_contam_op);
+        self.msgs_sent_at_contam.set(ctx.msgs_sent_at_contam);
+        self.msgs_recvd_at_contam.set(ctx.msgs_recvd_at_contam);
         COLD.with(|c| {
             *c.borrow_mut() = ColdCtx {
                 rank: ctx.rank,
@@ -433,6 +495,11 @@ impl HotCtx {
             detected: self.detected.get(),
             msgs_sent: self.msgs_sent.get(),
             wire_fired: self.wire_fired.get(),
+            msgs_recvd: self.msgs_recvd.get(),
+            tainted_msgs_recvd: self.tainted_msgs_recvd.get(),
+            first_contam_op: self.first_contam_op.get(),
+            msgs_sent_at_contam: self.msgs_sent_at_contam.get(),
+            msgs_recvd_at_contam: self.msgs_recvd_at_contam.get(),
         })
     }
 }
@@ -459,6 +526,11 @@ thread_local! {
             detected: Cell::new(false),
             msgs_sent: Cell::new(0),
             wire_fired: Cell::new(0),
+            msgs_recvd: Cell::new(0),
+            tainted_msgs_recvd: Cell::new(0),
+            first_contam_op: Cell::new(u64::MAX),
+            msgs_sent_at_contam: Cell::new(0),
+            msgs_recvd_at_contam: Cell::new(0),
         }
     };
 
@@ -549,25 +621,29 @@ pub fn note_values(values: &[Tf64]) {
         if !h.installed.get() {
             return;
         }
-        // Two consumers of the same scan: contamination marking (first
-        // divergent value held) and replica-compare detection (receive-side
-        // compare point under `--replicate`). Each latches, so once both
-        // have latched the scan is skipped entirely.
-        let need_mark = !h.contaminated.get();
-        let need_detect = h.replicate.get() && !h.detected.get();
-        if !need_mark && !need_detect {
-            return;
-        }
+        h.msgs_recvd.set(h.msgs_recvd.get() + 1);
+        // Three consumers of the same scan: contamination marking (latches
+        // on the first divergent value held), replica-compare detection
+        // (receive-side compare point under `--replicate`, latches), and
+        // the per-message taint-crossing stamp (counts every message). The
+        // scan breaks at the first divergent element; on the zero-injection
+        // path nothing is tainted, so the per-element check is the same
+        // bits compare it always was.
         let theta = h.taint_threshold.get();
+        let mut crossed = false;
         for &v in values {
             if v.is_tainted() && significant_divergence(v.value(), v.shadow(), theta) {
-                if need_mark {
-                    contaminate(h);
-                }
-                if need_detect {
-                    replica_detect(h);
-                }
+                crossed = true;
                 break;
+            }
+        }
+        if crossed {
+            h.tainted_msgs_recvd.set(h.tainted_msgs_recvd.get() + 1);
+            if !h.contaminated.get() {
+                contaminate(h);
+            }
+            if h.replicate.get() && !h.detected.get() {
+                replica_detect(h);
             }
         }
     });
@@ -652,6 +728,7 @@ fn contaminate(h: &HotCtx) {
         return;
     }
     h.contaminated.set(true);
+    h.snapshot_first_contam();
     #[cfg(feature = "obs")]
     if obs::enabled() {
         obs::count(obs::Counter::TaintBorn, 1);
@@ -667,6 +744,7 @@ fn contaminate_cold(h: &HotCtx, cold: &ColdCtx) {
         return;
     }
     h.contaminated.set(true);
+    h.snapshot_first_contam();
     #[cfg(feature = "obs")]
     if obs::enabled() {
         obs::count(obs::Counter::TaintBorn, 1);
@@ -1333,6 +1411,50 @@ mod tests {
             note_wire_fired(9, 3);
         });
         assert_eq!(report.wire_fired, 2);
+    }
+
+    #[test]
+    fn feature_counters_snapshot_first_contamination() {
+        let (_, report) = with_clean_ctx(RankCtx::profiling(0), || {
+            let a = Tf64::new(1.0);
+            let _ = a + a; // op 0
+            let _ = a + a; // op 1
+            note_msg_send(&[a]); // send 0
+            note_values(&[a]); // recv 0: clean, no crossing
+            note_values(&[Tf64::from_parts(2.5, 2.0)]); // recv 1: crossing -> contam
+            let _ = a + a; // op 2, after contamination
+            note_values(&[Tf64::from_parts(3.5, 3.0)]); // recv 2: still counted
+        });
+        assert_eq!(report.msgs_recvd, 3);
+        assert_eq!(report.tainted_msgs_recvd, 2);
+        assert_eq!(report.first_contam_op, Some(2));
+        assert_eq!(report.msgs_sent_at_contam, 1);
+        // The contaminating message is itself counted as received.
+        assert_eq!(report.msgs_recvd_at_contam, 2);
+        assert!(report.contaminated);
+
+        // Never-contaminated ranks report no snapshot.
+        let (_, report) = with_clean_ctx(RankCtx::profiling(1), || {
+            let a = Tf64::new(1.0);
+            let _ = a + a;
+            note_values(&[a]);
+        });
+        assert_eq!(report.first_contam_op, None);
+        assert_eq!(report.msgs_recvd, 1);
+        assert_eq!(report.tainted_msgs_recvd, 0);
+    }
+
+    #[test]
+    fn feature_counters_survive_roundtrip() {
+        let (_, report) = with_clean_ctx(RankCtx::profiling(0), || {
+            note_values(&[Tf64::from_parts(2.5, 2.0)]);
+            let mid = take().unwrap();
+            install(mid); // explode/re-pack must preserve the counters
+            note_values(&[Tf64::new(1.0)]);
+        });
+        assert_eq!(report.msgs_recvd, 2);
+        assert_eq!(report.tainted_msgs_recvd, 1);
+        assert_eq!(report.first_contam_op, Some(0));
     }
 
     #[test]

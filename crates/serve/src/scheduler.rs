@@ -31,7 +31,7 @@ use parking_lot::{Condvar, Mutex};
 use resilim_harness::campaign::{ObsTrialConsumer, ReorderBuffer};
 use resilim_harness::{
     CampaignAccumulator, CampaignResult, CampaignRunner, CampaignSpec, CampaignSummary,
-    TrialConsumer, TrialExecutor, TrialLedger, TrialRecord,
+    FeatureStore, TrialConsumer, TrialExecutor, TrialLedger, TrialRecord,
 };
 use resilim_obs as obs;
 use std::collections::{BTreeMap, HashMap};
@@ -103,6 +103,8 @@ struct Entry {
     /// `Some` while running; taken at finalization.
     acc: Option<CampaignAccumulator>,
     ledger: Option<TrialLedger>,
+    /// Per-trial feature persistence (`<store>/features`), when durable.
+    feature_store: Option<FeatureStore>,
     obs_sink: ObsTrialConsumer,
     /// An adaptive stop rule fired; the delivered prefix is final.
     stopped: bool,
@@ -154,10 +156,12 @@ impl Entry {
         for rec in records {
             self.buffer.push(rec);
         }
-        // Ledger appends for this delivery are batched into one write
-        // (order within the batch is the delivery order, so the file
-        // contents are identical to unbatched appends).
+        // Ledger and feature-store appends for this delivery are
+        // batched into one write each (order within the batch is the
+        // delivery order, so the file contents are identical to
+        // unbatched appends).
         let mut fresh = Vec::new();
+        let mut fresh_features = Vec::new();
         while !self.stopped {
             let Some(ready) = self.buffer.pop_ready() else {
                 break;
@@ -166,6 +170,11 @@ impl Entry {
             if !ready.resumed {
                 if self.ledger.is_some() {
                     fresh.push((ready.index, ready.outcome, ready.attempts));
+                }
+                if self.feature_store.is_some() {
+                    if let Some(features) = ready.features {
+                        fresh_features.push((ready.index, features));
+                    }
                 }
                 self.obs_sink.consume(&ready);
                 self.delivered_fresh += 1;
@@ -181,6 +190,9 @@ impl Entry {
         }
         if let Some(ledger) = &self.ledger {
             ledger.append_batch(&fresh);
+        }
+        if let Some(store) = &self.feature_store {
+            store.append_batch(&fresh_features);
         }
         if self.stopped || self.buffer.is_drained() {
             self.finalize();
@@ -207,7 +219,7 @@ impl Entry {
                 });
             }
         }
-        let (outcomes, fi, prop, by_contam, uncontaminated) =
+        let (outcomes, features, fi, prop, by_contam, uncontaminated) =
             self.acc.take().expect("finalize once").into_parts();
         let result = CampaignResult {
             procs: self.spec.procs,
@@ -216,6 +228,7 @@ impl Entry {
             by_contam,
             uncontaminated,
             outcomes,
+            features,
             stopped_early: self.stopped,
             wall: self.started.elapsed(),
             golden: Arc::clone(self.exec.golden()),
@@ -225,6 +238,9 @@ impl Entry {
         self.state = CampaignState::Done;
         if let Some(ledger) = &self.ledger {
             ledger.sync();
+        }
+        if let Some(store) = &self.feature_store {
+            store.sync();
         }
         obs::count(obs::Counter::ServeCampaignsDone, 1);
         obs::gauge_add(obs::Gauge::ServeActiveCampaigns, -1);
@@ -285,6 +301,8 @@ struct Shared {
     batch: usize,
     /// Ledger directory (`<store>/ledger`), when durable.
     ledger_dir: Option<PathBuf>,
+    /// Feature-store directory (`<store>/features`), when durable.
+    feature_dir: Option<PathBuf>,
 }
 
 impl Shared {
@@ -354,7 +372,8 @@ impl Scheduler {
             shutdown: AtomicBool::new(false),
             workers,
             batch,
-            ledger_dir: store.map(|dir| dir.join("ledger")),
+            ledger_dir: store.as_ref().map(|dir| dir.join("ledger")),
+            feature_dir: store.map(|dir| dir.join("features")),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -398,6 +417,13 @@ impl Scheduler {
             None => (None, HashMap::new()),
         };
         resumed.retain(|&t, _| t < spec.tests);
+        let (feature_store, resumed_features) = match &self.shared.feature_dir {
+            Some(dir) => (
+                FeatureStore::open(dir, &spec.ledger_key(), spec.seed).ok(),
+                FeatureStore::load(dir, &spec.ledger_key(), spec.seed),
+            ),
+            None => (None, HashMap::new()),
+        };
         let owned: Vec<usize> = (0..spec.tests).collect();
         let pending: Vec<usize> = owned
             .iter()
@@ -441,6 +467,7 @@ impl Scheduler {
             buffer: ReorderBuffer::new(owned.clone()),
             acc: Some(CampaignAccumulator::new(spec.procs, spec.stop)),
             ledger,
+            feature_store,
             obs_sink: ObsTrialConsumer::new(id),
             stopped: false,
             state: CampaignState::Running,
@@ -459,6 +486,7 @@ impl Scheduler {
                     attempts: 0,
                     resumed: true,
                     latency_us: 0,
+                    features: resumed_features.get(&t).copied(),
                 });
             }
         }
@@ -543,6 +571,9 @@ impl Scheduler {
         if let Some(ledger) = &entry.ledger {
             ledger.sync();
         }
+        if let Some(store) = &entry.feature_store {
+            store.sync();
+        }
         obs::count(obs::Counter::ServeCampaignsCancelled, 1);
         obs::gauge_add(obs::Gauge::ServeActiveCampaigns, -1);
         if obs::enabled() {
@@ -617,6 +648,9 @@ impl Scheduler {
             if entry.state == CampaignState::Running {
                 if let Some(ledger) = &entry.ledger {
                     ledger.sync();
+                }
+                if let Some(store) = &entry.feature_store {
+                    store.sync();
                 }
             }
         }

@@ -182,14 +182,24 @@ fn zero_injection_hot_path_does_not_allocate() {
     ctx::install(RankCtx::new(0, InjectionPlan::none()));
     let before = allocs_here();
     let mut acc = Tf64::new(1.0);
+    let payload = [Tf64::new(1.0), Tf64::new(2.0)];
     for i in 0..10_000 {
         acc = acc * Tf64::new(0.999) + Tf64::new(i as f64 * 1e-9);
         acc = acc.min(Tf64::new(1e6)) / Tf64::new(1.0000001);
+        // The per-message feature hooks (msgs_recvd / taint-crossing stamp,
+        // msgs_sent) are part of the audited region: they too must stay on
+        // cells only.
+        ctx::note_values(&payload);
+        let _ = ctx::note_msg_send(&payload);
     }
     let report = ctx::take().unwrap().into_report();
     let during = allocs_here() - before;
     assert!(report.fired.is_empty());
     assert_eq!(report.profile.total(), 40_000);
+    assert_eq!(report.msgs_recvd, 10_000);
+    assert_eq!(report.profile.msgs_sent, 10_000);
+    assert_eq!(report.tainted_msgs_recvd, 0);
+    assert_eq!(report.first_contam_op, None);
     assert_eq!(
         during, 0,
         "zero-injection hot path allocated {during} times in 40k ops"

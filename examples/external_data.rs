@@ -12,7 +12,7 @@
 //! ```
 
 use resilim::core::{
-    cosine_similarity, FiResult, ModelInputs, OutcomeKind, Predictor, PropagationProfile,
+    cosine_similarity, FiResult, ModelInputs, OutcomeKind, PaperEq8, PropagationProfile,
     SamplePoints, TestOutcome,
 };
 use std::collections::BTreeMap;
@@ -71,7 +71,7 @@ fn main() {
         fi_unique: Some(fi(700, 280, 20)),
         alpha_threshold: 0.20,
     };
-    let predictor = Predictor::new(inputs);
+    let predictor = PaperEq8::new(inputs);
     println!(
         "serial-vs-small divergence: {:.1}% (alpha threshold 20%)",
         predictor.divergence() * 100.0

@@ -8,7 +8,7 @@
 //! ```
 
 use resilim::apps::App;
-use resilim::core::{prediction_error, Predictor, SamplePoints};
+use resilim::core::{prediction_error, PaperEq8, SamplePoints};
 use resilim::harness::experiments::{build_inputs, ExperimentConfig};
 use resilim::harness::{CampaignRunner, CampaignSpec, ErrorSpec};
 
@@ -41,7 +41,7 @@ fn main() {
     );
 
     // 2. Predict the 64-rank fault-injection result (Eq. 1 + Eq. 8).
-    let prediction = Predictor::new(inputs).predict();
+    let prediction = PaperEq8::new(inputs).predict();
     println!(
         "predicted {large}-rank rates: success {:.1}%  SDC {:.1}%  failure {:.1}%  (alpha: {})",
         prediction.success() * 100.0,

@@ -3,7 +3,7 @@
 //! simmpi → apps → campaign → model).
 
 use resilim::apps::App;
-use resilim::core::{cosine_similarity, OutcomeKind, Predictor, SamplePoints};
+use resilim::core::{cosine_similarity, OutcomeKind, PaperEq8, SamplePoints};
 use resilim::harness::experiments::{build_inputs, ExperimentConfig};
 use resilim::harness::{CampaignRunner, CampaignSpec, ErrorSpec};
 
@@ -63,7 +63,7 @@ fn prediction_pipeline_end_to_end() {
     let runner = CampaignRunner::new();
     let cfg = cfg(40);
     let inputs = build_inputs(&runner, &cfg, App::Lu, 8, 2, SamplePoints::BucketUpper);
-    let pred = Predictor::new(inputs).predict();
+    let pred = PaperEq8::new(inputs).predict();
     let measured = runner.run(&CampaignSpec::new(
         App::Lu.default_spec(),
         8,

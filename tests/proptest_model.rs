@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use resilim::core::{
-    bucket_of, cosine_similarity, rmse, sample_cases, sample_for, FiResult, ModelInputs, Predictor,
+    bucket_of, cosine_similarity, rmse, sample_cases, sample_for, FiResult, ModelInputs, PaperEq8,
     PropagationProfile, SamplePoints, TestOutcome,
 };
 use std::collections::BTreeMap;
@@ -88,7 +88,7 @@ proptest! {
             fi_unique: Some(*it.next().unwrap()),
             alpha_threshold: 0.20,
         };
-        let pred = Predictor::new(inputs).predict();
+        let pred = PaperEq8::new(inputs).predict();
         let total: f64 = pred.rates.iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-9, "rates sum to {total}");
         for r in pred.rates {
@@ -125,7 +125,7 @@ proptest! {
             fi_unique: None,
             alpha_threshold: 0.20,
         };
-        let pred = Predictor::new(inputs).predict();
+        let pred = PaperEq8::new(inputs).predict();
         let lo = serial.values().map(|f| f.success_rate()).fold(1.0, f64::min);
         let hi = serial.values().map(|f| f.success_rate()).fold(0.0, f64::max);
         prop_assert!(pred.success() >= lo - 1e-12 && pred.success() <= hi + 1e-12);
